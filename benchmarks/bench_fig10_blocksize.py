@@ -1,0 +1,21 @@
+"""Fig. 10 — sensitivity to the work-group (thread block) size.
+
+Paper shapes: GPU optimum at 16/32 with penalties at 8 and ≥64; on the
+CPU smaller blocks are better; on the MIC the optimum is
+dataset-dependent (YMR4 → 8, YMR1 → 16).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+from repro.bench import run_fig10
+
+
+def test_fig10_report(warm_sequences, benchmark):
+    result = benchmark.pedantic(run_fig10, rounds=3, iterations=1)
+    emit("Fig. 10", result.render())
+    optima = result.optima()
+    for abbr, per_dev in optima.items():
+        assert per_dev["gpu"] in (16, 32), abbr
+    assert optima["YMR4"]["mic"] == 8
+    assert optima["YMR1"]["mic"] == 16

@@ -1,0 +1,17 @@
+"""Fig. 1 — motivation: SAC15 OpenMP (16-core CPU) vs SAC15 CUDA (K20c).
+
+Paper shape: the baseline ALS runs faster on the CPU than on the GPU on
+every dataset (8.4× on average in the paper's measurements).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+from repro.bench import run_fig1
+
+
+def test_fig1_report(warm_sequences, benchmark):
+    result = benchmark.pedantic(run_fig1, rounds=3, iterations=1)
+    emit("Fig. 1", result.render())
+    assert all(r > 1.0 for r in result.ratios.values())
+    assert result.mean_ratio > 3.0

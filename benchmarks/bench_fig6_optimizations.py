@@ -1,0 +1,24 @@
+"""Fig. 6 — incremental optimizations per architecture per dataset.
+
+Paper shapes: on the GPU registers+local memory give up to 2.6× over
+plain thread batching and vectors change nothing; on CPU/MIC local
+memory boosts up to 1.6×/1.4× but combining it with registers degrades.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+from repro.bench import run_fig6
+from repro.datasets import TABLE_I
+
+
+def test_fig6_report(warm_sequences, benchmark):
+    result = benchmark.pedantic(run_fig6, rounds=3, iterations=1)
+    emit("Fig. 6", result.render())
+    for spec in TABLE_I:
+        gpu = result.times[spec.abbr]["gpu"]
+        assert gpu["+local memory + register"] < gpu["thread batching"]
+        for dev in ("cpu", "mic"):
+            bars = result.times[spec.abbr][dev]
+            assert bars["+local memory"] < bars["thread batching"]
+            assert bars["+local memory + register"] > bars["+local memory"]

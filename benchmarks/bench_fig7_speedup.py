@@ -1,0 +1,20 @@
+"""Fig. 7 — speedup over SAC15 (both devices) and over cuMF/HPDC16.
+
+Paper anchors: 5.5× (CPU), 21.2× (K20c), 2.2–6.8× vs cuMF with the
+largest win on YahooMusic R4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import emit
+from repro.bench import run_fig7
+
+
+def test_fig7_report(warm_sequences, benchmark):
+    result = benchmark.pedantic(run_fig7, rounds=3, iterations=1)
+    emit("Fig. 7", result.render())
+    assert 4.0 < np.mean(list(result.vs_sac15_cpu.values())) < 7.5
+    assert 15.0 < np.mean(list(result.vs_sac15_gpu.values())) < 28.0
+    assert max(result.vs_hpdc16_gpu, key=result.vs_hpdc16_gpu.get) == "YMR4"

@@ -1,0 +1,24 @@
+"""Fig. 8 + §V-C — hotspot-guided tuning of S1/S2/S3 (Netflix, K20c).
+
+Paper shapes: S1 dominates after batching (~70%); optimizing S1 promotes
+S2 to hotspot; optimizing S2 restores S1 dominance; switching S3 to the
+Cholesky method shrinks the remaining solve time (15 s → 12 s scale).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+from repro.bench import run_fig8
+
+
+def test_fig8_report(warm_sequences, benchmark):
+    result = benchmark.pedantic(run_fig8, rounds=3, iterations=1)
+    emit("Fig. 8", result.render())
+    totals = [p.total_seconds for p in result.profiles]
+    assert totals == sorted(totals, reverse=True)
+    by_label = {p.label: p for p in result.profiles}
+    assert by_label["thread batching"].shares[0] > 0.5
+    assert (
+        by_label["optimizing S3 (Cholesky)"].s3_seconds
+        < by_label["optimizing S2"].s3_seconds
+    )

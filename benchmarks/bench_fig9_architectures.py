@@ -1,0 +1,20 @@
+"""Fig. 9 — our solver across the three architectures (best variant each).
+
+Paper shapes: CPU fastest overall, GPU ≈1.5× slower, MIC ≈4.1× slower;
+the GPU outperforms the CPU on YahooMusic R1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import emit
+from repro.bench import run_fig9
+
+
+def test_fig9_report(warm_sequences, benchmark):
+    result = benchmark.pedantic(run_fig9, rounds=3, iterations=1)
+    emit("Fig. 9", result.render())
+    slow = result.slowdowns()
+    assert result.seconds["YMR1"]["gpu"] <= result.seconds["YMR1"]["cpu"]
+    assert 3.0 < np.mean([slow[a]["mic"] for a in slow]) < 5.5

@@ -1,0 +1,45 @@
+"""Extension — multi-GPU data-parallel scaling (cuMF's regime, §VI).
+
+Prices the data-parallel ALS scheme the paper's related work attributes
+to cuMF on 1–4 simulated K20c devices: near-linear on Netflix, badly
+communication-bound on the tiny YahooMusic R4.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit
+from repro.bench.report import format_table
+from repro.clsim import NVIDIA_TESLA_K20C as GPU
+from repro.clsim.multidevice import simulate_multi_device
+from repro.datasets import NETFLIX, YAHOO_R4, degree_sequences
+
+
+@pytest.mark.parametrize("spec", [NETFLIX, YAHOO_R4], ids=lambda s: s.abbr)
+def test_multigpu_scaling(spec, benchmark):
+    rows, cols = degree_sequences(spec, seed=7)
+    runs = benchmark.pedantic(
+        lambda: {d: simulate_multi_device(GPU, d, rows, cols) for d in (1, 2, 4)},
+        rounds=2,
+        iterations=1,
+    )
+    table_rows = [
+        [
+            d,
+            runs[d].compute_seconds,
+            runs[d].comm_seconds,
+            runs[d].seconds,
+            runs[d].speedup_over(runs[1]),
+        ]
+        for d in (1, 2, 4)
+    ]
+    emit(
+        f"Extension: multi-GPU scaling ({spec.abbr})",
+        format_table(
+            ["GPUs", "compute [s]", "comm [s]", "total [s]", "speedup"],
+            table_rows,
+        ),
+    )
+    assert runs[2].seconds < runs[1].seconds
+    assert runs[4].speedup_over(runs[1]) < 4.0

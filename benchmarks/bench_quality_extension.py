@@ -1,0 +1,18 @@
+"""Extension — held-out RMSE vs simulated seconds per architecture.
+
+Combines the functional solver (quality) with the device cost models
+(time): the same convergence curve, three time axes.  The CPU reaches any
+RMSE target first at this problem size, consistent with Fig. 9.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+from repro.bench import run_quality
+
+
+def test_quality_report(benchmark):
+    result = benchmark.pedantic(run_quality, rounds=2, iterations=1)
+    emit("Extension: quality vs time", result.render())
+    assert result.rmse_per_iteration[-1] < 0.15
+    assert result.time_to("cpu", 0.2) < result.time_to("gpu", 0.2)

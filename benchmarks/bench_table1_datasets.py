@@ -1,0 +1,29 @@
+"""Table I — dataset statistics.
+
+Regenerates the paper's dataset table from the synthetic generators and
+benchmarks full-scale degree-sequence generation (the substrate every
+other experiment consumes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import emit
+from repro.bench import run_table1
+from repro.datasets import TABLE_I, degree_sequences
+
+
+def test_table1_report(warm_sequences, benchmark):
+    result = benchmark.pedantic(run_table1, rounds=3, iterations=1)
+    emit("Table I", result.render())
+    for _, _, _, _, nnz_spec, nnz_rows, nnz_cols in result.rows:
+        assert nnz_rows == nnz_spec == nnz_cols
+
+
+@pytest.mark.parametrize("spec", TABLE_I, ids=lambda s: s.abbr)
+def test_degree_sequence_generation(spec, benchmark):
+    rows, cols = benchmark.pedantic(
+        degree_sequences, args=(spec,), kwargs={"seed": 99}, rounds=1, iterations=1
+    )
+    assert rows.sum() == cols.sum() == spec.nnz

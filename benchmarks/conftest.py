@@ -1,0 +1,62 @@
+"""Shared fixtures for the benchmark tree.
+
+Each ``bench_*`` module regenerates one table/figure of the paper.  The
+pytest-benchmark timings measure the harness itself (simulator + model
+evaluation on full-scale dataset shapes); the *scientific* output is the
+rendered table each module prints, mirroring the paper's artifact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import experiments
+from repro.datasets import MOVIELENS10M, generate_ratings
+from repro.sparse import CSCMatrix, CSRMatrix
+
+# pytest-benchmark discovers test_* by default; this tree names its
+# benchmark functions test_* inside bench_* modules.
+collect_ignore_glob: list[str] = []
+
+
+def pytest_collection_modifyitems(config, items):
+    # Keep paper order when running the whole tree.
+    order = [
+        "bench_table1",
+        "bench_fig1",
+        "bench_fig6",
+        "bench_fig7",
+        "bench_fig8",
+        "bench_fig9",
+        "bench_fig10",
+    ]
+
+    def key(item):
+        for i, stem in enumerate(order):
+            if stem in str(item.fspath):
+                return i
+        return len(order)
+
+    items.sort(key=key)
+
+
+@pytest.fixture(scope="session")
+def warm_sequences():
+    """Generate the four full-scale degree sequences once per session."""
+    return experiments._sequences()
+
+
+@pytest.fixture(scope="session")
+def movielens_small():
+    """A materialized MovieLens-shaped matrix for functional benchmarks."""
+    spec = MOVIELENS10M.scaled(1 / 64)
+    coo = generate_ratings(spec, seed=7)
+    csr = CSRMatrix.from_coo(coo)
+    csc = CSCMatrix.from_csr(csr).transpose_as_csr()
+    return coo, csr, csc
+
+
+def emit(title: str, text: str) -> None:
+    """Print a rendered experiment table under a banner."""
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}\n{text}\n")

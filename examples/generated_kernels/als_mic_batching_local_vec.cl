@@ -1,0 +1,212 @@
+/* ALS matrix factorization — generated code variant.
+ * K latent factors, WS work-items per group, TILE staged rows.
+ * One work-group updates one row of X (thread batching, paper
+ * section III-B); kernels s1/s2/s3 implement the three steps of
+ * Algorithm 2.
+ */
+#define K 10
+#define WS 32
+#define TILE 256
+
+/* variant: batching+local+vec */
+
+__kernel void als_s1(
+    __global const float *value,
+    __global const int   *col_idx,
+    __global const int   *row_ptr,
+    __global const float *Y,
+    __global float       *smat,
+    __local  float       *ystage,   /* TILE * K floats */
+    const int m,
+    const float lambda_)
+{
+    const int lx = get_local_id(0);
+    /* persistent groups: the paper launches 8192 groups and each
+     * strides over the rows it owns (thread config 8192 x WS). */
+    for (int u = get_group_id(0); u < m; u += get_num_groups(0)) {
+    const int lo = row_ptr[u];
+    const int omega = row_ptr[u + 1] - lo;
+    if (omega == 0) continue;
+
+    /* Fig. 3(a): private k*k accumulator array — spills for
+     * K*K floats beyond the register budget (section III-C1). */
+    float sum[K * K];
+    for (int p = 0; p < K * K; ++p) sum[p] = 0.0f;
+
+    for (int t0 = 0; t0 < omega; t0 += TILE) {
+        const int tlen = min(TILE, omega - t0);
+        /* cooperative, coalesced staging of the needed Y columns
+         * (Fig. 5) */
+        for (int idx = lx; idx < tlen * K; idx += WS) {
+            const int z = idx / K, c = idx % K;
+            ystage[z * K + c] = Y[col_idx[lo + t0 + z] * K + c];
+        }
+        barrier(CLK_LOCAL_MEM_FENCE);
+        for (int z = 0; z < tlen; ++z) {
+            /* explicit vectorization (section III-C3): the
+             * j-strip is contiguous, so floatN ops apply. */
+            for (int i = lx; i < K; i += WS) {
+                const float yi = ystage[z * K + i];
+                int j = i;
+                for (; j + 4 <= K; j += 4) {
+                    float4 yv = vload4(0, &ystage[z * K + j]);
+                    float4 sv = vload4(0, &sum[i * K + j]);
+                    vstore4(sv + yi * yv, 0, &sum[i * K + j]);
+                }
+                for (; j < K; ++j)
+                    sum[i * K + j] += yi * ystage[z * K + j];
+            }
+        }
+        barrier(CLK_LOCAL_MEM_FENCE); /* tile reuse */
+    }
+
+    for (int i = lx; i < K; i += WS)
+        for (int j = i; j < K; ++j) {
+            const float v = sum[i * K + j] + (i == j ? lambda_ : 0.0f);
+            smat[(u * K + i) * K + j] = v;
+            smat[(u * K + j) * K + i] = v;
+        }
+    } /* persistent-group row loop */
+}
+
+__kernel void als_s2(
+    __global const float *value,
+    __global const int   *col_idx,
+    __global const int   *row_ptr,
+    __global const float *Y,
+    __global float       *svec,
+    __local  float       *ystage,   /* TILE * K floats */
+    __local  float       *rstage,   /* TILE floats */
+    const int m)
+{
+    const int lx = get_local_id(0);
+    for (int u = get_group_id(0); u < m; u += get_num_groups(0)) {
+    const int lo = row_ptr[u];
+    const int omega = row_ptr[u + 1] - lo;
+    if (omega == 0) continue;
+    float acc[(K + WS - 1) / WS];
+    for (int p = 0; p < (K + WS - 1) / WS; ++p) acc[p] = 0.0f;
+    for (int t0 = 0; t0 < omega; t0 += TILE) {
+        const int tlen = min(TILE, omega - t0);
+        for (int idx = lx; idx < tlen * K; idx += WS) {
+            const int z = idx / K, c = idx % K;
+            ystage[z * K + c] = Y[col_idx[lo + t0 + z] * K + c];
+        }
+        for (int z = lx; z < tlen; z += WS)
+            rstage[z] = value[lo + t0 + z];
+        barrier(CLK_LOCAL_MEM_FENCE);
+        int strip = 0;
+        for (int c = lx; c < K; c += WS, ++strip)
+            for (int z = 0; z < tlen; ++z)
+                acc[strip] += rstage[z] * ystage[z * K + c];
+        barrier(CLK_LOCAL_MEM_FENCE);
+    }
+    int out_strip = 0;
+    for (int c = lx; c < K; c += WS, ++out_strip)
+        svec[u * K + c] = acc[out_strip];
+    } /* persistent-group row loop */
+}
+
+__kernel void als_s3(
+    __global const int   *row_ptr,
+    __global const float *smat,
+    __global const float *svec,
+    __global float       *X,
+    const int m)
+{
+    if (get_local_id(0) != 0) return;
+    for (int u = get_group_id(0); u < m; u += get_num_groups(0)) {
+    if (row_ptr[u + 1] - row_ptr[u] == 0) continue;
+    float a[K][K], b[K];
+    for (int i = 0; i < K; ++i) {
+        b[i] = svec[u * K + i];
+        for (int j = 0; j < K; ++j)
+            a[i][j] = smat[(u * K + i) * K + j];
+    }
+    /* Cholesky a = L L^T (section V-C's optimized S3). */
+    for (int j = 0; j < K; ++j) {
+        float d = a[j][j];
+        for (int p = 0; p < j; ++p) d -= a[j][p] * a[j][p];
+        a[j][j] = sqrt(d);
+        for (int i = j + 1; i < K; ++i) {
+            float s = a[i][j];
+            for (int p = 0; p < j; ++p) s -= a[i][p] * a[j][p];
+            a[i][j] = s / a[j][j];
+        }
+    }
+    float z[K];
+    for (int i = 0; i < K; ++i) {
+        float s = b[i];
+        for (int p = 0; p < i; ++p) s -= a[i][p] * z[p];
+        z[i] = s / a[i][i];
+    }
+    for (int i = K - 1; i >= 0; --i) {
+        float s = z[i];
+        for (int p = i + 1; p < K; ++p) s -= a[p][i] * b[p];
+        b[i] = s / a[i][i];
+    }
+    for (int c = 0; c < K; ++c) X[u * K + c] = b[c];
+    } /* persistent-group row loop */
+}
+
+__kernel void als_update_flat(
+    __global const float *value_colmajor,
+    __global const int   *colmajor_id,
+    __global const int   *col_idx,
+    __global const int   *row_ptr,
+    __global const float *Y,
+    __global float       *X,
+    const int m,
+    const float lambda_)
+{
+    const int u = get_global_id(0);
+    if (u >= m) return;
+    const int lo = row_ptr[u];
+    const int omega = row_ptr[u + 1] - lo;
+    if (omega == 0) return;
+    /* private k*k scratch: neighbouring threads' accesses sit
+     * (K+1)*K elements apart -> uncoalesced (section III-B). */
+    float smat[K * K], svec[K];
+    for (int p = 0; p < K * K; ++p) smat[p] = 0.0f;
+    for (int c = 0; c < K; ++c) svec[c] = 0.0f;
+    for (int i = 0; i < K; ++i)
+        for (int j = i; j < K; ++j) {
+            float s = 0.0f;
+            for (int z = 0; z < omega; ++z) {
+                const int d = col_idx[lo + z] * K;
+                s += Y[d + i] * Y[d + j];
+            }
+            smat[i * K + j] = s; smat[j * K + i] = s;
+        }
+    for (int i = 0; i < K; ++i) smat[i * K + i] += lambda_;
+    for (int c = 0; c < K; ++c)
+        for (int z = 0; z < omega; ++z) {
+            const int idx  = lo + z;
+            const int idx2 = colmajor_id[idx];     /* line 10 */
+            svec[c] += value_colmajor[idx2] * Y[col_idx[idx] * K + c];
+        }
+    /* Cholesky solve in private memory (lines 16-17). */
+    for (int j = 0; j < K; ++j) {
+        float d = smat[j * K + j];
+        for (int p = 0; p < j; ++p) d -= smat[j * K + p] * smat[j * K + p];
+        smat[j * K + j] = sqrt(d);
+        for (int i = j + 1; i < K; ++i) {
+            float s = smat[i * K + j];
+            for (int p = 0; p < j; ++p) s -= smat[i * K + p] * smat[j * K + p];
+            smat[i * K + j] = s / smat[j * K + j];
+        }
+    }
+    float z[K];
+    for (int i = 0; i < K; ++i) {
+        float s = svec[i];
+        for (int p = 0; p < i; ++p) s -= smat[i * K + p] * z[p];
+        z[i] = s / smat[i * K + i];
+    }
+    for (int i = K - 1; i >= 0; --i) {
+        float s = z[i];
+        for (int p = i + 1; p < K; ++p) s -= smat[p * K + i] * svec[p];
+        svec[i] = s / smat[i * K + i];
+    }
+    for (int c = 0; c < K; ++c) X[u * K + c] = svec[c];
+}
+

@@ -1,0 +1,59 @@
+"""Portability study: one solver, three architectures (paper §V-D/E).
+
+Sweeps the Table I datasets across the simulated E5-2670, K20c and
+Phi 31SP with each device's recommended code variant, then sweeps the
+work-group size — the paper's Figs. 9 and 10 in script form.
+
+    python examples/portability_sweep.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.bench.report import format_bar, format_table
+
+
+def cross_device() -> None:
+    print("=== execution time by architecture (best variant, ws=32) ===")
+    rows = []
+    for spec in repro.TABLE_I:
+        seqs = repro.degree_sequences(spec)
+        per_dev = {}
+        for device in repro.ALL_DEVICES:
+            run = repro.PortableALS(device).simulate(*seqs, dataset=spec.abbr)
+            per_dev[device.kind.value] = run.seconds
+        fastest = min(per_dev.values())
+        rows.append(
+            [spec.abbr]
+            + [f"{per_dev[d]:.2f}" for d in ("cpu", "gpu", "mic")]
+            + [f"{per_dev['gpu'] / per_dev['cpu']:.2f}x"]
+        )
+    print(
+        format_table(
+            ["dataset", "CPU [s]", "GPU [s]", "MIC [s]", "GPU/CPU"], rows
+        )
+    )
+
+
+def block_size_sweep() -> None:
+    print("\n=== work-group size sweep on Netflix (per-device variant) ===")
+    seqs = repro.degree_sequences(repro.NETFLIX)
+    for device in repro.ALL_DEVICES:
+        variant = repro.recommended_variant(device)
+        times = {}
+        for ws in (8, 16, 32, 64, 128):
+            solver = repro.PortableALS(device, variant=variant, ws=ws)
+            times[ws] = solver.simulate(*seqs, dataset="NTFX").seconds
+        scale = max(times.values())
+        print(f"{device} [{variant}]")
+        for ws, t in times.items():
+            print(f"  ws={ws:<4d} {t:8.2f} s  {format_bar(t, scale, 36)}")
+
+
+def main() -> None:
+    cross_device()
+    block_size_sweep()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Code-variant selection: empirical search + the learned selector.
+
+Reproduces §III-D's empirical selection on every (device, dataset)
+context, then trains the machine-learning selector the paper proposes as
+future work and checks its choices against the exhaustive optimum.
+
+    python examples/variant_autotune.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.clsim.costmodel import CostModel
+
+
+def empirical_search() -> None:
+    print("=== exhaustive variant x ws search (paper §III-D) ===")
+    for device in repro.ALL_DEVICES:
+        for spec in repro.TABLE_I:
+            seqs = repro.degree_sequences(spec)
+            result = repro.exhaustive_search(device, *seqs)
+            print(
+                f"  {device.kind.value:4s} {spec.abbr}: "
+                f"{result.best_variant.name:24s} ws={result.best_ws:<4d} "
+                f"{result.best_seconds:8.2f} s  "
+                f"({result.speedup_over_worst():.2f}x over worst config)"
+            )
+
+
+def learned_selector() -> None:
+    print("\n=== learned selector (paper's future work) ===")
+    selector = repro.train_default_selector()
+    for device in repro.ALL_DEVICES:
+        for spec in repro.TABLE_I:
+            seqs = repro.degree_sequences(spec)
+            variant, ws = selector.predict(device, *seqs)
+            predicted = CostModel(device).training_time(
+                *seqs, 10, ws, variant.flags, 5
+            )
+            best = repro.exhaustive_search(device, *seqs)
+            gap = predicted / best.best_seconds
+            print(
+                f"  {device.kind.value:4s} {spec.abbr}: picks "
+                f"{variant.name:24s} ws={ws:<4d} -> {gap:.2f}x of optimal"
+            )
+
+
+def main() -> None:
+    empirical_search()
+    learned_selector()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Calibration work-bench: prints every paper anchor next to the model output.
+
+Run after touching repro/clsim/calibration.py:
+
+    python scripts/tune_calibration.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clsim import ALL_DEVICES, CostModel, OptFlags, device_by_name
+from repro.datasets import TABLE_I, degree_sequences
+
+K = 10
+WS = 32
+ITERS = 5
+
+FLAGS = {
+    "flat": OptFlags(batched=False),
+    "tb": OptFlags(),
+    "+lm": OptFlags(local_mem=True),
+    "+lm+reg": OptFlags(local_mem=True, registers=True),
+    "+lm+reg+vec": OptFlags(local_mem=True, registers=True, vector=True),
+    "+lm+vec": OptFlags(local_mem=True, vector=True),
+}
+
+BEST = {"cpu": "+lm+vec", "gpu": "+lm+reg", "mic": "+lm+vec"}
+
+
+def main() -> None:
+    seqs = {spec.abbr: degree_sequences(spec) for spec in TABLE_I}
+    times: dict[tuple[str, str, str], float] = {}
+    for dev in ALL_DEVICES:
+        cm = CostModel(dev)
+        for spec in TABLE_I:
+            rows, cols = seqs[spec.abbr]
+            for label, flags in FLAGS.items():
+                times[dev.kind.value, spec.abbr, label] = cm.training_time(
+                    rows, cols, K, WS, flags, ITERS
+                )
+
+    print("=== absolute seconds (5 iters, ws=32, k=10) ===")
+    header = f"{'dev':4s} {'variant':12s}" + "".join(f"{s.abbr:>9s}" for s in TABLE_I)
+    print(header)
+    for dev in ALL_DEVICES:
+        for label in FLAGS:
+            row = f"{dev.kind.value:4s} {label:12s}"
+            for spec in TABLE_I:
+                row += f"{times[dev.kind.value, spec.abbr, label]:9.2f}"
+            print(row)
+        print()
+
+    def best(dev: str, abbr: str) -> float:
+        return times[dev, abbr, BEST[dev]]
+
+    print("=== anchors ===")
+    f1 = [times["gpu", s.abbr, "flat"] / times["cpu", s.abbr, "flat"] for s in TABLE_I]
+    print(f"fig1  CUDA/OpenMP baseline ratio: {np.round(f1,2)}  mean={np.mean(f1):.2f}  (paper ~8.4)")
+    f7c = [times["cpu", s.abbr, "flat"] / best("cpu", s.abbr) for s in TABLE_I]
+    print(f"fig7  ours vs SAC15 on CPU:       {np.round(f7c,2)}  mean={np.mean(f7c):.2f}  (paper 5.5)")
+    f7g = [times["gpu", s.abbr, "flat"] / best("gpu", s.abbr) for s in TABLE_I]
+    print(f"fig7  ours vs SAC15 on GPU:       {np.round(f7g,2)}  mean={np.mean(f7g):.2f}  (paper 21.2)")
+    f9g = [best("gpu", s.abbr) / best("cpu", s.abbr) for s in TABLE_I]
+    f9m = [best("mic", s.abbr) / best("cpu", s.abbr) for s in TABLE_I]
+    print(f"fig9  GPU slowdown vs CPU:        {np.round(f9g,2)}  mean={np.mean(f9g):.2f}  (paper ~1.5, <1 on YMR1)")
+    print(f"fig9  MIC slowdown vs CPU:        {np.round(f9m,2)}  mean={np.mean(f9m):.2f}  (paper ~4.1)")
+    g26 = [times["gpu", s.abbr, "tb"] / times["gpu", s.abbr, "+lm+reg"] for s in TABLE_I]
+    print(f"fig6  GPU tb/(+lm+reg):           {np.round(g26,2)}  max={max(g26):.2f}  (paper upto 2.6)")
+    c16 = [times["cpu", s.abbr, "tb"] / times["cpu", s.abbr, "+lm"] for s in TABLE_I]
+    m14 = [times["mic", s.abbr, "tb"] / times["mic", s.abbr, "+lm"] for s in TABLE_I]
+    print(f"fig6  CPU tb/+lm:                 {np.round(c16,2)}  max={max(c16):.2f}  (paper upto 1.6)")
+    print(f"fig6  MIC tb/+lm:                 {np.round(m14,2)}  max={max(m14):.2f}  (paper upto 1.4)")
+    creg = [times["cpu", s.abbr, "+lm+reg"] / times["cpu", s.abbr, "+lm"] for s in TABLE_I]
+    mreg = [times["mic", s.abbr, "+lm+reg"] / times["mic", s.abbr, "+lm"] for s in TABLE_I]
+    print(f"fig6  CPU (+lm+reg)/+lm:          {np.round(creg,2)}  (paper >1: degradation)")
+    print(f"fig6  MIC (+lm+reg)/+lm:          {np.round(mreg,2)}  (paper >1: degradation)")
+    gvec = [times["gpu", s.abbr, "+lm+reg+vec"] / times["gpu", s.abbr, "+lm+reg"] for s in TABLE_I]
+    print(f"fig6  GPU +vec effect:            {np.round(gvec,2)}  (paper ~1.0)")
+
+    print("\n=== fig10: block-size sweep (best variant per device) ===")
+    for spec in TABLE_I:
+        rows, cols = seqs[spec.abbr]
+        print(spec.abbr)
+        for dev in ALL_DEVICES:
+            cm = CostModel(dev)
+            flags = FLAGS[BEST[dev.kind.value]]
+            sweep = [
+                cm.training_time(rows, cols, K, ws, flags, ITERS)
+                for ws in (8, 16, 32, 64, 128)
+            ]
+            argmin = (8, 16, 32, 64, 128)[int(np.argmin(sweep))]
+            print(f"  {dev.kind.value:4s} " + " ".join(f"{t:8.2f}" for t in sweep) + f"   best ws={argmin}")
+    print("(paper: GPU best 16/32; CPU smaller=better/stable; MIC YMR4->8, YMR1->16)")
+
+
+if __name__ == "__main__":
+    main()

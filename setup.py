@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Enables editable installs in offline environments whose pip cannot build
+PEP 660 wheels (no `wheel` package): `pip install -e . --no-use-pep517
+--no-build-isolation`.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,126 @@
+"""High-level recommender facade.
+
+Wraps dataset handling, training, evaluation, recommendation and model
+persistence behind one object — the interface a downstream application
+would actually use, with the paper's machinery underneath.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict
+
+import numpy as np
+
+from repro.core.als import ALSConfig, ALSModel, train_als
+from repro.core.alswr import train_als_wr
+from repro.core.loss import mae, rmse
+from repro.core.predict import predict_entries, recommend_top_n
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["Recommender"]
+
+_ALGORITHMS = {"als": train_als, "als-wr": train_als_wr}
+
+
+class Recommender:
+    """Train-once, query-many recommender over explicit ratings.
+
+    >>> rec = Recommender(k=10, lam=0.1, iterations=5)
+    >>> rec.fit(ratings)                        # COOMatrix
+    >>> rec.predict([0, 1], [5, 9])
+    >>> rec.recommend(user=0, n_items=10)
+    >>> rec.save("model.npz"); Recommender.load("model.npz")
+    """
+
+    def __init__(
+        self,
+        k: int = 10,
+        lam: float = 0.1,
+        iterations: int = 5,
+        algorithm: str = "als",
+        seed: int = 0,
+    ) -> None:
+        if algorithm not in _ALGORITHMS:
+            known = ", ".join(sorted(_ALGORITHMS))
+            raise ValueError(f"unknown algorithm {algorithm!r}; known: {known}")
+        self.config = ALSConfig(k=k, lam=lam, iterations=iterations, seed=seed)
+        self.algorithm = algorithm
+        self._model: ALSModel | None = None
+        self._train_csr: CSRMatrix | None = None
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def fit(self, ratings: COOMatrix) -> "Recommender":
+        """Train the factor model on observed ratings."""
+        self._model = _ALGORITHMS[self.algorithm](ratings, self.config)
+        self._train_csr = CSRMatrix.from_coo(ratings)
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._model is not None
+
+    @property
+    def model(self) -> ALSModel:
+        if self._model is None:
+            raise RuntimeError("call fit() first")
+        return self._model
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def predict(self, users, items) -> np.ndarray:
+        """Predicted ratings for parallel user/item index arrays."""
+        return predict_entries(self.model, np.asarray(users), np.asarray(items))
+
+    def recommend(
+        self, user: int, n_items: int = 10, exclude_seen: bool = True
+    ) -> list[tuple[int, float]]:
+        """Top-N items for a user, excluding training items by default."""
+        exclude = self._train_csr if exclude_seen else None
+        return recommend_top_n(self.model, user, n_items=n_items, exclude=exclude)
+
+    def evaluate(self, ratings: COOMatrix) -> dict[str, float]:
+        """RMSE/MAE on a rating set (e.g. the held-out split)."""
+        model = self.model
+        return {
+            "rmse": rmse(ratings, model.X, model.Y),
+            "mae": mae(ratings, model.X, model.Y),
+        }
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, path: str | os.PathLike) -> None:
+        """Persist factors + hyper-parameters to one ``.npz`` file."""
+        model = self.model
+        meta = {"algorithm": self.algorithm, "config": asdict(self.config)}
+        np.savez_compressed(
+            path,
+            X=model.X,
+            Y=model.Y,
+            meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        )
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "Recommender":
+        """Restore a saved recommender (query-ready; training data is not
+        persisted, so ``recommend`` defaults to no exclusion)."""
+        with np.load(path) as data:
+            meta = json.loads(bytes(data["meta"].tobytes()).decode())
+            X = data["X"]
+            Y = data["Y"]
+        cfg = meta["config"]
+        rec = cls(
+            k=cfg["k"],
+            lam=cfg["lam"],
+            iterations=cfg["iterations"],
+            algorithm=meta["algorithm"],
+            seed=cfg["seed"],
+        )
+        rec._model = ALSModel(X=X, Y=Y, config=ALSConfig(**cfg))
+        return rec

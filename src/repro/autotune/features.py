@@ -1,0 +1,69 @@
+"""Feature extraction for the learned variant selector.
+
+The execution context = target architecture + input dataset (§III-D).
+Device features capture what the optimizations interact with (scratchpad
+presence, SIMT vs SIMD width, register budget); dataset features capture
+the workload shape the kernels see (mean/max row length, skew, size).
+All features are log- or indicator-scaled so distances are meaningful
+across datasets that differ by orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clsim.device import DeviceSpec
+from repro.sparse.stats import degree_stats
+
+__all__ = ["FEATURE_NAMES", "context_features"]
+
+FEATURE_NAMES: tuple[str, ...] = (
+    "log_rows",
+    "log_cols",
+    "log_nnz",
+    "log_mean_row_nnz",
+    "log_mean_col_nnz",
+    "row_gini",
+    "col_gini",
+    "log_hw_width",
+    "has_scratchpad",
+    "log_registers",
+    "log_compute_units",
+    "log_clock",
+    "log_bandwidth",
+)
+
+
+def context_features(
+    device: DeviceSpec,
+    row_lengths: np.ndarray,
+    col_lengths: np.ndarray,
+) -> np.ndarray:
+    """Feature vector for one (device, dataset) execution context."""
+    rows = degree_stats(np.asarray(row_lengths))
+    cols = degree_stats(np.asarray(col_lengths))
+    if rows.nnz != cols.nnz:
+        raise ValueError(
+            f"row/col degree sequences disagree on nnz: {rows.nnz} vs {cols.nnz}"
+        )
+    eps = 1e-12
+    feats = np.array(
+        [
+            np.log10(rows.count + eps),
+            np.log10(cols.count + eps),
+            np.log10(rows.nnz + eps),
+            np.log10(rows.mean + eps),
+            np.log10(cols.mean + eps),
+            rows.gini,
+            cols.gini,
+            np.log2(device.hw_width),
+            1.0 if device.has_scratchpad else 0.0,
+            np.log2(device.registers_per_thread),
+            np.log2(device.compute_units),
+            np.log2(device.clock_ghz),
+            np.log2(device.global_bandwidth_gbs),
+        ],
+        dtype=np.float64,
+    )
+    assert feats.size == len(FEATURE_NAMES)
+    return feats

@@ -1,0 +1,78 @@
+"""Empirical code-variant selection (§III-D).
+
+"In this context, we use an empirical approach to select a right code
+variant.  In total, we provide 8 code variants of the ALS solver by
+combining different optimizations."  The search measures every variant
+(and optionally every work-group size) on the target execution context —
+here, measuring = evaluating the device cost model on the dataset shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clsim.calibration import Calibration
+from repro.clsim.costmodel import CostModel
+from repro.clsim.device import DeviceSpec
+from repro.kernels.variants import Variant, all_variants
+
+__all__ = ["SearchResult", "exhaustive_search", "WS_CANDIDATES"]
+
+#: The work-group sizes swept in Fig. 10.
+WS_CANDIDATES: tuple[int, ...] = (8, 16, 32, 64, 128)
+
+
+@dataclass(frozen=True)
+class SearchResult:
+    """Outcome of an exhaustive variant × work-group-size sweep."""
+
+    best_variant: Variant
+    best_ws: int
+    best_seconds: float
+    table: dict[tuple[str, int], float]  # (variant name, ws) → seconds
+
+    def ranking(self) -> list[tuple[str, int, float]]:
+        """All configurations, fastest first."""
+        return sorted(
+            ((name, ws, t) for (name, ws), t in self.table.items()),
+            key=lambda row: row[2],
+        )
+
+    def speedup_over_worst(self) -> float:
+        worst = max(self.table.values())
+        return worst / self.best_seconds if self.best_seconds > 0 else 1.0
+
+
+def exhaustive_search(
+    device: DeviceSpec,
+    row_lengths: np.ndarray,
+    col_lengths: np.ndarray,
+    k: int = 10,
+    iterations: int = 5,
+    ws_candidates: tuple[int, ...] = WS_CANDIDATES,
+    variants: tuple[Variant, ...] | None = None,
+    calibration: Calibration | None = None,
+) -> SearchResult:
+    """Evaluate every (variant, ws) pair and return the fastest."""
+    if not ws_candidates:
+        raise ValueError("need at least one work-group size candidate")
+    variants = variants or all_variants()
+    cm = CostModel(device, calibration)
+    table: dict[tuple[str, int], float] = {}
+    best: tuple[float, Variant, int] | None = None
+    for variant in variants:
+        if variant.is_baseline:
+            continue  # the flat mapping is not a tuning candidate
+        for ws in ws_candidates:
+            seconds = cm.training_time(
+                row_lengths, col_lengths, k, ws, variant.flags, iterations
+            )
+            table[variant.name, ws] = seconds
+            if best is None or seconds < best[0]:
+                best = (seconds, variant, ws)
+    assert best is not None
+    return SearchResult(
+        best_variant=best[1], best_ws=best[2], best_seconds=best[0], table=table
+    )

@@ -1,0 +1,153 @@
+"""Learned code-variant selector (the paper's stated future work, §VII).
+
+"We will introduce the machine learning technique to select an
+appropriate code variant according to the target architecture and input
+dataset."  Implemented as a k-nearest-neighbour classifier over
+standardized context features, trained on exhaustive-search outcomes for
+a grid of synthetic dataset shapes on each device — small, dependency-free
+and easily inspectable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autotune.features import context_features
+from repro.autotune.search import exhaustive_search
+from repro.clsim.calibration import Calibration
+from repro.clsim.device import ALL_DEVICES, DeviceSpec
+from repro.datasets.catalog import DatasetSpec
+from repro.datasets.synthetic import degree_sequences
+from repro.kernels.variants import Variant
+
+__all__ = ["VariantSelector", "train_default_selector"]
+
+
+@dataclass(frozen=True)
+class _Example:
+    features: np.ndarray
+    label: tuple[str, int]  # (variant name, ws)
+    variant: Variant
+    ws: int
+
+
+class VariantSelector:
+    """k-NN classifier from context features to (variant, ws)."""
+
+    def __init__(self, n_neighbors: int = 3) -> None:
+        if n_neighbors <= 0:
+            raise ValueError("n_neighbors must be positive")
+        self.n_neighbors = n_neighbors
+        self._examples: list[_Example] = []
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        contexts: list[tuple[DeviceSpec, np.ndarray, np.ndarray]],
+        k: int = 10,
+        calibration: Calibration | None = None,
+    ) -> "VariantSelector":
+        """Label each context by exhaustive search and memorize it."""
+        if not contexts:
+            raise ValueError("need at least one training context")
+        self._examples = []
+        for device, rows, cols in contexts:
+            result = exhaustive_search(
+                device, rows, cols, k=k, calibration=calibration
+            )
+            self._examples.append(
+                _Example(
+                    features=context_features(device, rows, cols),
+                    label=(result.best_variant.name, result.best_ws),
+                    variant=result.best_variant,
+                    ws=result.best_ws,
+                )
+            )
+        feats = np.stack([e.features for e in self._examples])
+        self._mean = feats.mean(axis=0)
+        self._std = feats.std(axis=0)
+        self._std[self._std == 0] = 1.0
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self._examples)
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    def predict(
+        self,
+        device: DeviceSpec,
+        row_lengths: np.ndarray,
+        col_lengths: np.ndarray,
+    ) -> tuple[Variant, int]:
+        """Predicted (variant, work-group size) for a new context."""
+        if not self.is_fitted:
+            raise RuntimeError("selector is not fitted")
+        query = (context_features(device, row_lengths, col_lengths) - self._mean) / self._std
+        feats = (np.stack([e.features for e in self._examples]) - self._mean) / self._std
+        dists = np.linalg.norm(feats - query, axis=1)
+        kn = min(self.n_neighbors, len(self._examples))
+        nearest = np.argsort(dists)[:kn]
+        # Majority vote over (variant, ws) labels, distance-weighted ties.
+        votes: dict[tuple[str, int], float] = {}
+        for idx in nearest:
+            e = self._examples[idx]
+            votes[e.label] = votes.get(e.label, 0.0) + 1.0 / (1.0 + dists[idx])
+        best_label = max(votes, key=votes.get)
+        for idx in nearest:
+            e = self._examples[idx]
+            if e.label == best_label:
+                return e.variant, e.ws
+        raise AssertionError("unreachable: winning label must come from a neighbour")
+
+
+def _training_grid(seed: int = 13) -> list[DatasetSpec]:
+    """A grid of synthetic dataset shapes spanning the recommender regime."""
+    shapes = [
+        (5_000, 8_000, 120_000),
+        (20_000, 4_000, 900_000),
+        (60_000, 60_000, 4_000_000),
+        (200_000, 20_000, 20_000_000),
+        (800_000, 50_000, 40_000_000),
+        (30_000, 2_000, 2_500_000),
+        (2_000, 30_000, 300_000),
+    ]
+    specs = []
+    for i, (m, n, nnz) in enumerate(shapes):
+        specs.append(
+            DatasetSpec(
+                name=f"grid-{i}",
+                abbr=f"G{i}",
+                m=m,
+                n=n,
+                nnz=nnz,
+                row_alpha=0.7 + 0.05 * (i % 3),
+                col_alpha=0.9 + 0.05 * (i % 4),
+                rating_min=1.0,
+                rating_max=5.0,
+            )
+        )
+    return specs
+
+
+def train_default_selector(
+    k: int = 10,
+    devices: tuple[DeviceSpec, ...] = ALL_DEVICES,
+    calibration: Calibration | None = None,
+    seed: int = 13,
+) -> VariantSelector:
+    """Train a selector on the synthetic grid across all devices."""
+    contexts = []
+    for spec in _training_grid(seed):
+        rows, cols = degree_sequences(spec, seed=seed)
+        for device in devices:
+            contexts.append((device, rows, cols))
+    return VariantSelector().fit(contexts, k=k, calibration=calibration)

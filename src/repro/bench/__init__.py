@@ -1,0 +1,35 @@
+"""Benchmark harness: experiment runners and report rendering."""
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    run_table1,
+    run_fig1,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_ksweep,
+    run_quality,
+    run_reorder,
+)
+from repro.bench.report import format_table
+from repro.bench.summary import Anchor, collect_anchors, render_scorecard
+
+__all__ = [
+    "EXPERIMENTS",
+    "run_table1",
+    "run_fig1",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_ksweep",
+    "run_quality",
+    "run_reorder",
+    "format_table",
+    "Anchor",
+    "collect_anchors",
+    "render_scorecard",
+]

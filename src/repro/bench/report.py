@@ -1,0 +1,47 @@
+"""ASCII rendering of experiment results (the "same rows the paper
+reports", printed instead of plotted)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_bar"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render a fixed-width table; floats use ``float_fmt``."""
+    rendered: list[list[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells = []
+        for cell in row:
+            if isinstance(cell, float):
+                cells.append(float_fmt.format(cell))
+            else:
+                cells.append(str(cell))
+        rendered.append(cells)
+    ncols = len(rendered[0])
+    if any(len(r) != ncols for r in rendered):
+        raise ValueError("all rows must match the header width")
+    widths = [max(len(r[c]) for r in rendered) for c in range(ncols)]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    for i, r in enumerate(rendered):
+        lines.append(" | ".join(cell.rjust(w) for cell, w in zip(r, widths)))
+        if i == 0:
+            lines.append(sep)
+    return "\n".join(lines)
+
+
+def format_bar(value: float, scale: float, width: int = 40) -> str:
+    """A crude horizontal bar for log-free visual comparison."""
+    if scale <= 0:
+        return ""
+    n = max(0, min(width, round(value / scale * width)))
+    return "#" * n

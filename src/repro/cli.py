@@ -1,0 +1,105 @@
+"""Command-line interface: regenerate any table/figure of the paper.
+
+Usage::
+
+    repro-als list                 # available experiments
+    repro-als fig7                 # reproduce Fig. 7
+    repro-als all                  # everything, in paper order
+    repro-als tune gpu NTFX        # exhaustive variant search (§III-D)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.autotune.search import exhaustive_search
+from repro.bench.experiments import EXPERIMENTS
+from repro.clsim.device import device_by_name
+from repro.datasets.catalog import dataset_by_name
+from repro.datasets.synthetic import degree_sequences
+from repro.kernels.opencl_source import generate_program
+from repro.kernels.variants import recommended_variant
+
+__all__ = ["main"]
+
+
+def _run_experiment(name: str) -> int:
+    runner = EXPERIMENTS.get(name)
+    if runner is None:
+        print(f"unknown experiment {name!r}; try: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    print(runner().render())
+    return 0
+
+
+def _run_tune(device_name: str, dataset_name: str, k: int) -> int:
+    device = device_by_name(device_name)
+    spec = dataset_by_name(dataset_name)
+    rows, cols = degree_sequences(spec)
+    result = exhaustive_search(device, rows, cols, k=k)
+    print(f"exhaustive search on {device} / {spec.abbr} (k={k}):")
+    for name, ws, seconds in result.ranking()[:10]:
+        print(f"  {name:28s} ws={ws:<4d} {seconds:9.3f} s")
+    print(
+        f"best: {result.best_variant.name} @ ws={result.best_ws} "
+        f"({result.best_seconds:.3f} s, {result.speedup_over_worst():.2f}x over worst)"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-als",
+        description="Reproduce the IPDPSW'17 portable-ALS evaluation.",
+    )
+    parser.add_argument(
+        "command",
+        help="experiment id (table1, fig1, fig6..fig10, ksweep), 'all', 'list', 'summary', 'tune' or 'emit-cl'",
+    )
+    parser.add_argument("args", nargs="*", help="for tune: <device> <dataset>")
+    parser.add_argument("--k", type=int, default=10, help="latent factor (default 10)")
+    ns = parser.parse_args(argv)
+
+    if ns.command == "summary":
+        from repro.bench.summary import render_scorecard
+
+        print(render_scorecard())
+        return 0
+    if ns.command == "list":
+        print("\n".join(EXPERIMENTS))
+        return 0
+    if ns.command == "all":
+        for name in EXPERIMENTS:
+            print(f"\n===== {name} =====")
+            _run_experiment(name)
+        return 0
+    if ns.command == "emit-cl":
+        if len(ns.args) != 1:
+            print("usage: repro-als emit-cl <device>", file=sys.stderr)
+            return 2
+        device = device_by_name(ns.args[0])
+        variant = recommended_variant(device)
+        print(generate_program(variant.flags, k=ns.k))
+        return 0
+    if ns.command == "tune":
+        if len(ns.args) != 2:
+            print("usage: repro-als tune <device> <dataset>", file=sys.stderr)
+            return 2
+        return _run_tune(ns.args[0], ns.args[1], ns.k)
+    return _run_experiment(ns.command)
+
+
+def _entry() -> int:
+    """Console-script entry: exit quietly when the pipe closes (| head)."""
+    import os
+
+    try:
+        return main()
+    except BrokenPipeError:
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_entry())

@@ -1,0 +1,95 @@
+"""OpenCL-style device simulator.
+
+The paper runs one OpenCL code base on three architectures (16-core Xeon
+E5-2670, Tesla K20c, Xeon Phi 31SP).  None of that hardware exists in this
+environment, so this package simulates it at two levels:
+
+* **Functional** — :mod:`repro.clsim.interpreter` executes kernels written
+  against an OpenCL-like API (NDRange, work-groups, work-items, barriers,
+  local/private/global memory) with real barrier semantics, so the 8 code
+  variants can be validated for correctness.
+* **Performance** — :mod:`repro.clsim.costmodel` derives launch times from
+  the same architectural mechanisms the paper reasons about: warp/SIMD
+  divergence, coalesced vs. scattered transactions, register spilling,
+  scratchpad staging, occupancy and lane utilization, parameterized by the
+  published specs of the three devices (:mod:`repro.clsim.device`).
+"""
+
+from repro.clsim.device import (
+    DeviceKind,
+    DeviceSpec,
+    INTEL_XEON_E5_2670_X2,
+    NVIDIA_TESLA_K20C,
+    INTEL_XEON_PHI_31SP,
+    ALL_DEVICES,
+    device_by_name,
+)
+from repro.clsim.ndrange import NDRange, WorkItemId
+from repro.clsim.memory import Buffer, LocalMemory, AccessCounter
+from repro.clsim.kernel import Kernel, BARRIER
+from repro.clsim.interpreter import execute_ndrange
+from repro.clsim.runtime import Context, CommandQueue, ProfilingEvent
+from repro.clsim.costmodel import (
+    CostModel,
+    LaunchCost,
+    OptFlags,
+    StepCosts,
+)
+from repro.clsim.calibration import Calibration, default_calibration
+from repro.clsim.occupancy import OccupancyReport, occupancy
+from repro.clsim.coalescing import (
+    AccessPattern,
+    transactions_for,
+    efficiency_for,
+    flat_smat_pattern,
+    batched_column_pattern,
+)
+from repro.clsim.transfer import TransferCost, training_transfer_cost
+from repro.clsim.divergence import (
+    DivergenceReport,
+    analyze_divergence,
+    sort_rows_by_length,
+)
+from repro.clsim.roofline import RooflinePoint, RooflineReport, roofline_analysis
+
+__all__ = [
+    "DeviceKind",
+    "DeviceSpec",
+    "INTEL_XEON_E5_2670_X2",
+    "NVIDIA_TESLA_K20C",
+    "INTEL_XEON_PHI_31SP",
+    "ALL_DEVICES",
+    "device_by_name",
+    "NDRange",
+    "WorkItemId",
+    "Buffer",
+    "LocalMemory",
+    "AccessCounter",
+    "Kernel",
+    "BARRIER",
+    "execute_ndrange",
+    "Context",
+    "CommandQueue",
+    "ProfilingEvent",
+    "CostModel",
+    "LaunchCost",
+    "OptFlags",
+    "StepCosts",
+    "Calibration",
+    "default_calibration",
+    "OccupancyReport",
+    "occupancy",
+    "AccessPattern",
+    "transactions_for",
+    "efficiency_for",
+    "flat_smat_pattern",
+    "batched_column_pattern",
+    "TransferCost",
+    "training_transfer_cost",
+    "DivergenceReport",
+    "analyze_divergence",
+    "sort_rows_by_length",
+    "RooflinePoint",
+    "RooflineReport",
+    "roofline_analysis",
+]

@@ -1,0 +1,85 @@
+"""Memory-transaction analysis for warp/SIMD access patterns.
+
+Quantifies §III-B's diagnosis: with the flat mapping, neighbouring
+threads' accesses sit at least ``(k+1)·k`` elements apart (each thread
+owns a private k×k smat plus a k svec), so every lane's access costs a
+full transaction; with thread batching, a work-group's lanes read
+consecutive elements of one Y column and coalesce.
+
+The analyzer takes the *addresses touched by the lanes of one hardware
+strip in one step* and counts the memory transactions (GPU) or cachelines
+(CPU/MIC) they span — the quantity behind the calibration's efficiency
+constants, validated in tests/clsim/test_coalescing.py.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clsim.device import DeviceSpec
+
+__all__ = [
+    "AccessPattern",
+    "transactions_for",
+    "efficiency_for",
+    "flat_smat_pattern",
+    "batched_column_pattern",
+]
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """Byte addresses touched by the active lanes in one access step."""
+
+    addresses: np.ndarray  # one address per active lane
+    element_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        addresses = np.asarray(self.addresses, dtype=np.int64)
+        if addresses.ndim != 1 or addresses.size == 0:
+            raise ValueError("need a 1-D, non-empty address vector")
+        if addresses.min() < 0:
+            raise ValueError("addresses must be non-negative")
+        if self.element_bytes <= 0:
+            raise ValueError("element_bytes must be positive")
+        object.__setattr__(self, "addresses", addresses)
+
+    @property
+    def useful_bytes(self) -> int:
+        return int(self.addresses.size) * self.element_bytes
+
+
+def transactions_for(pattern: AccessPattern, device: DeviceSpec) -> int:
+    """Number of ``device.cacheline_bytes`` transactions the step needs."""
+    lines = np.unique(pattern.addresses // device.cacheline_bytes)
+    return int(lines.size)
+
+
+def efficiency_for(pattern: AccessPattern, device: DeviceSpec) -> float:
+    """Useful bytes / bytes moved — 1.0 means perfectly coalesced."""
+    moved = transactions_for(pattern, device) * device.cacheline_bytes
+    return pattern.useful_bytes / moved
+
+
+# ----------------------------------------------------------------------
+# The two canonical patterns of the paper
+# ----------------------------------------------------------------------
+
+
+def flat_smat_pattern(device: DeviceSpec, k: int, element_bytes: int = 4) -> AccessPattern:
+    """One step of the flat baseline: each lane touches its own private
+    smat, ``(k+1)·k`` elements away from its neighbour (§III-B)."""
+    lanes = np.arange(device.hw_width, dtype=np.int64)
+    stride = (k + 1) * k * element_bytes
+    return AccessPattern(lanes * stride, element_bytes)
+
+
+def batched_column_pattern(
+    base_element: int, k: int, element_bytes: int = 4
+) -> AccessPattern:
+    """One step of the batched kernels: the group's first ``k`` lanes read
+    the ``k`` consecutive elements of one Y column."""
+    lanes = np.arange(k, dtype=np.int64)
+    return AccessPattern((base_element + lanes) * element_bytes, element_bytes)

@@ -1,0 +1,394 @@
+"""Mechanistic performance model for simulated kernel launches.
+
+One ALS half-sweep (update all rows of X, or all columns of Y) runs as
+three kernels (paper §V-C):
+
+* **S1** — assemble ``smat = Y_ΩᵀY_Ω + λI`` per row,
+* **S2** — assemble ``svec = Yᵀ r_u`` per row,
+* **S3** — solve the k×k system per row.
+
+For each step the model derives a compute time and a memory time and takes
+their maximum (kernels overlap computation with memory), then adds the
+launch overhead.  All quantities are computed from the nnz-per-row degree
+sequence, the latent factor k, the work-group size, the device spec and
+the optimization flags — the same inputs that decide performance on real
+hardware.
+
+The flat (one-thread-per-row) mapping of the SAC15 baseline is modelled by
+:meth:`CostModel.flat_half_sweep`; the paper's thread-batched mapping by
+:meth:`CostModel.batched_half_sweep`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clsim.calibration import Calibration, KindConstants, default_calibration
+from repro.clsim.device import DeviceKind, DeviceSpec
+from repro.sparse.partition import partition_rows_balanced
+
+__all__ = ["OptFlags", "LaunchCost", "StepCosts", "CostModel"]
+
+_FLOAT = 4  # sizeof(float) on the device
+_INT = 4  # sizeof(int) index
+
+
+@dataclass(frozen=True)
+class OptFlags:
+    """The optimization space of the paper.
+
+    ``batched`` distinguishes the thread-batched mapping (§III-B) from the
+    flat baseline; the three booleans ``registers`` / ``local_mem`` /
+    ``vector`` are the architecture-specific optimizations of §III-C whose
+    combinations form the 8 code variants (§III-D).  ``cholesky`` selects
+    the S3 solver (§V-C compares Cholesky against plain elimination).
+    """
+
+    batched: bool = True
+    registers: bool = False
+    local_mem: bool = False
+    vector: bool = False
+    cholesky: bool = True
+
+    def label(self) -> str:
+        if not self.batched:
+            return "flat-baseline"
+        parts = ["batching"]
+        if self.local_mem:
+            parts.append("local")
+        if self.registers:
+            parts.append("reg")
+        if self.vector:
+            parts.append("vec")
+        return "+".join(parts)
+
+
+@dataclass(frozen=True)
+class LaunchCost:
+    """Cost of one kernel launch."""
+
+    compute_s: float
+    memory_s: float
+    overhead_s: float
+
+    @property
+    def seconds(self) -> float:
+        return max(self.compute_s, self.memory_s) + self.overhead_s
+
+    @property
+    def bound(self) -> str:
+        return "compute" if self.compute_s >= self.memory_s else "memory"
+
+    def __add__(self, other: "LaunchCost") -> "LaunchCost":
+        # Aggregating launches: maxima don't distribute over sums, so the
+        # sum of LaunchCosts keeps per-component totals; ``seconds`` of a
+        # sum is a lower bound used only for reporting aggregates.
+        return LaunchCost(
+            self.compute_s + other.compute_s,
+            self.memory_s + other.memory_s,
+            self.overhead_s + other.overhead_s,
+        )
+
+
+@dataclass(frozen=True)
+class StepCosts:
+    """Per-step costs of one half-sweep (S1, S2, S3 kernels)."""
+
+    s1: LaunchCost
+    s2: LaunchCost
+    s3: LaunchCost
+
+    @property
+    def seconds(self) -> float:
+        return self.s1.seconds + self.s2.seconds + self.s3.seconds
+
+    def shares(self) -> tuple[float, float, float]:
+        """Fractions of total time per step — the Fig. 8 pie slices."""
+        total = self.seconds
+        if total <= 0.0:
+            return (0.0, 0.0, 0.0)
+        return (
+            self.s1.seconds / total,
+            self.s2.seconds / total,
+            self.s3.seconds / total,
+        )
+
+    def __add__(self, other: "StepCosts") -> "StepCosts":
+        return StepCosts(self.s1 + other.s1, self.s2 + other.s2, self.s3 + other.s3)
+
+
+def _ceil_div(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+class CostModel:
+    """Derives launch times for ALS kernels on one simulated device."""
+
+    def __init__(self, device: DeviceSpec, calibration: Calibration | None = None):
+        self.device = device
+        self.calibration = calibration or default_calibration()
+        self.constants: KindConstants = self.calibration.for_kind(device.kind)
+
+    # ------------------------------------------------------------------
+    # conversion helpers
+    # ------------------------------------------------------------------
+    def _compute_seconds(self, strip_steps: float) -> float:
+        c = self.constants
+        throughput = self.device.peak_strips_per_second * c.compute_eff
+        return strip_steps * c.cpi / throughput
+
+    def _memory_seconds(self, bytes_moved: float) -> float:
+        return bytes_moved / (self.device.global_bandwidth_gbs * 1e9)
+
+    def _overhead_seconds(self, launches: int = 1) -> float:
+        return launches * self.device.launch_overhead_us * 1e-6
+
+    def _s3_work(self, k: int, cholesky: bool) -> float:
+        # Cholesky: k³/3 MACs to factor + 2·k²/2 per triangular solve.
+        # Gaussian elimination on the same SPD system: ~2k³/3 + k².
+        if cholesky:
+            return k**3 / 3.0 + k**2
+        return 2.0 * k**3 / 3.0 + k**2
+
+    # ------------------------------------------------------------------
+    # thread-batched mapping (the paper's contribution, §III-B)
+    # ------------------------------------------------------------------
+    def batched_half_sweep(
+        self,
+        lengths: np.ndarray,
+        k: int,
+        ws: int,
+        flags: OptFlags,
+    ) -> StepCosts:
+        """Cost of updating every row, one work-group per row."""
+        if k <= 0 or ws <= 0:
+            raise ValueError("k and ws must be positive")
+        lengths = np.asarray(lengths, dtype=np.float64)
+        c = self.constants
+        d = self.device
+
+        Z = float(lengths.sum())  # total nnz
+        n_rows = int(lengths.size)
+        occupied = float((lengths > 0).sum())  # rows that actually solve
+
+        useful = min(ws, k)
+        passes = _ceil_div(k, useful)
+        strips_total = d.warps_per_group(ws)
+        strips_active = _ceil_div(min(useful, ws), d.hw_width)
+        strip_factor = strips_active + c.guard_frac * (strips_total - strips_active)
+
+        # Parallelism deficit: one group per row; if there are fewer rows
+        # than the device needs in flight, throughput scales down.
+        slack = min(1.0, n_rows / d.concurrent_groups_hint)
+
+        # ---- compute (strip-steps) ----
+        spill = 1.0 if flags.registers else c.spill_mult
+        gain = 1.0
+        if flags.local_mem:
+            gain *= c.stage_compute_gain
+        if flags.vector:
+            gain *= c.vector_gain
+        if flags.registers and flags.local_mem and not d.has_scratchpad:
+            # §V-B: combining both on cache-emulated scratchpads thrashes L1.
+            gain *= c.thrash_mult
+
+        per_group_overhead = (
+            c.group_overhead_cycles + ws * c.item_overhead_cycles
+        ) * n_rows
+
+        s1_steps = passes * k * Z * strip_factor * spill * gain + per_group_overhead
+        s2_steps = passes * Z * strip_factor * gain + per_group_overhead
+        # The Cholesky S3 uses the batched lane-parallel formulation [21];
+        # the pre-optimization solver runs serially on one lane per group.
+        s3_eff = c.s3_eff if flags.cholesky else c.s3_serial_eff
+        s3_steps = self._s3_work(k, flags.cholesky) * occupied / s3_eff
+        s3_steps += per_group_overhead
+
+        # ---- memory (bytes moved) ----
+        y_useful = Z * k * _FLOAT
+        if flags.local_mem:
+            # Stage the needed Y columns once per row (Fig. 5); reuse is
+            # on-chip.  Each step's kernel stages independently.
+            s1_y = y_useful / c.eff_column_gather
+            s2_y = y_useful / c.eff_column_gather
+            s2_r = Z * _FLOAT / c.eff_stream  # r_u staged once, contiguous CSR
+        else:
+            # S1 reads the column strip and the broadcast column per z
+            # (Fig. 3); repeated passes partially served by caches.
+            reread_s1 = 2.0
+            s1_y = (
+                y_useful
+                * (1.0 + (reread_s1 - 1.0) * (1.0 - c.cache_absorb))
+                / c.eff_column_gather
+            )
+            # Unstaged S2 is the §III-C2 pathology: ``Y[col_idx[z]*k + c]``
+            # strides by k between consecutive z, so every access is a
+            # scattered scalar paying a full transaction; r is re-walked
+            # once per latent dimension c (Algorithm 2 lines 8–15), later
+            # passes cache-absorbed.
+            extra = (k - 1.0) * (1.0 - c.cache_absorb)
+            s2_y = y_useful * (1.0 + extra) / c.eff_scattered
+            s2_r = Z * _FLOAT * (1.0 + extra) / c.eff_stream
+        s1_idx = passes * Z * _INT / c.eff_stream  # col_idx walk
+        s1_out = n_rows * k * k * _FLOAT / c.eff_stream  # smat store
+        s2_out = n_rows * k * _FLOAT / c.eff_stream  # svec store
+        s3_bytes = n_rows * (k * k + 2 * k) * _FLOAT / c.eff_stream
+
+        s1 = LaunchCost(
+            self._compute_seconds(s1_steps) / slack,
+            self._memory_seconds(s1_y + s1_idx + s1_out),
+            self._overhead_seconds(),
+        )
+        s2 = LaunchCost(
+            self._compute_seconds(s2_steps) / slack,
+            self._memory_seconds(s2_y + s2_r + s2_out),
+            self._overhead_seconds(),
+        )
+        s3 = LaunchCost(
+            self._compute_seconds(s3_steps) / slack,
+            self._memory_seconds(s3_bytes),
+            self._overhead_seconds(),
+        )
+        return StepCosts(s1, s2, s3)
+
+    # ------------------------------------------------------------------
+    # flat mapping (SAC15 baseline, §III-B's diagnosis)
+    # ------------------------------------------------------------------
+    def flat_half_sweep(
+        self,
+        lengths: np.ndarray,
+        k: int,
+        flags: OptFlags | None = None,
+    ) -> StepCosts:
+        """Cost of updating every row, one *thread* per row (Algorithm 2).
+
+        On SIMT/SIMD devices consecutive rows share a warp/vector, so each
+        window advances at the pace of its longest row; on the CPU the
+        OpenMP runtime schedules rows across MIMD cores, so the relevant
+        imbalance is per-core total load.
+        """
+        flags = flags or OptFlags(batched=False)
+        lengths_i = np.asarray(lengths, dtype=np.int64)
+        lengths = lengths_i.astype(np.float64)
+        c = self.constants
+        d = self.device
+
+        Z = float(lengths.sum())
+        n_rows = int(lengths.size)
+        occupied = float((lengths > 0).sum())
+        mac_per_nz = k * (k + 1) / 2.0 + k  # S1 pairs + S2 per non-zero
+        s3_work = self._s3_work(k, flags.cholesky)
+
+        if d.kind is DeviceKind.CPU:
+            # MIMD: one scalar thread per row, scheduled dynamically over
+            # the cores; wall time follows the most-loaded core.
+            part = partition_rows_balanced(lengths_i, d.compute_units)
+            serial_nz = float(part.loads.max()) * d.compute_units
+            wall_scalar_ops = serial_nz * mac_per_nz + occupied * s3_work
+            slack = 1.0  # any realistic m keeps 16 cores busy
+        else:
+            # SIMT/SIMD windows of consecutive rows: the window advances at
+            # the pace of its longest row (§III-B's unbalanced thread use).
+            window = d.hw_width
+            pad = (-lengths.size) % window
+            padded = np.pad(lengths, (0, pad))
+            wall_nz = float(padded.reshape(-1, window).max(axis=1).sum())
+            wall_scalar_ops = wall_nz * mac_per_nz + occupied * s3_work / window
+            # Flat mapping needs one HW lane per row; small matrices cannot
+            # fill the device (few columns on NTFX/YMR4 → idle warps).
+            lanes_wanted = d.compute_units * d.threads_per_unit * d.hw_width
+            slack = min(1.0, lengths.size / lanes_wanted)
+        total_steps = wall_scalar_ops * c.flat_cpi * c.spill_mult / slack
+
+        # Memory: with one thread per row every access is scattered
+        # (§III-B — neighbouring threads touch addresses ≥ (k+1)·k apart):
+        # each multiply–accumulate reads one Y operand and round-trips its
+        # private (spilled) accumulator, and S2 re-reads R through the
+        # colMajored indirection.  Counted per MAC because nothing is
+        # cooperatively loaded; the device caches absorb what they can.
+        mac_total = Z * mac_per_nz
+        y_bytes = mac_total * _FLOAT
+        acc_bytes = mac_total * 2.0 * _FLOAT * c.flat_spill_traffic
+        r_bytes = Z * _FLOAT * k
+        bytes_moved = (
+            (y_bytes + acc_bytes + r_bytes)
+            * (1.0 - c.cache_absorb)
+            / c.eff_scattered
+        )
+
+        # The baseline is one fused kernel; attribute costs to S1/S2/S3 by
+        # their step-work shares so Fig. 8(a) can still be drawn.
+        w1 = k * (k + 1) / 2.0 * Z
+        w2 = k * Z
+        # The private triangular solves are dependency chains running at a
+        # fraction of the accumulation loops' MAC throughput; weight S3's
+        # share of the fused kernel accordingly (matches the baseline's
+        # measured ~16% S3 share in Fig. 8a).
+        w3 = s3_work * occupied * 12.0
+        total_w = w1 + w2 + w3
+        # Flat kernels issue one scalar op per lane per cycle at best; the
+        # flat_cpi constant holds the measured cycles per scalar op.
+        compute = total_steps / (d.compute_units * d.clock_ghz * 1e9)
+        memory = self._memory_seconds(bytes_moved)
+        overhead = self._overhead_seconds()
+
+        def split(fraction: float, with_overhead: bool) -> LaunchCost:
+            return LaunchCost(
+                compute * fraction,
+                memory * fraction,
+                overhead if with_overhead else 0.0,
+            )
+
+        return StepCosts(
+            split(w1 / total_w, True),
+            split(w2 / total_w, False),
+            split(w3 / total_w, False),
+        )
+
+    # ------------------------------------------------------------------
+    # full-solve aggregation
+    # ------------------------------------------------------------------
+    def half_sweep(
+        self,
+        lengths: np.ndarray,
+        k: int,
+        ws: int,
+        flags: OptFlags,
+    ) -> StepCosts:
+        """Dispatch on the mapping selected by ``flags.batched``."""
+        if flags.batched:
+            return self.batched_half_sweep(lengths, k, ws, flags)
+        return self.flat_half_sweep(lengths, k, flags)
+
+    def iteration(
+        self,
+        row_lengths: np.ndarray,
+        col_lengths: np.ndarray,
+        k: int,
+        ws: int,
+        flags: OptFlags,
+    ) -> StepCosts:
+        """One ALS iteration: update X over rows, then Y over columns."""
+        return self.half_sweep(row_lengths, k, ws, flags) + self.half_sweep(
+            col_lengths, k, ws, flags
+        )
+
+    def training_time(
+        self,
+        row_lengths: np.ndarray,
+        col_lengths: np.ndarray,
+        k: int,
+        ws: int,
+        flags: OptFlags,
+        iterations: int,
+    ) -> float:
+        """Total simulated seconds for ``iterations`` ALS iterations."""
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        # Each half-sweep's seconds = Σ_step max(compute, memory) + overhead;
+        # launches repeat every iteration, so nothing amortizes.
+        x_costs = self.half_sweep(row_lengths, k, ws, flags)
+        y_costs = self.half_sweep(col_lengths, k, ws, flags)
+        return iterations * (x_costs.seconds + y_costs.seconds)

@@ -1,0 +1,169 @@
+"""Device specifications for the three platforms of the paper (§IV-A).
+
+The numbers are the published microarchitectural parameters; the cost model
+combines them with calibration constants (:mod:`repro.clsim.calibration`).
+
+* **Intel Xeon E5-2670 ×2** — dual-socket, 8 cores each @ 2.6 GHz, AVX
+  (8-wide float SIMD), ~102 GB/s aggregate (2 × 51.2 GB/s), 64-byte
+  cachelines, 32 KB L1d per core, no scratchpad (OpenCL local memory is
+  emulated in cache).
+* **NVIDIA Tesla K20c** — 13 SMX @ 0.706 GHz, 192 CUDA cores each,
+  warp = 32, 208 GB/s GDDR5, 48 KB scratchpad + 256 KB registers per SMX,
+  up to 255 registers addressable per thread (§III-C1).
+* **Intel Xeon Phi 31SP** — 57 in-order cores @ 1.1 GHz, 4 hardware
+  threads per core, 512-bit SIMD (16-wide float), 6 GB GDDR5 @ ~240 GB/s
+  theoretical (practically far lower), 64-byte cachelines, no scratchpad.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = [
+    "DeviceKind",
+    "DeviceSpec",
+    "INTEL_XEON_E5_2670_X2",
+    "NVIDIA_TESLA_K20C",
+    "INTEL_XEON_PHI_31SP",
+    "ALL_DEVICES",
+    "device_by_name",
+]
+
+
+class DeviceKind(enum.Enum):
+    """The three architecture classes the paper targets."""
+
+    CPU = "cpu"
+    GPU = "gpu"
+    MIC = "mic"
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Microarchitectural description of a simulated OpenCL device."""
+
+    name: str
+    kind: DeviceKind
+    compute_units: int  # SMs (GPU) or cores (CPU/MIC)
+    hw_width: int  # warp size (GPU) or float SIMD width (CPU/MIC)
+    threads_per_unit: int  # resident warp slots (GPU) or HW threads (CPU/MIC)
+    clock_ghz: float
+    global_bandwidth_gbs: float
+    mem_latency_cycles: int
+    cacheline_bytes: int
+    l1_bytes: int  # per compute unit
+    has_scratchpad: bool
+    scratchpad_bytes: int  # per compute unit (0 when emulated)
+    registers_per_thread: int  # addressable registers (floats)
+    register_file_bytes: int  # per compute unit
+    issue_width: float  # strip-instructions issued per cycle per unit
+    launch_overhead_us: float  # per kernel launch (driver + dispatch)
+
+    def __post_init__(self) -> None:
+        if self.compute_units <= 0 or self.hw_width <= 0:
+            raise ValueError("compute_units and hw_width must be positive")
+        if self.clock_ghz <= 0 or self.global_bandwidth_gbs <= 0:
+            raise ValueError("clock and bandwidth must be positive")
+
+    @property
+    def peak_strips_per_second(self) -> float:
+        """Aggregate strip-instruction issue rate (strips/s)."""
+        return self.compute_units * self.issue_width * self.clock_ghz * 1e9
+
+    @property
+    def concurrent_groups_hint(self) -> int:
+        """How many work-groups the device wants in flight to stay busy."""
+        return self.compute_units * self.threads_per_unit
+
+    def warps_per_group(self, ws: int) -> int:
+        """Hardware strips (warps / SIMD rows) a group of size ``ws`` occupies."""
+        if ws <= 0:
+            raise ValueError("work-group size must be positive")
+        return -(-ws // self.hw_width)
+
+    def __str__(self) -> str:
+        return f"{self.name} [{self.kind.value}]"
+
+
+INTEL_XEON_E5_2670_X2 = DeviceSpec(
+    name="Intel Xeon E5-2670 x2",
+    kind=DeviceKind.CPU,
+    compute_units=16,
+    hw_width=8,  # AVX, 8 floats
+    threads_per_unit=2,  # HyperThreading
+    clock_ghz=2.6,
+    global_bandwidth_gbs=102.4,
+    mem_latency_cycles=200,
+    cacheline_bytes=64,
+    l1_bytes=32 * 1024,
+    has_scratchpad=False,
+    scratchpad_bytes=0,
+    registers_per_thread=16,  # architectural YMM registers
+    register_file_bytes=16 * 32,
+    issue_width=1.0,
+    launch_overhead_us=15.0,
+)
+
+NVIDIA_TESLA_K20C = DeviceSpec(
+    name="NVIDIA Tesla K20c",
+    kind=DeviceKind.GPU,
+    compute_units=13,
+    hw_width=32,  # warp
+    threads_per_unit=64,  # resident warps per SMX
+    clock_ghz=0.706,
+    global_bandwidth_gbs=208.0,
+    mem_latency_cycles=400,
+    cacheline_bytes=128,  # memory transaction granularity
+    l1_bytes=16 * 1024,
+    has_scratchpad=True,
+    scratchpad_bytes=48 * 1024,
+    registers_per_thread=255,  # GK110 raised the limit from 63 (§III-C1)
+    register_file_bytes=256 * 1024,
+    issue_width=4.0,  # 4 warp schedulers per SMX
+    launch_overhead_us=4000.0,  # dispatch + per-step sync + PCIe factor traffic
+)
+
+INTEL_XEON_PHI_31SP = DeviceSpec(
+    name="Intel Xeon Phi 31SP",
+    kind=DeviceKind.MIC,
+    compute_units=57,
+    hw_width=16,  # 512-bit SIMD, 16 floats
+    threads_per_unit=4,
+    clock_ghz=1.1,
+    global_bandwidth_gbs=240.0,
+    mem_latency_cycles=300,
+    cacheline_bytes=64,
+    l1_bytes=32 * 1024,
+    has_scratchpad=False,
+    scratchpad_bytes=0,
+    registers_per_thread=32,  # ZMM registers
+    register_file_bytes=32 * 64,
+    issue_width=0.5,  # in-order, cannot issue back-to-back from one thread
+    launch_overhead_us=2000.0,  # MPSS offload dispatch + PCIe sync
+)
+
+ALL_DEVICES: tuple[DeviceSpec, ...] = (
+    INTEL_XEON_E5_2670_X2,
+    NVIDIA_TESLA_K20C,
+    INTEL_XEON_PHI_31SP,
+)
+
+_BY_SHORT_NAME = {
+    "cpu": INTEL_XEON_E5_2670_X2,
+    "e5-2670": INTEL_XEON_E5_2670_X2,
+    "gpu": NVIDIA_TESLA_K20C,
+    "k20c": NVIDIA_TESLA_K20C,
+    "mic": INTEL_XEON_PHI_31SP,
+    "31sp": INTEL_XEON_PHI_31SP,
+    "xeon-phi": INTEL_XEON_PHI_31SP,
+}
+
+
+def device_by_name(name: str) -> DeviceSpec:
+    """Look up a device preset by short name (``cpu``/``gpu``/``mic``/...)."""
+    try:
+        return _BY_SHORT_NAME[name.strip().lower()]
+    except KeyError:
+        known = ", ".join(sorted(_BY_SHORT_NAME))
+        raise KeyError(f"unknown device {name!r}; known: {known}") from None

@@ -1,0 +1,92 @@
+"""Branch-divergence analysis for the flat one-thread-per-row mapping.
+
+§III-B: "When two neighbouring threads updating two continuous
+rows/columns, it is likely that the thread on the longer row takes more
+time while the other thread stays idle."  This module quantifies that:
+given the nnz-per-row sequence and the hardware window (warp or SIMD
+width), it reports wall iterations, the busy-lane ratio, and the wasted
+lane-cycles — the inputs behind the flat cost model's window term and
+the motivation for the row-reordering experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clsim.device import DeviceSpec
+
+__all__ = ["DivergenceReport", "analyze_divergence", "sort_rows_by_length"]
+
+
+@dataclass(frozen=True)
+class DivergenceReport:
+    """Lane-utilization summary of a flat launch."""
+
+    window: int
+    n_windows: int
+    wall_iterations: int  # Σ per-window max(ω)
+    busy_iterations: int  # Σ ω (useful lane-iterations)
+    lane_slots: int  # wall_iterations × window
+
+    @property
+    def efficiency(self) -> float:
+        """Busy lane-iterations / issued lane slots (1.0 = no divergence)."""
+        return self.busy_iterations / self.lane_slots if self.lane_slots else 1.0
+
+    @property
+    def wasted_fraction(self) -> float:
+        return 1.0 - self.efficiency
+
+    @property
+    def divergence_factor(self) -> float:
+        """How much longer the flat launch runs than a perfectly balanced
+        one with the same total work."""
+        if self.busy_iterations == 0:
+            return 1.0
+        balanced_wall = self.busy_iterations / self.window
+        return self.wall_iterations / balanced_wall
+
+    def __str__(self) -> str:
+        return (
+            f"window={self.window}: {self.n_windows} windows, lane efficiency "
+            f"{self.efficiency:.1%}, divergence factor {self.divergence_factor:.2f}x"
+        )
+
+
+def analyze_divergence(
+    lengths: np.ndarray, device_or_window: DeviceSpec | int
+) -> DivergenceReport:
+    """Analyze the flat mapping of ``lengths`` onto warp/SIMD windows."""
+    window = (
+        device_or_window.hw_width
+        if isinstance(device_or_window, DeviceSpec)
+        else int(device_or_window)
+    )
+    if window <= 0:
+        raise ValueError("window must be positive")
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if lengths.size == 0:
+        return DivergenceReport(window, 0, 0, 0, 0)
+    if lengths.min() < 0:
+        raise ValueError("row lengths must be non-negative")
+    pad = (-lengths.size) % window
+    tiles = np.pad(lengths, (0, pad)).reshape(-1, window)
+    wall = int(tiles.max(axis=1).sum())
+    busy = int(lengths.sum())
+    return DivergenceReport(
+        window=window,
+        n_windows=tiles.shape[0],
+        wall_iterations=wall,
+        busy_iterations=busy,
+        lane_slots=wall * window,
+    )
+
+
+def sort_rows_by_length(lengths: np.ndarray) -> np.ndarray:
+    """The classic divergence mitigation: order rows by descending nnz so
+    each window holds near-equal rows.  Returns the reordered sequence
+    (the permutation would be applied to the row ids in a real launch)."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    return np.sort(lengths)[::-1].copy()

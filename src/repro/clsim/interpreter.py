@@ -1,0 +1,100 @@
+"""Work-item-level execution of simulated kernels.
+
+Executes an :class:`~repro.clsim.ndrange.NDRange` launch group by group.
+Within a group, every work-item's generator advances to its next barrier
+before any item proceeds past it — the lock-step semantics OpenCL
+guarantees.  A :class:`BarrierDivergenceError` is raised when items of one
+group disagree on the number of barriers they reach, which on real
+hardware is undefined behaviour (a hang); surfacing it makes the kernel
+tests meaningful.
+
+This path is intentionally scalar and slow; it exists to *validate* the
+vectorized fast paths on small instances, not to run full datasets.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.clsim.kernel import BARRIER, Kernel
+from repro.clsim.memory import LocalMemory
+from repro.clsim.ndrange import NDRange
+
+__all__ = ["BarrierDivergenceError", "execute_ndrange"]
+
+
+class BarrierDivergenceError(RuntimeError):
+    """Work-items of one group reached different barrier counts."""
+
+
+def execute_ndrange(
+    kernel: Kernel,
+    ndrange: NDRange,
+    args: Mapping[str, object],
+    scratchpad_capacity: int | None = None,
+) -> None:
+    """Run ``kernel`` over ``ndrange`` with the given arguments.
+
+    ``args`` are passed to the kernel body as keyword arguments; buffers
+    are shared across all groups (global memory), local memory is
+    instantiated fresh per group.
+    """
+    allocations = kernel.local_allocations(**args)
+    for group_id in ndrange:
+        local = {
+            name: LocalMemory(
+                shape,
+                dtype=dtype if dtype is not None else np.float32,
+                capacity_bytes=scratchpad_capacity,
+            )
+            for name, (shape, dtype) in allocations.items()
+        }
+        if scratchpad_capacity is not None:
+            used = sum(mem.nbytes for mem in local.values())
+            if used > scratchpad_capacity:
+                raise MemoryError(
+                    f"group local memory {used} B exceeds scratchpad "
+                    f"{scratchpad_capacity} B"
+                )
+        _run_group(kernel, ndrange, group_id, local, args)
+
+
+def _run_group(
+    kernel: Kernel,
+    ndrange: NDRange,
+    group_id: int,
+    local: dict[str, LocalMemory],
+    args: Mapping[str, object],
+) -> None:
+    generators = []
+    for item in ndrange.group_items(group_id):
+        gen = kernel.body(item, local, **args)
+        generators.append(gen)
+
+    live = list(range(len(generators)))
+    barrier_round = 0
+    while live:
+        arrived: list[int] = []
+        finished: list[int] = []
+        for idx in live:
+            try:
+                token = next(generators[idx])
+            except StopIteration:
+                finished.append(idx)
+                continue
+            if token is not BARRIER:
+                raise TypeError(
+                    f"kernel {kernel.name!r} yielded {token!r}; only BARRIER "
+                    "may be yielded"
+                )
+            arrived.append(idx)
+        if arrived and finished:
+            raise BarrierDivergenceError(
+                f"kernel {kernel.name!r}, group {group_id}, barrier round "
+                f"{barrier_round}: {len(arrived)} item(s) at a barrier while "
+                f"{len(finished)} item(s) already returned"
+            )
+        live = arrived
+        barrier_round += 1

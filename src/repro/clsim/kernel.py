@@ -1,0 +1,65 @@
+"""Kernel abstraction for the functional simulator.
+
+A simulated kernel is a Python *generator function* with signature
+
+    def body(item: WorkItemId, local: dict[str, LocalMemory], **args):
+        ...
+        yield BARRIER          # barrier(CLK_LOCAL_MEM_FENCE)
+        ...
+
+Each work-item of a group runs the generator up to the next ``yield``;
+the interpreter advances all items of the group in lock-step between
+barriers, which gives real OpenCL barrier semantics (§III-C2's staging
+pattern needs them: all items cooperate to fill the scratchpad, barrier,
+then compute).
+
+``local_decl`` declares the group's ``__local`` allocations, sized per
+launch — exactly like OpenCL's kernel-argument local buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["BARRIER", "Kernel", "LocalDecl"]
+
+
+class _Barrier:
+    """Sentinel yielded by kernel bodies at barrier points."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "BARRIER"
+
+
+BARRIER = _Barrier()
+
+
+@dataclass(frozen=True)
+class LocalDecl:
+    """Declaration of one ``__local`` allocation: shape may depend on args."""
+
+    name: str
+    shape: Callable[..., tuple[int, ...]]
+    dtype: object = None  # defaults to float32 in the interpreter
+
+
+@dataclass(frozen=True)
+class Kernel:
+    """A named kernel body plus its local-memory declarations."""
+
+    name: str
+    body: Callable  # generator function(item, local, **args)
+    local_decls: tuple[LocalDecl, ...] = field(default_factory=tuple)
+
+    def local_allocations(self, **args) -> dict[str, tuple[tuple[int, ...], object]]:
+        """Resolve local-memory shapes for a concrete launch."""
+        out: dict[str, tuple[tuple[int, ...], object]] = {}
+        for decl in self.local_decls:
+            shape = decl.shape(**args)
+            if any(s < 0 for s in shape):
+                raise ValueError(f"negative local shape for {decl.name}: {shape}")
+            out[decl.name] = (shape, decl.dtype)
+        return out

@@ -1,0 +1,109 @@
+"""Memory objects of the simulated OpenCL device.
+
+* :class:`Buffer` — global-memory buffer wrapping a NumPy array, with an
+  optional access counter so tests can assert *how* a kernel variant
+  touches memory (e.g. that the local-memory variant reads each Y element
+  from global memory exactly once per row).
+* :class:`LocalMemory` — per-work-group scratchpad allocation; the
+  interpreter creates one instance per group and enforces the device's
+  scratchpad capacity.
+* :class:`AccessCounter` — read/write tallies shared by the above.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AccessCounter", "Buffer", "LocalMemory"]
+
+
+@dataclass
+class AccessCounter:
+    """Tally of element reads/writes performed through a memory object."""
+
+    reads: int = 0
+    writes: int = 0
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+
+class Buffer:
+    """A global-memory buffer.
+
+    Kernels read/write through :meth:`load` / :meth:`store` so accesses can
+    be counted; the vectorized fast paths use :attr:`array` directly (the
+    counter is a validation tool, not a tax on the fast path).
+    """
+
+    __slots__ = ("name", "array", "counter")
+
+    def __init__(self, array: np.ndarray, name: str = "buffer") -> None:
+        self.array = np.asarray(array)
+        self.name = name
+        self.counter = AccessCounter()
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.array.nbytes)
+
+    def load(self, index):
+        """Element read (counted)."""
+        value = self.array[index]
+        self.counter.reads += 1 if np.isscalar(value) or value.ndim == 0 else int(np.size(value))
+        return value
+
+    def store(self, index, value) -> None:
+        """Element write (counted)."""
+        self.array[index] = value
+        self.counter.writes += int(np.size(value))
+
+    def __len__(self) -> int:
+        return len(self.array)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Buffer({self.name!r}, shape={self.array.shape}, dtype={self.array.dtype})"
+
+
+class LocalMemory:
+    """A per-work-group scratchpad allocation (OpenCL ``__local``).
+
+    Created by the interpreter for each work-group; shared by the group's
+    work-items and discarded at group exit, so no state leaks between
+    groups (as on real hardware).
+    """
+
+    __slots__ = ("array", "counter", "capacity_bytes")
+
+    def __init__(self, shape, dtype=np.float32, capacity_bytes: int | None = None) -> None:
+        self.array = np.zeros(shape, dtype=dtype)
+        self.counter = AccessCounter()
+        self.capacity_bytes = capacity_bytes
+        if capacity_bytes is not None and self.array.nbytes > capacity_bytes:
+            raise MemoryError(
+                f"local allocation of {self.array.nbytes} B exceeds the "
+                f"device scratchpad of {capacity_bytes} B"
+            )
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.array.nbytes)
+
+    def load(self, index):
+        value = self.array[index]
+        self.counter.reads += 1 if np.isscalar(value) or value.ndim == 0 else int(np.size(value))
+        return value
+
+    def store(self, index, value) -> None:
+        self.array[index] = value
+        self.counter.writes += int(np.size(value))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LocalMemory(shape={self.array.shape}, dtype={self.array.dtype})"

@@ -1,0 +1,110 @@
+"""Data-parallel multi-device execution model.
+
+cuMF (the paper's HPDC'16 comparator) scales ALS across multiple GPUs
+with data parallelism: each device owns a partition of the rows, updates
+its slice of X against a full replica of Y, and the replicas are
+re-synchronized before the opposite half-sweep (the paper's related-work
+section describes the scheme, including topology-aware reduction).  This
+module prices that scheme on any homogeneous set of simulated devices:
+
+    t_half_sweep = max_d compute(partition_d)  +  allgather(factor slice)
+
+The allgather goes through PCIe (the paper's testbed has no NVLink); a
+topology-aware ring moves each byte twice (up to the host, back down).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clsim.calibration import Calibration
+from repro.clsim.costmodel import CostModel, OptFlags
+from repro.clsim.device import DeviceSpec
+from repro.clsim.transfer import PCIE_BANDWIDTH_GBS, PCIE_LATENCY_S
+from repro.sparse.partition import partition_rows_balanced
+
+__all__ = ["MultiDeviceRun", "simulate_multi_device"]
+
+_FLOAT = 4
+
+
+@dataclass(frozen=True)
+class MultiDeviceRun:
+    """Timing decomposition of a data-parallel training run."""
+
+    n_devices: int
+    compute_seconds: float
+    comm_seconds: float
+    iterations: int
+
+    @property
+    def seconds(self) -> float:
+        return self.compute_seconds + self.comm_seconds
+
+    def speedup_over(self, single: "MultiDeviceRun") -> float:
+        return single.seconds / self.seconds
+
+    @property
+    def parallel_efficiency_denominator(self) -> float:
+        return float(self.n_devices)
+
+
+def _allgather_seconds(total_bytes: int, n_devices: int) -> float:
+    """Ring allgather over PCIe: each device sends its slice (n−1) times
+    through host memory (2 PCIe crossings per hop)."""
+    if n_devices == 1:
+        return 0.0
+    slice_bytes = total_bytes / n_devices
+    hops = n_devices - 1
+    wire = 2.0 * slice_bytes * hops / (PCIE_BANDWIDTH_GBS * 1e9)
+    return wire + hops * PCIE_LATENCY_S
+
+
+def simulate_multi_device(
+    device: DeviceSpec,
+    n_devices: int,
+    row_lengths: np.ndarray,
+    col_lengths: np.ndarray,
+    k: int = 10,
+    ws: int = 32,
+    flags: OptFlags | None = None,
+    iterations: int = 5,
+    calibration: Calibration | None = None,
+) -> MultiDeviceRun:
+    """Price a data-parallel ALS run on ``n_devices`` copies of ``device``.
+
+    Rows (and, for the Y half-sweep, columns) are partitioned by nnz with
+    the balanced partitioner; per half-sweep the wall time is the slowest
+    partition's compute plus the factor allgather.
+    """
+    if n_devices <= 0:
+        raise ValueError("n_devices must be positive")
+    flags = flags or OptFlags(registers=True, local_mem=True)
+    cm = CostModel(device, calibration)
+    row_lengths = np.asarray(row_lengths, dtype=np.int64)
+    col_lengths = np.asarray(col_lengths, dtype=np.int64)
+
+    compute = 0.0
+    comm = 0.0
+    for lengths, count in ((row_lengths, len(row_lengths)), (col_lengths, len(col_lengths))):
+        if n_devices == 1:
+            worst = cm.batched_half_sweep(lengths, k, ws, flags).seconds
+        else:
+            part = partition_rows_balanced(lengths, n_devices)
+            worst = max(
+                cm.batched_half_sweep(
+                    lengths[part.assignment == d], k, ws, flags
+                ).seconds
+                for d in range(n_devices)
+            )
+        compute += worst * iterations
+        # After the half-sweep every device needs the full updated factor.
+        comm += _allgather_seconds(count * k * _FLOAT, n_devices) * iterations
+    return MultiDeviceRun(
+        n_devices=n_devices,
+        compute_seconds=compute,
+        comm_seconds=comm,
+        iterations=iterations,
+    )

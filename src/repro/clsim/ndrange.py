@@ -1,0 +1,76 @@
+"""NDRange index space (1-D, which is all the ALS kernels need).
+
+The paper launches kernels with the thread configuration ``8192 × 32``
+(global size × work-group size).  :class:`NDRange` validates the pair and
+enumerates work-groups; :class:`WorkItemId` carries the per-item indices an
+OpenCL kernel reads via ``get_global_id`` / ``get_local_id`` etc.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["NDRange", "WorkItemId"]
+
+
+@dataclass(frozen=True)
+class WorkItemId:
+    """Indices visible to one work-item, mirroring the OpenCL query functions."""
+
+    global_id: int  # get_global_id(0)
+    local_id: int  # get_local_id(0)
+    group_id: int  # get_group_id(0)
+    local_size: int  # get_local_size(0)
+    num_groups: int  # get_num_groups(0)
+
+    @property
+    def global_size(self) -> int:
+        return self.local_size * self.num_groups
+
+
+@dataclass(frozen=True)
+class NDRange:
+    """A 1-D launch configuration ``(global_size, local_size)``.
+
+    OpenCL requires the global size to be a multiple of the work-group
+    size; we enforce the same.
+    """
+
+    global_size: int
+    local_size: int
+
+    def __post_init__(self) -> None:
+        if self.global_size <= 0 or self.local_size <= 0:
+            raise ValueError("global and local sizes must be positive")
+        if self.global_size % self.local_size:
+            raise ValueError(
+                f"global size {self.global_size} is not a multiple of "
+                f"work-group size {self.local_size}"
+            )
+
+    @classmethod
+    def paper_default(cls) -> "NDRange":
+        """The thread configuration used throughout the evaluation (§V)."""
+        return cls(global_size=8192 * 32, local_size=32)
+
+    @property
+    def num_groups(self) -> int:
+        return self.global_size // self.local_size
+
+    def group_items(self, group_id: int) -> Iterator[WorkItemId]:
+        """Enumerate the work-items of one group."""
+        if not 0 <= group_id < self.num_groups:
+            raise IndexError(f"group {group_id} out of range")
+        base = group_id * self.local_size
+        for lx in range(self.local_size):
+            yield WorkItemId(
+                global_id=base + lx,
+                local_id=lx,
+                group_id=group_id,
+                local_size=self.local_size,
+                num_groups=self.num_groups,
+            )
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.num_groups))

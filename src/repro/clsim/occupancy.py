@@ -1,0 +1,96 @@
+"""Occupancy analysis: how many work-groups fit in flight per compute unit.
+
+On the K20c a work-group's residency is limited by thread slots, resident
+group slots, registers and scratchpad; on CPU/MIC by hardware thread
+contexts.  The paper's §V-E reasoning about idle warps and the
+recommendation that the block size be "the minimum integer number larger
+than the latent factor" are occupancy statements — this module makes them
+queryable and testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clsim.device import DeviceKind, DeviceSpec
+
+__all__ = ["OccupancyReport", "occupancy"]
+
+# GK110 limits (CUDA occupancy tables); CPU/MIC analogues are thread
+# contexts per core.
+_GPU_MAX_GROUPS_PER_CU = 16
+_GPU_MAX_THREADS_PER_CU = 2048
+
+
+@dataclass(frozen=True)
+class OccupancyReport:
+    """Residency of one kernel configuration on one device."""
+
+    device: str
+    ws: int
+    groups_per_cu: int
+    limiting_resource: str
+    active_lanes_per_cu: int  # lanes doing useful work (≤ hw threads)
+    lane_utilization: float  # useful lanes / occupied lane slots
+
+    @property
+    def groups_in_flight(self) -> int:
+        return self.groups_per_cu  # per compute unit by definition
+
+    def __str__(self) -> str:
+        return (
+            f"{self.device}: ws={self.ws} -> {self.groups_per_cu} groups/CU "
+            f"(limited by {self.limiting_resource}), lane util "
+            f"{self.lane_utilization:.0%}"
+        )
+
+
+def occupancy(
+    device: DeviceSpec,
+    ws: int,
+    k: int,
+    registers_per_item: int = 32,
+    local_bytes_per_group: int = 0,
+) -> OccupancyReport:
+    """Compute residency for a thread-batched ALS kernel launch.
+
+    ``registers_per_item`` defaults to the register-variant footprint
+    (k-strip accumulators + indices); ``local_bytes_per_group`` is the
+    staging tile, zero for unstaged variants.
+    """
+    if ws <= 0 or k <= 0:
+        raise ValueError("ws and k must be positive")
+    if registers_per_item <= 0:
+        raise ValueError("registers_per_item must be positive")
+    if local_bytes_per_group < 0:
+        raise ValueError("local_bytes_per_group must be non-negative")
+
+    useful = min(ws, k)
+    if device.kind is DeviceKind.GPU:
+        limits = {
+            "group slots": _GPU_MAX_GROUPS_PER_CU,
+            "thread slots": _GPU_MAX_THREADS_PER_CU
+            // (device.warps_per_group(ws) * device.hw_width),
+            "registers": device.register_file_bytes
+            // max(1, 4 * registers_per_item * ws),
+        }
+        if local_bytes_per_group:
+            limits["scratchpad"] = device.scratchpad_bytes // local_bytes_per_group
+        occupied_lanes_per_group = device.warps_per_group(ws) * device.hw_width
+    else:
+        # One group binds one hardware thread context; SIMD lanes within.
+        limits = {"thread contexts": device.threads_per_unit}
+        occupied_lanes_per_group = device.warps_per_group(ws) * device.hw_width
+
+    limiting = min(limits, key=limits.get)
+    groups = max(0, int(limits[limiting]))
+    active = groups * useful
+    occupied = groups * occupied_lanes_per_group
+    return OccupancyReport(
+        device=device.name,
+        ws=ws,
+        groups_per_cu=groups,
+        limiting_resource=limiting,
+        active_lanes_per_cu=active,
+        lane_utilization=active / occupied if occupied else 0.0,
+    )

@@ -1,0 +1,130 @@
+"""Roofline analysis of simulated kernel launches.
+
+Places each ALS step on its device's roofline: operational intensity
+(useful flops per byte of DRAM traffic) against attainable performance
+``min(peak_flops, intensity × bandwidth)``.  The paper calls matrix
+factorization "a typical bandwidth-limited kernel" (§III-C1); the
+roofline quantifies which steps that is true for, per variant and device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clsim.calibration import Calibration
+from repro.clsim.costmodel import CostModel, OptFlags
+from repro.clsim.device import DeviceSpec
+
+__all__ = ["RooflinePoint", "RooflineReport", "roofline_analysis"]
+
+_FLOAT = 4
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position on the roofline."""
+
+    name: str
+    flops: float  # useful floating-point operations
+    bytes_moved: float  # modelled DRAM traffic
+    seconds: float  # modelled launch time
+    peak_flops: float  # device raw peak [flop/s]
+    bandwidth: float  # device DRAM bandwidth [B/s]
+
+    @property
+    def intensity(self) -> float:
+        """Operational intensity [flop/byte]."""
+        return self.flops / self.bytes_moved if self.bytes_moved else float("inf")
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Intensity at which the device turns compute-bound."""
+        return self.peak_flops / self.bandwidth
+
+    @property
+    def attainable_flops(self) -> float:
+        return min(self.peak_flops, self.intensity * self.bandwidth)
+
+    @property
+    def achieved_flops(self) -> float:
+        return self.flops / self.seconds if self.seconds else 0.0
+
+    @property
+    def bound(self) -> str:
+        return "compute" if self.intensity >= self.ridge_intensity else "memory"
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name:14s} I={self.intensity:7.2f} flop/B "
+            f"({self.bound}-bound; ridge {self.ridge_intensity:.2f}), "
+            f"achieved {self.achieved_flops / 1e9:.2f} GF/s of "
+            f"{self.attainable_flops / 1e9:.2f} attainable"
+        )
+
+
+@dataclass(frozen=True)
+class RooflineReport:
+    device: str
+    variant: str
+    points: tuple[RooflinePoint, ...]
+
+    def render(self) -> str:
+        header = f"roofline: {self.device} [{self.variant}]"
+        return "\n".join([header] + [f"  {p}" for p in self.points])
+
+
+def roofline_analysis(
+    device: DeviceSpec,
+    row_lengths: np.ndarray,
+    k: int = 10,
+    ws: int = 32,
+    flags: OptFlags | None = None,
+    calibration: Calibration | None = None,
+) -> RooflineReport:
+    """Roofline positions of S1/S2/S3 for one half-sweep.
+
+    Flops are the algorithmic counts (2 per multiply–accumulate); bytes
+    and times come from the cost model, so the *achieved* points sit at
+    or below the roof by construction — the report shows how far below,
+    and which resource each step leans on.
+    """
+    flags = flags or OptFlags(registers=True, local_mem=True)
+    lengths = np.asarray(row_lengths, dtype=np.float64)
+    Z = float(lengths.sum())
+    occupied = float((lengths > 0).sum())
+
+    cm = CostModel(device, calibration)
+    costs = cm.batched_half_sweep(lengths, k, ws, flags)
+    # Classic roofline: the roof is the device's raw peak (2 flops per
+    # lane per strip-issue — FMA), not the sustained rate; achieved
+    # points from the cost model then show the efficiency gap.
+    peak = device.peak_strips_per_second * device.hw_width * 2.0
+    bw = device.global_bandwidth_gbs * 1e9
+
+    flops = {
+        "s1_gram": 2.0 * Z * k * (k + 1) / 2.0,
+        "s2_rhs": 2.0 * Z * k,
+        "s3_solve": occupied * (2.0 * k**3 / 3.0 + 2.0 * k**2),
+    }
+    # Useful traffic (not the inflated moved bytes): Y columns once per
+    # step that reads them, ratings once, solution I/O.
+    useful_bytes = {
+        "s1_gram": Z * k * _FLOAT + occupied * k * k * _FLOAT,
+        "s2_rhs": Z * (k + 1) * _FLOAT,
+        "s3_solve": occupied * (k * k + 2 * k) * _FLOAT,
+    }
+    steps = {"s1_gram": costs.s1, "s2_rhs": costs.s2, "s3_solve": costs.s3}
+    points = tuple(
+        RooflinePoint(
+            name=name,
+            flops=flops[name],
+            bytes_moved=useful_bytes[name],
+            seconds=steps[name].seconds,
+            peak_flops=peak,
+            bandwidth=bw,
+        )
+        for name in ("s1_gram", "s2_rhs", "s3_solve")
+    )
+    return RooflineReport(device=device.name, variant=flags.label(), points=points)

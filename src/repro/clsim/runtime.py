@@ -1,0 +1,77 @@
+"""Thin OpenCL-style runtime objects tying execution to the cost model.
+
+Solvers create a :class:`Context` per device, allocate :class:`Buffer`
+objects through it, and enqueue simulated kernel launches on a
+:class:`CommandQueue`.  Each enqueue records a :class:`ProfilingEvent`
+(mirroring ``CL_QUEUE_PROFILING_ENABLE``); the queue's total simulated
+time is what the benchmark harness reports as "execution time".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.clsim.calibration import Calibration
+from repro.clsim.costmodel import CostModel, LaunchCost
+from repro.clsim.device import DeviceSpec
+from repro.clsim.memory import Buffer
+
+__all__ = ["ProfilingEvent", "CommandQueue", "Context"]
+
+
+@dataclass(frozen=True)
+class ProfilingEvent:
+    """Record of one simulated kernel launch."""
+
+    kernel_name: str
+    cost: LaunchCost
+
+    @property
+    def seconds(self) -> float:
+        return self.cost.seconds
+
+
+@dataclass
+class CommandQueue:
+    """An in-order queue accumulating simulated launch times."""
+
+    device: DeviceSpec
+    events: list[ProfilingEvent] = field(default_factory=list)
+
+    def enqueue(self, kernel_name: str, cost: LaunchCost) -> ProfilingEvent:
+        event = ProfilingEvent(kernel_name, cost)
+        self.events.append(event)
+        return event
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(e.seconds for e in self.events)
+
+    def seconds_by_kernel(self) -> dict[str, float]:
+        """Aggregate simulated time per kernel name (the hotspot profile)."""
+        out: dict[str, float] = {}
+        for e in self.events:
+            out[e.kernel_name] = out.get(e.kernel_name, 0.0) + e.seconds
+        return out
+
+    def reset(self) -> None:
+        self.events.clear()
+
+
+class Context:
+    """Device context: buffer allocation plus the device's cost model."""
+
+    def __init__(self, device: DeviceSpec, calibration: Calibration | None = None):
+        self.device = device
+        self.cost_model = CostModel(device, calibration)
+
+    def create_queue(self) -> CommandQueue:
+        return CommandQueue(self.device)
+
+    def create_buffer(self, array: np.ndarray, name: str = "buffer") -> Buffer:
+        return Buffer(array, name=name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Context({self.device})"

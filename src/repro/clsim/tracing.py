@@ -1,0 +1,58 @@
+"""Timeline export of simulated command queues.
+
+Serializes a :class:`~repro.clsim.runtime.CommandQueue`'s profiling
+events as a Chrome trace (``chrome://tracing`` / Perfetto JSON), laying
+the launches end-to-end on the simulated device timeline — the moral
+equivalent of ``CL_QUEUE_PROFILING_ENABLE`` plus a trace viewer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.clsim.runtime import CommandQueue
+
+__all__ = ["queue_to_chrome_trace", "write_chrome_trace"]
+
+
+def queue_to_chrome_trace(queue: CommandQueue) -> list[dict]:
+    """Convert queue events to Chrome trace 'complete' (X) events.
+
+    In-order queue semantics: each launch starts when the previous one
+    finishes.  Timestamps are microseconds of *simulated* device time.
+    """
+    events = []
+    cursor_us = 0.0
+    for event in queue.events:
+        duration_us = event.seconds * 1e6
+        events.append(
+            {
+                "name": event.kernel_name,
+                "cat": "kernel",
+                "ph": "X",
+                "ts": cursor_us,
+                "dur": duration_us,
+                "pid": 0,
+                "tid": 0,
+                "args": {
+                    "compute_s": event.cost.compute_s,
+                    "memory_s": event.cost.memory_s,
+                    "overhead_s": event.cost.overhead_s,
+                    "bound": event.cost.bound,
+                },
+            }
+        )
+        cursor_us += duration_us
+    return events
+
+
+def write_chrome_trace(queue: CommandQueue, path: str | os.PathLike) -> None:
+    """Write the queue timeline as a Chrome-trace JSON file."""
+    payload = {
+        "traceEvents": queue_to_chrome_trace(queue),
+        "displayTimeUnit": "ms",
+        "otherData": {"device": queue.device.name},
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh)

@@ -1,0 +1,66 @@
+"""Host ↔ device transfer model (PCIe for the K20c and the Phi).
+
+The paper's GPU and MIC hang off PCIe ("the GPU and the MIC are connected
+to the CPU with different PCIe slots", §IV-A).  A training run must ship
+the CSR/CSC structures and the initial factors down once, and read the
+factors back at the end; the CPU device transfers nothing.  These costs
+are separate from the per-kernel launch overhead (which models dispatch +
+sync) and matter for one-shot small jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.clsim.device import DeviceKind, DeviceSpec
+
+__all__ = ["TransferCost", "training_transfer_cost", "PCIE_BANDWIDTH_GBS", "PCIE_LATENCY_S"]
+
+#: PCIe 2.0 x16 effective bandwidth (both devices in the paper's testbed).
+PCIE_BANDWIDTH_GBS = 6.0
+#: Per-transfer setup latency (driver + DMA programming).
+PCIE_LATENCY_S = 20e-6
+
+_FLOAT = 4
+_INT = 4
+
+
+@dataclass(frozen=True)
+class TransferCost:
+    """Bytes and seconds of host↔device traffic for one training run."""
+
+    host_to_device_bytes: int
+    device_to_host_bytes: int
+    transfers: int
+
+    @property
+    def seconds(self) -> float:
+        total = self.host_to_device_bytes + self.device_to_host_bytes
+        return total / (PCIE_BANDWIDTH_GBS * 1e9) + self.transfers * PCIE_LATENCY_S
+
+
+def training_transfer_cost(
+    device: DeviceSpec,
+    m: int,
+    n: int,
+    nnz: int,
+    k: int,
+) -> TransferCost:
+    """Setup + teardown traffic for a full ALS training run.
+
+    Down: the CSR and CSC views of R (values + indices + pointers) and
+    the initial Y.  Up: the final X and Y.  Iterations themselves stay
+    on-device (the factors ping-pong between the two half-sweep kernels
+    without returning to the host).
+    """
+    if device.kind is DeviceKind.CPU:
+        return TransferCost(0, 0, 0)  # host memory is device memory
+    if min(m, n, nnz, k) <= 0:
+        raise ValueError("m, n, nnz and k must be positive")
+    csr = nnz * (_FLOAT + _INT) + (m + 1) * _INT
+    csc = nnz * (_FLOAT + _INT) + (n + 1) * _INT
+    factors_down = n * k * _FLOAT
+    down = csr + csc + factors_down
+    up = (m + n) * k * _FLOAT
+    # R (x2 views), initial Y, final X, final Y.
+    return TransferCost(down, up, transfers=5)

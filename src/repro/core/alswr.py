@@ -1,0 +1,68 @@
+"""ALS-WR: weighted-λ regularization (Zhou et al. [3]).
+
+Identical to plain ALS except the regularizer scales with each entity's
+rating count: row u is solved with ``λ · n_u · I`` where ``n_u = |Ω_u|``.
+This is the variant that won Netflix-Prize-era practice because the
+effective shrinkage stays comparable between heavy and light raters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.als import ALSConfig, ALSModel, IterationStats
+from repro.core.init import init_factors
+from repro.core.loss import rmse
+from repro.linalg.cholesky import batched_cholesky_solve
+from repro.linalg.normal_equations import batched_normal_equations
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["train_als_wr", "weighted_half_sweep"]
+
+
+def weighted_half_sweep(
+    R: CSRMatrix, Y: np.ndarray, lam: float, X_prev: np.ndarray | None = None
+) -> np.ndarray:
+    """One ALS-WR half-sweep: ``x_u = (Y_ΩᵀY_Ω + λ·n_u·I)⁻¹ Y_Ωᵀ r_u``."""
+    if lam <= 0:
+        raise ValueError("lam must be positive")
+    k = Y.shape[1]
+    # Assemble with λ = 0 and add the per-row weighted ridge afterwards.
+    A, b = batched_normal_equations(R, Y, lam=0.0)
+    counts = R.row_lengths().astype(np.float64)
+    idx = np.arange(k)
+    A[:, idx, idx] += (lam * counts)[:, None]
+    occupied = counts > 0
+    X = np.zeros((R.nrows, k), dtype=np.float64)
+    if X_prev is not None:
+        X[:] = X_prev
+    if occupied.any():
+        X[occupied] = batched_cholesky_solve(A[occupied], b[occupied])
+    return X
+
+
+def train_als_wr(ratings: COOMatrix, config: ALSConfig | None = None) -> ALSModel:
+    """Train with weighted-λ regularization; same driver shape as ALS."""
+    config = config or ALSConfig()
+    coo = ratings.deduplicate()
+    R_rows = CSRMatrix.from_coo(coo)
+    R_cols = CSCMatrix.from_csr(R_rows).transpose_as_csr()
+    m, n = R_rows.shape
+    X, Y = init_factors(m, n, config.k, seed=config.seed, scale=config.init_scale)
+    model = ALSModel(X=X, Y=Y, config=config)
+    for it in range(1, config.iterations + 1):
+        X = weighted_half_sweep(R_rows, Y, config.lam, X_prev=X)
+        Y = weighted_half_sweep(R_cols, X, config.lam, X_prev=Y)
+        if config.track_loss:
+            # The WR objective differs from Eq. 2; RMSE is the comparable
+            # metric, so loss tracking records the (unweighted) fit term.
+            err_rmse = rmse(coo, X, Y)
+            model.history.append(
+                IterationStats(
+                    iteration=it, loss=err_rmse**2 * coo.nnz, train_rmse=err_rmse
+                )
+            )
+    model.X, model.Y = X, Y
+    return model

@@ -1,0 +1,119 @@
+"""Implicit-feedback ALS (Hu, Koren & Volinsky).
+
+The paper's introduction credits ALS with being able to "incorporate
+implicit ratings" [1]; this module implements that variant.  Observations
+become binary preferences ``p_ui = 1`` with confidence
+``c_ui = 1 + α·r_ui``, and each row solves
+
+    x_u = (YᵀY + Yᵀ(C_u − I)Y + λI)⁻¹ Yᵀ C_u p_u
+
+using the classic trick: the dense ``YᵀY`` is computed once per
+half-sweep and only the sparse correction ``Yᵀ(C_u − I)Y`` is assembled
+per row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.init import init_factors
+from repro.linalg.cholesky import batched_cholesky_solve
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["ImplicitConfig", "ImplicitModel", "implicit_half_sweep", "train_implicit_als"]
+
+
+@dataclass(frozen=True)
+class ImplicitConfig:
+    """Hyper-parameters of implicit-feedback ALS."""
+
+    k: int = 10
+    lam: float = 0.1
+    alpha: float = 40.0  # confidence slope: c = 1 + α·r
+    iterations: int = 5
+    seed: int = 0
+    init_scale: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.k <= 0 or self.iterations <= 0:
+            raise ValueError("k and iterations must be positive")
+        if self.lam <= 0 or self.alpha <= 0:
+            raise ValueError("lam and alpha must be positive")
+
+
+@dataclass
+class ImplicitModel:
+    X: np.ndarray
+    Y: np.ndarray
+    config: ImplicitConfig
+    history: list[float] = field(default_factory=list)  # weighted loss per iter
+
+    def score(self, user: int) -> np.ndarray:
+        """Preference scores of one user over all items."""
+        return self.Y @ self.X[user]
+
+
+def implicit_half_sweep(
+    R: CSRMatrix, Y: np.ndarray, lam: float, alpha: float
+) -> np.ndarray:
+    """Update all user factors for implicit feedback.
+
+    Empty rows resolve to zero (their preference vector is all-zero and
+    the system is ``(YᵀY + λI) x = 0``).
+    """
+    m = R.nrows
+    k = Y.shape[1]
+    YtY = Y.T @ Y  # shared dense part, computed once (the Hu-Koren trick)
+    A = np.broadcast_to(YtY + lam * np.eye(k), (m, k, k)).copy()
+    b = np.zeros((m, k), dtype=np.float64)
+
+    rows = R.expanded_rows()
+    gathered = Y[R.col_idx]  # (nnz, k)
+    conf_minus_1 = (alpha * R.value).astype(np.float64)  # c_ui − 1
+    # A_u += Σ (c−1) y yᵀ ;  b_u = Σ c · y   (p_ui = 1 on observed entries)
+    outer = gathered[:, :, None] * gathered[:, None, :] * conf_minus_1[:, None, None]
+    np.add.at(A, rows, outer)
+    np.add.at(b, rows, gathered * (conf_minus_1 + 1.0)[:, None])
+    return batched_cholesky_solve(A, b)
+
+
+def _weighted_loss(
+    coo: COOMatrix, X: np.ndarray, Y: np.ndarray, lam: float, alpha: float
+) -> float:
+    """Confidence-weighted objective over observed entries plus penalty.
+
+    The full implicit objective also sums over *unobserved* cells; this
+    tracker omits that constant-heavy term (standard practice for
+    monitoring convergence direction cheaply).
+    """
+    pred = np.einsum("ij,ij->i", X[coo.row], Y[coo.col])
+    conf = 1.0 + alpha * coo.value.astype(np.float64)
+    err = 1.0 - pred
+    return float(conf @ (err * err)) + lam * (
+        float(np.sum(X * X)) + float(np.sum(Y * Y))
+    )
+
+
+def train_implicit_als(
+    ratings: COOMatrix, config: ImplicitConfig | None = None
+) -> ImplicitModel:
+    """Train implicit-feedback factors on interaction counts/strengths."""
+    config = config or ImplicitConfig()
+    coo = ratings.deduplicate()
+    if coo.nnz and coo.value.min() < 0:
+        raise ValueError("implicit feedback must be non-negative")
+    R_rows = CSRMatrix.from_coo(coo)
+    R_cols = CSCMatrix.from_csr(R_rows).transpose_as_csr()
+    m, n = R_rows.shape
+    X, Y = init_factors(m, n, config.k, seed=config.seed, scale=config.init_scale)
+    model = ImplicitModel(X=X, Y=Y, config=config)
+    for _ in range(config.iterations):
+        X = implicit_half_sweep(R_rows, Y, config.lam, config.alpha)
+        Y = implicit_half_sweep(R_cols, X, config.lam, config.alpha)
+        model.history.append(_weighted_loss(coo, X, Y, config.lam, config.alpha))
+    model.X, model.Y = X, Y
+    return model

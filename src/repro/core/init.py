@@ -1,0 +1,36 @@
+"""Factor initialization (Algorithm 1 line 2).
+
+"X ← 0, Y ← random initial guess ... We initialize Y with small random
+numbers instead of zeros when starting to update the X matrix."  X may
+start at zero because the first half-sweep overwrites every occupied row
+from Y alone; Y must not be zero or the first normal system would be λI
+with a zero right-hand side.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["init_factors"]
+
+
+def init_factors(
+    m: int,
+    n: int,
+    k: int,
+    seed: int = 0,
+    scale: float = 0.1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(X, Y)`` initialized per Algorithm 1.
+
+    ``scale`` sets the magnitude of Y's entries ("small random numbers");
+    predictions start near zero and grow as the sweeps fit the data.
+    """
+    if m <= 0 or n <= 0 or k <= 0:
+        raise ValueError("m, n and k must be positive")
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    rng = np.random.default_rng(seed)
+    X = np.zeros((m, k), dtype=np.float64)
+    Y = rng.uniform(-scale, scale, size=(n, k))
+    return X, Y

@@ -1,0 +1,93 @@
+"""Device-precision study: float32 training vs float64 reference.
+
+The paper's kernels compute in single precision (OpenCL ``float``
+throughout, Fig. 3).  This module quantifies what that costs in model
+quality: a float32 half-sweep pipeline whose every intermediate —
+Gram matrices, right-hand sides, Cholesky, factors — is truncated to
+float32, mirroring the on-device arithmetic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.init import init_factors
+from repro.core.loss import rmse
+from repro.linalg.cholesky import batched_cholesky_solve
+from repro.linalg.normal_equations import batched_normal_equations
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["PrecisionComparison", "float32_half_sweep", "compare_precision"]
+
+
+def float32_half_sweep(
+    R: CSRMatrix, Y: np.ndarray, lam: float, X_prev: np.ndarray | None = None
+) -> np.ndarray:
+    """One ALS half-sweep with float32 intermediates (device arithmetic).
+
+    The normal equations are assembled and solved in float64 internally
+    (NumPy's batched paths), then every stage boundary truncates to
+    float32 — the precision that crosses kernel boundaries on the device.
+    """
+    Y32 = np.ascontiguousarray(Y, dtype=np.float32)
+    A, b = batched_normal_equations(R, Y32, lam)
+    A = A.astype(np.float32).astype(np.float64)  # smat stored as float
+    b = b.astype(np.float32).astype(np.float64)  # svec stored as float
+    occupied = R.row_lengths() > 0
+    X = np.zeros((R.nrows, Y.shape[1]), dtype=np.float32)
+    if X_prev is not None:
+        X[:] = X_prev
+    if occupied.any():
+        X[occupied] = batched_cholesky_solve(A[occupied], b[occupied]).astype(
+            np.float32
+        )
+    return X
+
+
+@dataclass(frozen=True)
+class PrecisionComparison:
+    """Quality gap between float32 and float64 training."""
+
+    rmse_float32: float
+    rmse_float64: float
+    factor_max_abs_diff: float
+
+    @property
+    def rmse_gap(self) -> float:
+        return abs(self.rmse_float32 - self.rmse_float64)
+
+
+def compare_precision(
+    ratings: COOMatrix,
+    k: int = 10,
+    lam: float = 0.1,
+    iterations: int = 5,
+    seed: int = 0,
+) -> PrecisionComparison:
+    """Train twice — float32 pipeline vs float64 — from identical inits."""
+    from repro.kernels.fastpath import fast_half_sweep
+
+    coo = ratings.deduplicate()
+    R_rows = CSRMatrix.from_coo(coo)
+    R_cols = CSCMatrix.from_csr(R_rows).transpose_as_csr()
+    X0, Y0 = init_factors(R_rows.nrows, R_rows.ncols, k, seed=seed)
+
+    X32 = X0.astype(np.float32)
+    Y32 = Y0.astype(np.float32)
+    X64, Y64 = X0.copy(), Y0.copy()
+    for _ in range(iterations):
+        X32 = float32_half_sweep(R_rows, Y32, lam, X_prev=X32)
+        Y32 = float32_half_sweep(R_cols, X32, lam, X_prev=Y32)
+        X64 = fast_half_sweep(R_rows, Y64, lam, X_prev=X64)
+        Y64 = fast_half_sweep(R_cols, X64, lam, X_prev=Y64)
+    return PrecisionComparison(
+        rmse_float32=rmse(coo, X32.astype(np.float64), Y32.astype(np.float64)),
+        rmse_float64=rmse(coo, X64, Y64),
+        factor_max_abs_diff=float(
+            np.abs(X32.astype(np.float64) - X64).max()
+        ),
+    )

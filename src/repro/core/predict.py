@@ -1,0 +1,96 @@
+"""Prediction and recommendation on trained factors (Eq. 1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.als import ALSModel
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["predict_rating", "predict_entries", "recommend_top_n", "recommend_top_n_batch"]
+
+
+def predict_rating(model: ALSModel, user: int, item: int) -> float:
+    """``r_ui = x_u · y_i`` (Eq. 1)."""
+    m, n = model.shape
+    if not 0 <= user < m:
+        raise IndexError(f"user {user} out of range for {m} users")
+    if not 0 <= item < n:
+        raise IndexError(f"item {item} out of range for {n} items")
+    return float(model.X[user] @ model.Y[item])
+
+
+def predict_entries(
+    model: ALSModel, users: np.ndarray, items: np.ndarray
+) -> np.ndarray:
+    """Vectorized predictions for parallel (user, item) arrays."""
+    users = np.asarray(users)
+    items = np.asarray(items)
+    if users.shape != items.shape:
+        raise ValueError("users and items must have the same shape")
+    return np.einsum("ij,ij->i", model.X[users], model.Y[items])
+
+
+def recommend_top_n(
+    model: ALSModel,
+    user: int,
+    n_items: int = 10,
+    exclude: CSRMatrix | None = None,
+) -> list[tuple[int, float]]:
+    """The user's top-N unseen items by predicted rating.
+
+    ``exclude`` is typically the training matrix: items the user already
+    rated are never recommended back.
+    """
+    m, _ = model.shape
+    if not 0 <= user < m:
+        raise IndexError(f"user {user} out of range for {m} users")
+    if n_items <= 0:
+        raise ValueError("n_items must be positive")
+    scores = model.Y @ model.X[user]
+    if exclude is not None:
+        seen, _ = exclude.row_slice(user)
+        scores = scores.copy()
+        scores[seen] = -np.inf
+    n_items = min(n_items, scores.size)
+    top = np.argpartition(scores, -n_items)[-n_items:]
+    top = top[np.argsort(scores[top])[::-1]]
+    return [(int(i), float(scores[i])) for i in top if np.isfinite(scores[i])]
+
+
+def recommend_top_n_batch(
+    model: ALSModel,
+    users: np.ndarray,
+    n_items: int = 10,
+    exclude: CSRMatrix | None = None,
+) -> np.ndarray:
+    """Top-N item ids for many users at once (vectorized scoring).
+
+    Returns an ``(len(users), n_items)`` int array, each row sorted by
+    descending predicted rating; excluded (seen) items are replaced by
+    the next-best candidates.  ``n_items`` must not exceed the number of
+    recommendable items for any requested user.
+    """
+    users = np.asarray(users)
+    if users.ndim != 1:
+        raise ValueError("users must be a 1-D index array")
+    if n_items <= 0:
+        raise ValueError("n_items must be positive")
+    scores = model.X[users] @ model.Y.T  # (U, n)
+    if exclude is not None:
+        for pos, user in enumerate(users):
+            seen, _ = exclude.row_slice(int(user))
+            scores[pos, seen] = -np.inf
+    if n_items > scores.shape[1]:
+        raise ValueError("n_items exceeds the item catalog")
+    top = np.argpartition(scores, -n_items, axis=1)[:, -n_items:]
+    row_scores = np.take_along_axis(scores, top, axis=1)
+    order = np.argsort(row_scores, axis=1)[:, ::-1]
+    ranked = np.take_along_axis(top, order, axis=1)
+    if exclude is not None and not np.isfinite(
+        np.take_along_axis(scores, ranked, axis=1)
+    ).all():
+        raise ValueError(
+            "a requested user has fewer than n_items unseen items"
+        )
+    return ranked

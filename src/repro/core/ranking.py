@@ -1,0 +1,95 @@
+"""Top-N ranking metrics for recommender evaluation.
+
+RMSE measures rating reconstruction; deployed recommenders are judged on
+ranking quality.  This module provides the standard set — hit rate,
+precision@N, recall@N, NDCG@N — computed against a held-out interaction
+set, with the training items excluded from each user's candidate ranking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["RankingMetrics", "evaluate_ranking"]
+
+
+@dataclass(frozen=True)
+class RankingMetrics:
+    """Aggregate top-N quality over all evaluated users."""
+
+    n: int  # the N of top-N
+    users: int  # users with at least one held-out item
+    hit_rate: float  # fraction of held-out items recovered in top-N
+    precision: float  # mean per-user |top-N ∩ held-out| / N
+    recall: float  # mean per-user |top-N ∩ held-out| / |held-out|
+    ndcg: float  # mean per-user normalized DCG@N
+
+    def __str__(self) -> str:
+        return (
+            f"top-{self.n} over {self.users} users: HR {self.hit_rate:.3f}, "
+            f"P {self.precision:.3f}, R {self.recall:.3f}, NDCG {self.ndcg:.3f}"
+        )
+
+
+def _dcg(relevances: np.ndarray) -> float:
+    if relevances.size == 0:
+        return 0.0
+    discounts = 1.0 / np.log2(np.arange(2, relevances.size + 2))
+    return float(relevances @ discounts)
+
+
+def evaluate_ranking(
+    score_matrix_fn,
+    train: CSRMatrix,
+    test: COOMatrix,
+    n: int = 10,
+) -> RankingMetrics:
+    """Evaluate top-N quality of a scoring model.
+
+    ``score_matrix_fn(user) -> np.ndarray`` returns the user's scores over
+    all items (e.g. ``lambda u: model.Y @ model.X[u]``).  Training items
+    are masked out of each ranking; every user with held-out items is
+    evaluated.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if train.shape != test.shape:
+        raise ValueError("train and test must share a shape")
+    held_out: dict[int, set[int]] = {}
+    for u, i in zip(test.row, test.col):
+        held_out.setdefault(int(u), set()).add(int(i))
+    if not held_out:
+        raise ValueError("test set is empty")
+
+    hits = total_held = 0
+    precisions: list[float] = []
+    recalls: list[float] = []
+    ndcgs: list[float] = []
+    for user, items in held_out.items():
+        scores = np.asarray(score_matrix_fn(user), dtype=np.float64).copy()
+        seen, _ = train.row_slice(user)
+        scores[seen] = -np.inf
+        top_n = min(n, scores.size)
+        top = np.argpartition(scores, -top_n)[-top_n:]
+        top = top[np.argsort(scores[top])[::-1]]
+        rel = np.array([1.0 if int(i) in items else 0.0 for i in top])
+        got = int(rel.sum())
+        hits += got
+        total_held += len(items)
+        precisions.append(got / n)
+        recalls.append(got / len(items))
+        ideal = _dcg(np.ones(min(len(items), n)))
+        ndcgs.append(_dcg(rel) / ideal if ideal else 0.0)
+    return RankingMetrics(
+        n=n,
+        users=len(held_out),
+        hit_rate=hits / total_held,
+        precision=float(np.mean(precisions)),
+        recall=float(np.mean(recalls)),
+        ndcg=float(np.mean(ndcgs)),
+    )

@@ -1,0 +1,83 @@
+"""Hyper-parameter search for the ALS model (k, λ).
+
+Grid search over validation RMSE — the model-quality complement to
+:mod:`repro.autotune`, which tunes the *implementation* for speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.als import ALSConfig, ALSModel, train_als
+from repro.core.loss import rmse
+from repro.datasets.splits import train_test_split
+from repro.sparse.coo import COOMatrix
+
+__all__ = ["GridPoint", "GridSearchResult", "grid_search"]
+
+
+@dataclass(frozen=True)
+class GridPoint:
+    """One evaluated hyper-parameter combination."""
+
+    k: int
+    lam: float
+    validation_rmse: float
+    train_rmse: float
+
+    @property
+    def overfit_gap(self) -> float:
+        return self.validation_rmse - self.train_rmse
+
+
+@dataclass(frozen=True)
+class GridSearchResult:
+    """All evaluated points plus the winner and its refit model."""
+
+    points: tuple[GridPoint, ...]
+    best: GridPoint
+    model: ALSModel  # refit on all data with the best settings
+
+    def ranking(self) -> list[GridPoint]:
+        return sorted(self.points, key=lambda p: p.validation_rmse)
+
+
+def grid_search(
+    ratings: COOMatrix,
+    ks: tuple[int, ...] = (5, 10, 20),
+    lams: tuple[float, ...] = (0.01, 0.1, 1.0),
+    iterations: int = 8,
+    validation_fraction: float = 0.2,
+    seed: int = 0,
+) -> GridSearchResult:
+    """Pick (k, λ) by held-out RMSE, then refit on all ratings.
+
+    The split is made once so every grid point sees the same validation
+    set; the returned model is retrained on the full data with the
+    winning settings.
+    """
+    if not ks or not lams:
+        raise ValueError("need at least one k and one lambda candidate")
+    if any(k <= 0 for k in ks) or any(lam <= 0 for lam in lams):
+        raise ValueError("k and lambda candidates must be positive")
+    split = train_test_split(ratings, test_fraction=validation_fraction, seed=seed)
+    points: list[GridPoint] = []
+    for k in ks:
+        for lam in lams:
+            model = train_als(
+                split.train,
+                ALSConfig(k=k, lam=lam, iterations=iterations, seed=seed),
+            )
+            points.append(
+                GridPoint(
+                    k=k,
+                    lam=lam,
+                    validation_rmse=rmse(split.test, model.X, model.Y),
+                    train_rmse=model.history[-1].train_rmse,
+                )
+            )
+    best = min(points, key=lambda p: p.validation_rmse)
+    final = train_als(
+        ratings, ALSConfig(k=best.k, lam=best.lam, iterations=iterations, seed=seed)
+    )
+    return GridSearchResult(points=tuple(points), best=best, model=final)

@@ -1,0 +1,42 @@
+"""Datasets: Table I catalog, synthetic generators, loaders and splits."""
+
+from repro.datasets.catalog import (
+    EXTRA_DATASETS,
+    MOVIELENS1M,
+    MOVIELENS10M,
+    NETFLIX,
+    TABLE_I,
+    YAHOO_R1,
+    YAHOO_R4,
+    DatasetSpec,
+    dataset_by_name,
+)
+from repro.datasets.loaders import RatingFile, load_ratings, save_ratings
+from repro.datasets.matrixmarket import load_matrix_market, save_matrix_market
+from repro.datasets.planted import PlantedProblem, planted_problem
+from repro.datasets.splits import TrainTestSplit, train_test_split
+from repro.datasets.synthetic import degree_sequences, generate_ratings, zipf_degrees
+
+__all__ = [
+    "DatasetSpec",
+    "MOVIELENS1M",
+    "MOVIELENS10M",
+    "EXTRA_DATASETS",
+    "NETFLIX",
+    "YAHOO_R1",
+    "YAHOO_R4",
+    "TABLE_I",
+    "dataset_by_name",
+    "RatingFile",
+    "load_ratings",
+    "save_ratings",
+    "load_matrix_market",
+    "save_matrix_market",
+    "PlantedProblem",
+    "planted_problem",
+    "TrainTestSplit",
+    "train_test_split",
+    "degree_sequences",
+    "generate_ratings",
+    "zipf_degrees",
+]

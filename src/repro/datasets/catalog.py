@@ -1,0 +1,166 @@
+"""The paper's dataset catalog (Table I).
+
+The real files (MovieLens10M, Netflix, Yahoo! Music R1/R4) are not
+redistributable and unavailable offline, so each entry doubles as the
+specification for a deterministic synthetic generator that matches the
+published shape: user count ``m``, item count ``n``, training non-zeros
+``nnz`` and heavy-tailed row/column popularity (Zipf-like, as observed in
+all four corpora).  The performance model depends only on these shape
+parameters, which is why the substitution preserves the evaluation
+(DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DatasetSpec", "MOVIELENS1M", "MOVIELENS10M", "NETFLIX", "YAHOO_R1", "YAHOO_R4", "TABLE_I", "EXTRA_DATASETS", "dataset_by_name"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Shape and generator parameters of one rating dataset."""
+
+    name: str
+    abbr: str
+    m: int  # users
+    n: int  # items
+    nnz: int  # training non-zeros (Table I's "Training Nz")
+    row_alpha: float  # Zipf exponent of user activity
+    col_alpha: float  # Zipf exponent of item popularity
+    rating_min: float
+    rating_max: float
+
+    def __post_init__(self) -> None:
+        if self.m <= 0 or self.n <= 0 or self.nnz <= 0:
+            raise ValueError("m, n and nnz must be positive")
+        if self.nnz > self.m * self.n:
+            raise ValueError("nnz exceeds matrix capacity")
+        if self.rating_min >= self.rating_max:
+            raise ValueError("rating range must be non-degenerate")
+
+    @property
+    def density(self) -> float:
+        return self.nnz / (self.m * self.n)
+
+    @property
+    def mean_row_nnz(self) -> float:
+        return self.nnz / self.m
+
+    @property
+    def mean_col_nnz(self) -> float:
+        return self.nnz / self.n
+
+    def scaled(self, scale: float) -> "DatasetSpec":
+        """A smaller instance with the same density and skew.
+
+        Non-zeros scale by ``scale`` and both dimensions by
+        ``sqrt(scale)``, so the fill fraction is preserved; mean row and
+        column lengths shrink by ``sqrt(scale)``.  (Preserving the mean
+        lengths instead would blow past matrix capacity for column-dense
+        corpora like Netflix, whose items average 5575 ratings.)
+        """
+        if not 0 < scale <= 1:
+            raise ValueError("scale must be in (0, 1]")
+        if scale == 1.0:
+            return self
+        dim = scale**0.5
+        m = max(4, round(self.m * dim))
+        n = max(4, round(self.n * dim))
+        nnz = max(8, min(round(self.nnz * scale), m * n))
+        return DatasetSpec(
+            name=f"{self.name} (scale={scale:g})",
+            abbr=self.abbr,
+            m=m,
+            n=n,
+            nnz=nnz,
+            row_alpha=self.row_alpha,
+            col_alpha=self.col_alpha,
+            rating_min=self.rating_min,
+            rating_max=self.rating_max,
+        )
+
+
+# Not in Table I — the paper's future work proposes evaluating "more
+# datasets"; MovieLens 1M is the standard small benchmark and handy for
+# fast full-scale (non-scaled) functional runs.
+MOVIELENS1M = DatasetSpec(
+    name="Movielens1M",
+    abbr="ML1M",
+    m=6040,
+    n=3706,
+    nnz=1_000_209,
+    row_alpha=0.75,
+    col_alpha=0.95,
+    rating_min=1.0,
+    rating_max=5.0,
+)
+
+MOVIELENS10M = DatasetSpec(
+    name="Movielens10M",
+    abbr="MVLE",
+    m=71567,
+    n=65133,
+    nnz=8_000_044,
+    row_alpha=0.75,
+    col_alpha=0.95,
+    rating_min=0.5,
+    rating_max=5.0,
+)
+
+NETFLIX = DatasetSpec(
+    name="NetFlix",
+    abbr="NTFX",
+    m=480189,
+    n=17770,
+    nnz=99_072_112,
+    row_alpha=0.70,
+    col_alpha=1.00,
+    rating_min=1.0,
+    rating_max=5.0,
+)
+
+YAHOO_R1 = DatasetSpec(
+    name="YahooMusic R1",
+    abbr="YMR1",
+    m=1_948_882,
+    n=98212,
+    nnz=115_248_575,
+    row_alpha=0.80,
+    col_alpha=1.05,
+    rating_min=1.0,
+    rating_max=5.0,
+)
+
+YAHOO_R4 = DatasetSpec(
+    name="YahooMusic R4",
+    abbr="YMR4",
+    m=7642,
+    n=11916,
+    nnz=211_231,
+    row_alpha=0.65,
+    col_alpha=0.80,
+    rating_min=1.0,
+    rating_max=5.0,
+)
+
+#: Table I of the paper, in row order.
+TABLE_I: tuple[DatasetSpec, ...] = (MOVIELENS10M, NETFLIX, YAHOO_R1, YAHOO_R4)
+
+#: Additional corpora beyond Table I (paper §VII: "more datasets").
+EXTRA_DATASETS: tuple[DatasetSpec, ...] = (MOVIELENS1M,)
+
+_BY_NAME = {spec.abbr.lower(): spec for spec in TABLE_I + EXTRA_DATASETS}
+_BY_NAME.update({spec.name.lower(): spec for spec in TABLE_I + EXTRA_DATASETS})
+_BY_NAME.update(
+    {"movielens": MOVIELENS10M, "netflix": NETFLIX, "yahoo-r1": YAHOO_R1, "yahoo-r4": YAHOO_R4}
+)
+
+
+def dataset_by_name(name: str) -> DatasetSpec:
+    """Look up a Table I dataset by abbreviation or name."""
+    try:
+        return _BY_NAME[name.strip().lower()]
+    except KeyError:
+        known = ", ".join(sorted({s.abbr for s in TABLE_I}))
+        raise KeyError(f"unknown dataset {name!r}; known: {known}") from None

@@ -1,0 +1,96 @@
+"""Loaders for ``<userID, itemID, rating>`` rating files (paper §IV-B).
+
+Supports the delimiters the four corpora actually use (``::`` for
+MovieLens, tab for Yahoo! Music, comma for preprocessed Netflix) with
+auto-detection, and compacts arbitrary integer IDs to dense 0-based
+indices, returning the mapping so predictions can be translated back.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+
+__all__ = ["RatingFile", "load_ratings", "save_ratings"]
+
+_DELIMITERS = ("::", "\t", ",", " ")
+
+
+@dataclass(frozen=True)
+class RatingFile:
+    """A loaded rating file plus its ID compaction maps."""
+
+    ratings: COOMatrix
+    user_ids: np.ndarray  # original ID of each compact row index
+    item_ids: np.ndarray  # original ID of each compact column index
+
+    @property
+    def n_users(self) -> int:
+        return int(self.user_ids.size)
+
+    @property
+    def n_items(self) -> int:
+        return int(self.item_ids.size)
+
+
+def _detect_delimiter(sample_line: str) -> str:
+    for delim in _DELIMITERS:
+        if delim in sample_line:
+            return delim
+    raise ValueError(f"cannot detect delimiter in line: {sample_line!r}")
+
+
+def load_ratings(path: str | os.PathLike, delimiter: str | None = None) -> RatingFile:
+    """Parse a ``<user, item, rating>`` file into a compacted COO matrix.
+
+    Lines that are empty or start with ``#`` are skipped.  Extra fields
+    (e.g. MovieLens timestamps) are ignored.
+    """
+    users: list[int] = []
+    items: list[int] = []
+    values: list[float] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if delimiter is None:
+                delimiter = _detect_delimiter(line)
+            parts = line.split(delimiter)
+            if len(parts) < 3:
+                raise ValueError(
+                    f"{path}:{lineno}: expected ≥3 fields separated by "
+                    f"{delimiter!r}, got {line!r}"
+                )
+            users.append(int(parts[0]))
+            items.append(int(parts[1]))
+            values.append(float(parts[2]))
+    if not users:
+        raise ValueError(f"{path}: no ratings found")
+
+    user_arr = np.asarray(users, dtype=np.int64)
+    item_arr = np.asarray(items, dtype=np.int64)
+    user_ids, rows = np.unique(user_arr, return_inverse=True)
+    item_ids, cols = np.unique(item_arr, return_inverse=True)
+    coo = COOMatrix(
+        (user_ids.size, item_ids.size),
+        rows,
+        cols,
+        np.asarray(values, dtype=np.float32),
+    ).deduplicate()
+    return RatingFile(coo, user_ids, item_ids)
+
+
+def save_ratings(
+    path: str | os.PathLike,
+    ratings: COOMatrix,
+    delimiter: str = "\t",
+) -> None:
+    """Write a COO matrix in the paper's ``<user, item, rating>`` format."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for u, i, r in zip(ratings.row, ratings.col, ratings.value):
+            fh.write(f"{int(u)}{delimiter}{int(i)}{delimiter}{float(r):g}\n")

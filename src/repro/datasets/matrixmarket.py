@@ -1,0 +1,79 @@
+"""MatrixMarket coordinate-format IO.
+
+The de-facto exchange format for sparse matrices (and the one GraphLab's
+Netflix mirrors used).  Only the ``matrix coordinate real general``
+flavour applies to rating data; indices are 1-based on disk per the
+specification and converted to 0-based in memory.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+
+__all__ = ["load_matrix_market", "save_matrix_market"]
+
+_HEADER = "%%MatrixMarket matrix coordinate real general"
+
+
+def load_matrix_market(path: str | os.PathLike) -> COOMatrix:
+    """Parse a MatrixMarket coordinate file into a COO rating matrix."""
+    with open(path, "r", encoding="utf-8") as fh:
+        header = fh.readline().strip()
+        parts = header.split()
+        if (
+            len(parts) != 5
+            or parts[0] != "%%MatrixMarket"
+            or parts[1:4] != ["matrix", "coordinate", "real"]
+            or parts[4] not in ("general",)
+        ):
+            raise ValueError(
+                f"unsupported MatrixMarket header: {header!r} "
+                "(need 'matrix coordinate real general')"
+            )
+        size_line = None
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("%"):
+                continue
+            size_line = line
+            break
+        if size_line is None:
+            raise ValueError(f"{path}: missing size line")
+        try:
+            m, n, nnz = (int(tok) for tok in size_line.split())
+        except ValueError as exc:
+            raise ValueError(f"{path}: bad size line {size_line!r}") from exc
+
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.empty(nnz, dtype=np.float32)
+        count = 0
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith("%"):
+                continue
+            if count >= nnz:
+                raise ValueError(f"{path}: more entries than the declared {nnz}")
+            r, c, v = line.split()
+            rows[count] = int(r) - 1  # 1-based on disk
+            cols[count] = int(c) - 1
+            vals[count] = float(v)
+            count += 1
+        if count != nnz:
+            raise ValueError(f"{path}: declared {nnz} entries, found {count}")
+    return COOMatrix((m, n), rows, cols, vals)
+
+
+def save_matrix_market(path: str | os.PathLike, matrix: COOMatrix) -> None:
+    """Write a COO matrix as MatrixMarket coordinate real general."""
+    m, n = matrix.shape
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(_HEADER + "\n")
+        fh.write(f"% written by repro {m}x{n} rating matrix\n")
+        fh.write(f"{m} {n} {matrix.nnz}\n")
+        for r, c, v in zip(matrix.row, matrix.col, matrix.value):
+            fh.write(f"{int(r) + 1} {int(c) + 1} {float(v):g}\n")

@@ -1,0 +1,59 @@
+"""Train/test splitting of rating matrices."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+
+__all__ = ["TrainTestSplit", "train_test_split"]
+
+
+@dataclass(frozen=True)
+class TrainTestSplit:
+    """A disjoint partition of observed ratings."""
+
+    train: COOMatrix
+    test: COOMatrix
+
+    @property
+    def test_fraction(self) -> float:
+        total = self.train.nnz + self.test.nnz
+        return self.test.nnz / total if total else 0.0
+
+
+def train_test_split(
+    ratings: COOMatrix,
+    test_fraction: float = 0.2,
+    seed: int = 0,
+    keep_row_coverage: bool = True,
+) -> TrainTestSplit:
+    """Randomly hold out ``test_fraction`` of the ratings.
+
+    With ``keep_row_coverage`` (the default), one rating per non-empty row
+    is pinned to the training side so every user keeps at least one
+    observation — otherwise ALS has no information for that user and the
+    held-out RMSE measures initialization noise instead of the model.
+    """
+    if not 0.0 <= test_fraction < 1.0:
+        raise ValueError("test_fraction must be in [0, 1)")
+    rng = np.random.default_rng(seed)
+    nnz = ratings.nnz
+    test_mask = rng.random(nnz) < test_fraction
+
+    if keep_row_coverage and nnz:
+        order = np.argsort(ratings.row, kind="stable")
+        sorted_rows = ratings.row[order]
+        first_of_row = np.ones(nnz, dtype=bool)
+        first_of_row[1:] = sorted_rows[1:] != sorted_rows[:-1]
+        pinned = order[first_of_row]
+        test_mask[pinned] = False
+
+    def subset(mask: np.ndarray) -> COOMatrix:
+        return COOMatrix(
+            ratings.shape, ratings.row[mask], ratings.col[mask], ratings.value[mask]
+        )
+
+    return TrainTestSplit(subset(~test_mask), subset(test_mask))

@@ -1,0 +1,167 @@
+"""Deterministic synthetic rating data matching Table I shapes.
+
+Two products, for two consumers:
+
+* :func:`degree_sequences` — the full-scale nnz-per-row and nnz-per-column
+  sequences.  These feed the performance model directly; generating them
+  does not materialize 100M ratings, so even YahooMusic R1 (m ≈ 1.9M) is
+  cheap.
+* :func:`generate_ratings` — a materialized COO rating matrix, used by the
+  functional solvers, examples and correctness tests (typically from a
+  ``spec.scaled(...)`` instance).
+
+Both derive popularity from bounded Zipf weights, the standard model for
+user-activity / item-popularity skew in recommender corpora.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import numpy as np
+
+from repro.datasets.catalog import DatasetSpec
+from repro.sparse.coo import COOMatrix
+
+__all__ = ["zipf_degrees", "degree_sequences", "generate_ratings"]
+
+
+def zipf_degrees(
+    count: int,
+    nnz: int,
+    alpha: float,
+    max_degree: int,
+    seed: int,
+    shift_frac: float = 0.002,
+) -> np.ndarray:
+    """A degree sequence of ``count`` entities summing exactly to ``nnz``.
+
+    Degrees follow shifted-Zipf weights ``(rank + shift)^-alpha`` — the
+    shift (a fraction of ``count``) bounds the head of the distribution,
+    matching real corpora where even the most active user rates only a few
+    percent of the catalog.  The sequence is shuffled so popular entities
+    are spread over the index space (IDs are not sorted by popularity in
+    real datasets — this matters to the divergence model, which looks at
+    *windows* of consecutive rows).  Every degree is clipped to
+    ``[0, max_degree]`` and rounding residue is redistributed
+    deterministically.
+    """
+    if count <= 0 or nnz < 0:
+        raise ValueError("count must be positive and nnz non-negative")
+    if nnz > count * max_degree:
+        raise ValueError("nnz does not fit under max_degree")
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, count + 1, dtype=np.float64)
+    weights = (ranks + shift_frac * count) ** -alpha
+    raw = weights / weights.sum() * nnz
+    degrees = np.minimum(np.floor(raw).astype(np.int64), max_degree)
+    deficit = nnz - int(degrees.sum())
+    # Distribute the remainder to the entities with the largest fractional
+    # loss that still have headroom; loop because clipping can re-saturate.
+    while deficit > 0:
+        headroom = max_degree - degrees
+        frac = raw - degrees
+        frac[headroom == 0] = -np.inf
+        order = np.argsort(frac)[::-1]
+        take = order[: min(deficit, int((headroom > 0).sum()))]
+        degrees[take] += 1
+        deficit = nnz - int(degrees.sum())
+    rng.shuffle(degrees)
+    return degrees
+
+
+@functools.lru_cache(maxsize=32)
+def degree_sequences(spec: DatasetSpec, seed: int = 7) -> tuple[np.ndarray, np.ndarray]:
+    """Full-scale ``(row_lengths, col_lengths)`` for a dataset spec.
+
+    Both sequences sum to ``spec.nnz`` (the same population of ratings
+    viewed from the CSR and the CSC side).
+
+    Results are cached per ``(spec, seed)`` — YahooMusic R1 alone has
+    ~2M rows and every experiment consumes the same sequences.  Treat the
+    returned arrays as read-only.
+    """
+    rows = zipf_degrees(spec.m, spec.nnz, spec.row_alpha, spec.n, seed)
+    cols = zipf_degrees(spec.n, spec.nnz, spec.col_alpha, spec.m, seed + 1)
+    rows.setflags(write=False)
+    cols.setflags(write=False)
+    return rows, cols
+
+
+def generate_ratings(spec: DatasetSpec, seed: int = 7) -> COOMatrix:
+    """Materialize a rating matrix with the spec's shape statistics.
+
+    Row degrees are drawn from the Zipf model; each row's items are
+    sampled with popularity-weighted probabilities (without replacement
+    within the row), and rating values follow a discretized bell around
+    the middle of the rating scale — enough structure for factorization
+    to find signal, with the exact low-rank-plus-noise construction left
+    to :mod:`repro.datasets.planted` for convergence studies.
+    """
+    rng = np.random.default_rng(seed)
+    row_deg = zipf_degrees(spec.m, spec.nnz, spec.row_alpha, spec.n, seed)
+    col_ranks = np.arange(1, spec.n + 1, dtype=np.float64)
+    col_weights = col_ranks**-spec.col_alpha
+    rng.shuffle(col_weights)
+    col_prob = col_weights / col_weights.sum()
+
+    rows = np.repeat(np.arange(spec.m, dtype=np.int64), row_deg)
+    # Sample item ids for all ratings at once, then repair within-row
+    # duplicates; with heavy-tailed popularity a few percent collide.
+    cols = rng.choice(spec.n, size=rows.size, p=col_prob)
+    cols = _dedupe_within_rows(rows, cols, spec.n, rng)
+
+    levels = np.round(
+        np.clip(
+            rng.normal(
+                loc=(spec.rating_min + spec.rating_max) / 2.0,
+                scale=(spec.rating_max - spec.rating_min) / 4.0,
+                size=rows.size,
+            ),
+            spec.rating_min,
+            spec.rating_max,
+        )
+        * 2.0
+    ) / 2.0  # half-star granularity
+    return COOMatrix((spec.m, spec.n), rows, cols, levels.astype(np.float32))
+
+
+def _dedupe_within_rows(
+    rows: np.ndarray, cols: np.ndarray, n: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Replace duplicate (row, col) pairs with fresh columns.
+
+    Keeps the row structure (and hence the row degree sequence) intact;
+    column popularity shifts negligibly.
+    """
+    cols = cols.copy()
+    for _ in range(16):
+        keys = rows * n + cols
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        dup_sorted = np.zeros(len(keys), dtype=bool)
+        dup_sorted[1:] = sorted_keys[1:] == sorted_keys[:-1]
+        dup_idx = order[dup_sorted]
+        if dup_idx.size == 0:
+            return cols
+        cols[dup_idx] = rng.integers(0, n, size=dup_idx.size)
+    # Random replacement stalls on nearly-full rows (coupon collector);
+    # finish those exactly by drawing from each row's missing columns.
+    keys = rows * n + cols
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    dup_sorted = np.zeros(len(keys), dtype=bool)
+    dup_sorted[1:] = sorted_keys[1:] == sorted_keys[:-1]
+    dup_idx = order[dup_sorted]
+    for row_id in np.unique(rows[dup_idx]):
+        in_row = rows == row_id
+        present = np.unique(cols[in_row])
+        missing = np.setdiff1d(np.arange(n), present, assume_unique=True)
+        row_dups = dup_idx[rows[dup_idx] == row_id]
+        if row_dups.size > missing.size:
+            raise ValueError(
+                f"row {row_id} needs {row_dups.size + present.size} distinct "
+                f"columns but the matrix has only {n}"
+            )
+        cols[row_dups] = rng.choice(missing, size=row_dups.size, replace=False)
+    return cols

@@ -1,0 +1,27 @@
+"""Other matrix-factorization solvers (the paper's §VII future work).
+
+"We will ... extend our technique to other matrix factorization solvers
+such as SGD."  This package implements the two solver families the
+paper's related-work section surveys alongside ALS:
+
+* :mod:`repro.extensions.sgd` — stochastic gradient descent with the
+  Hogwild-style unsynchronized update order [27] the paper cites;
+* :mod:`repro.extensions.ccd` — CCD++ rank-one cyclic coordinate descent
+  (Yu et al. [2]).
+
+Both share the rating substrate and metrics of :mod:`repro.core`, so the
+three families can be compared head-to-head (see
+``examples/solver_families.py``).
+"""
+
+from repro.extensions.sgd import SGDConfig, SGDModel, train_sgd
+from repro.extensions.ccd import CCDConfig, CCDModel, train_ccd
+
+__all__ = [
+    "SGDConfig",
+    "SGDModel",
+    "train_sgd",
+    "CCDConfig",
+    "CCDModel",
+    "train_ccd",
+]

@@ -1,0 +1,43 @@
+"""ALS kernels: the paper's code variants.
+
+The contribution of the paper is *how* the ALS update maps onto the
+hardware: a flat one-thread-per-row baseline (§III-A) versus a
+thread-batched one-group-per-row mapping (§III-B), refined by three
+architecture-specific optimizations (§III-C) whose combinations form the
+8 code variants of §III-D.
+
+Each variant exists twice here:
+
+* a **work-item kernel** (generator function, run by
+  :mod:`repro.clsim.interpreter`) that is the faithful transliteration of
+  the OpenCL code, used for correctness validation and memory-access
+  accounting, and
+* a **vectorized fast path** (:mod:`repro.kernels.fastpath`) computing the
+  identical result with NumPy, used by the solvers on large data.
+"""
+
+from repro.kernels.variants import (
+    Variant,
+    all_variants,
+    variant_from_flags,
+    recommended_variant,
+    FIG6_BARS,
+)
+from repro.kernels.fastpath import fast_half_sweep, fast_iteration
+from repro.kernels.dispatch import interpreted_half_sweep
+from repro.kernels.steps import StepProfile, profile_steps
+from repro.kernels.opencl_source import generate_program
+
+__all__ = [
+    "Variant",
+    "all_variants",
+    "variant_from_flags",
+    "recommended_variant",
+    "FIG6_BARS",
+    "fast_half_sweep",
+    "fast_iteration",
+    "interpreted_half_sweep",
+    "StepProfile",
+    "profile_steps",
+    "generate_program",
+]

@@ -1,0 +1,75 @@
+"""The flat SAC15-style baseline kernel (Algorithm 2).
+
+One work-item updates one whole row: it assembles the k×k ``smat`` and the
+k-vector ``svec`` in private memory (the structure whose spilling §III-C1
+diagnoses), then solves with Cholesky.  S2 reads the rating values through
+the ``colMajored_sparse_id`` indirection (Algorithm 2 line 10): the SAC15
+code keeps the value array in column-major (CSC) order and dereferences it
+per non-zero while walking the CSR structure — one more scattered access
+stream the thread-batched design eliminates.
+"""
+
+from __future__ import annotations
+
+from repro.clsim.kernel import Kernel
+from repro.kernels.private_solver import solve_private
+
+__all__ = ["flat_update_kernel"]
+
+
+def _flat_body(
+    item,
+    local,
+    *,
+    value_colmajor,
+    colmajor_id,
+    col_idx,
+    row_ptr,
+    Y,
+    X,
+    k,
+    lam,
+    cholesky=True,
+):
+    yield from ()  # no barriers: purely private computation
+    u = item.global_id
+    m = len(row_ptr.array) - 1
+    if u >= m:
+        return
+    lo = int(row_ptr.load(u))
+    hi = int(row_ptr.load(u + 1))
+    omega = hi - lo
+    if omega == 0:  # Algorithm 2 line 5: skip empty rows
+        return
+
+    # --- S1: smat = Y_Ωᵀ Y_Ω + λI, private k×k accumulator ---
+    smat = [[0.0] * k for _ in range(k)]
+    for i in range(k):
+        for j in range(i, k):
+            acc = 0.0
+            for z in range(omega):
+                d = int(col_idx.load(lo + z)) * k
+                acc += float(Y.load(d + i)) * float(Y.load(d + j))
+            smat[i][j] = acc
+            smat[j][i] = acc
+    for i in range(k):
+        smat[i][i] += lam
+
+    # --- S2: svec = Y_Ωᵀ r_u via the colMajored indirection ---
+    svec = [0.0] * k
+    for c in range(k):
+        for z in range(omega):
+            idx = lo + z
+            idx2 = int(colmajor_id.load(idx))
+            d = int(col_idx.load(idx)) * k
+            svec[c] += float(value_colmajor.load(idx2)) * float(Y.load(d + c))
+
+    # --- S3: solve smat · x = svec ---
+    x = solve_private(smat, svec, k, cholesky=cholesky)
+    for c in range(k):
+        X.store((u, c), x[c])
+
+
+def flat_update_kernel() -> Kernel:
+    """Build the flat one-thread-per-row update kernel."""
+    return Kernel(name="als_update_flat", body=_flat_body)

@@ -1,0 +1,132 @@
+"""Kernel selection and interpreted execution of one half-sweep.
+
+``interpreted_half_sweep`` is the ground-truth path: it runs the actual
+work-item kernels of the selected variant through the barrier-accurate
+interpreter.  It is used by the tests (and small demos); solvers use the
+equivalent vectorized fast path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clsim.costmodel import OptFlags
+from repro.clsim.interpreter import execute_ndrange
+from repro.clsim.kernel import Kernel
+from repro.clsim.memory import Buffer
+from repro.clsim.ndrange import NDRange
+from repro.kernels.baseline import flat_update_kernel
+from repro.kernels.batched import make_s1_kernel, make_s2_kernel, make_s3_kernel
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["select_kernels", "interpreted_half_sweep", "colmajor_permutation"]
+
+
+def select_kernels(flags: OptFlags, tile: int) -> tuple[Kernel, Kernel, Kernel]:
+    """The (S1, S2, S3) kernel trio implementing a batched variant."""
+    if not flags.batched:
+        raise ValueError("the flat baseline is a single fused kernel")
+    s1 = make_s1_kernel(flags.registers, flags.local_mem, flags.vector, tile)
+    s2 = make_s2_kernel(flags.local_mem, flags.vector, tile)
+    s3 = make_s3_kernel(flags.cholesky)
+    return s1, s2, s3
+
+
+def colmajor_permutation(R: CSRMatrix) -> tuple[np.ndarray, np.ndarray]:
+    """SAC15's ``colMajored_sparse_id`` structure (Algorithm 2 line 10).
+
+    Returns ``(value_colmajor, colmajor_id)``: the value array reordered
+    column-major and, for each CSR position, the index of its value in
+    that column-major array.
+    """
+    csc = CSCMatrix.from_csr(R)
+    # Position of each (row, col) pair in the column-major ordering.
+    rows = R.expanded_rows()
+    order = np.lexsort((rows, R.col_idx))  # CSR positions in CSC order
+    colmajor_id = np.empty(R.nnz, dtype=np.int64)
+    colmajor_id[order] = np.arange(R.nnz)
+    value_colmajor = R.value[order]
+    # Internal consistency: dereferencing must reproduce the CSR values.
+    assert np.array_equal(value_colmajor[colmajor_id], R.value)
+    del csc
+    return value_colmajor, colmajor_id
+
+
+def interpreted_half_sweep(
+    R: CSRMatrix,
+    Y: np.ndarray,
+    lam: float,
+    flags: OptFlags,
+    ws: int = 8,
+    tile: int = 16,
+    X_prev: np.ndarray | None = None,
+    count_access: bool = False,
+    n_groups: int | None = None,
+) -> np.ndarray | tuple[np.ndarray, dict[str, int]]:
+    """Run one half-sweep through the work-item interpreter.
+
+    ``n_groups`` launches fewer groups than rows (the paper's persistent
+    8192×32 configuration); each group then strides over the rows it
+    owns.  Returns the updated factor matrix (float32 on-device
+    precision); with ``count_access`` also returns per-buffer
+    global-memory read counts.
+    """
+    m = R.nrows
+    k = Y.shape[1]
+    Y_flat = Buffer(np.ascontiguousarray(Y, dtype=np.float32).reshape(-1), "Y")
+    X = np.zeros((m, k), dtype=np.float32)
+    if X_prev is not None:
+        X[:] = X_prev
+    X_buf = Buffer(X, "X")
+    value = Buffer(R.value, "value")
+    col_idx = Buffer(R.col_idx, "col_idx")
+    row_ptr = Buffer(R.row_ptr, "row_ptr")
+
+    if flags.batched:
+        smat = Buffer(np.zeros((m, k, k), dtype=np.float64), "smat")
+        svec = Buffer(np.zeros((m, k), dtype=np.float64), "svec")
+        args = dict(
+            value=value,
+            col_idx=col_idx,
+            row_ptr=row_ptr,
+            Y=Y_flat,
+            smat=smat,
+            svec=svec,
+            X=X_buf,
+            k=k,
+            lam=lam,
+        )
+        groups = m if n_groups is None else min(n_groups, m)
+        if groups <= 0:
+            raise ValueError("n_groups must be positive")
+        ndrange = NDRange(global_size=groups * ws, local_size=ws)
+        for kernel in select_kernels(flags, tile):
+            execute_ndrange(kernel, ndrange, args)
+    else:
+        value_cm, cm_id = colmajor_permutation(R)
+        args = dict(
+            value_colmajor=Buffer(value_cm, "value_colmajor"),
+            colmajor_id=Buffer(cm_id, "colmajor_id"),
+            col_idx=col_idx,
+            row_ptr=row_ptr,
+            Y=Y_flat,
+            X=X_buf,
+            k=k,
+            lam=lam,
+            cholesky=flags.cholesky,
+        )
+        # One thread per row, padded to a multiple of the group size.
+        padded = -(-m // ws) * ws
+        execute_ndrange(
+            flat_update_kernel(), NDRange(global_size=padded, local_size=ws), args
+        )
+
+    if count_access:
+        counts = {
+            "Y_reads": Y_flat.counter.reads,
+            "value_reads": value.counter.reads,
+            "col_idx_reads": col_idx.counter.reads,
+        }
+        return X_buf.array, counts
+    return X_buf.array

@@ -1,0 +1,67 @@
+"""Vectorized NumPy fast paths for the ALS update.
+
+Every one of the 8 code variants computes the same half-sweep result
+(they differ only in hardware mapping), so a single vectorized
+implementation serves them all on large data.  Its equivalence to the
+work-item kernels is asserted by the test suite on small instances
+(tests/kernels/), which is what licenses the solvers to use it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linalg.cholesky import batched_cholesky_solve
+from repro.linalg.gaussian import batched_gaussian_solve
+from repro.linalg.normal_equations import batched_normal_equations
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["fast_half_sweep", "fast_iteration"]
+
+
+def fast_half_sweep(
+    R: CSRMatrix,
+    Y: np.ndarray,
+    lam: float,
+    X_prev: np.ndarray | None = None,
+    cholesky: bool = True,
+) -> np.ndarray:
+    """Update all rows: ``x_u = (Y_ΩᵀY_Ω + λI)⁻¹ Y_Ωᵀ r_u`` (Eq. 4).
+
+    Rows with no observed ratings are skipped, exactly as Algorithm 2's
+    ``omegaSize > 0`` guard does: they keep their previous value
+    (``X_prev``), or zero when no previous factors are given.
+    """
+    if lam <= 0:
+        raise ValueError("lam must be positive (λI keeps smat SPD)")
+    m = R.nrows
+    k = Y.shape[1]
+    A, b = batched_normal_equations(R, Y, lam)
+    occupied = R.row_lengths() > 0
+    X = np.zeros((m, k), dtype=np.float64)
+    if X_prev is not None:
+        if X_prev.shape != (m, k):
+            raise ValueError(f"X_prev must have shape {(m, k)}")
+        X[:] = X_prev
+    if occupied.any():
+        solver = batched_cholesky_solve if cholesky else batched_gaussian_solve
+        X[occupied] = solver(A[occupied], b[occupied])
+    return X
+
+
+def fast_iteration(
+    R_rows: CSRMatrix,
+    R_cols: CSRMatrix,
+    X: np.ndarray,
+    Y: np.ndarray,
+    lam: float,
+    cholesky: bool = True,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One ALS iteration (Algorithm 1 lines 4–9).
+
+    ``R_cols`` is the transpose of ``R_rows`` in CSR form — i.e. the CSC
+    view the paper uses for the Y update (§III-A).
+    """
+    X_new = fast_half_sweep(R_rows, Y, lam, X_prev=X, cholesky=cholesky)
+    Y_new = fast_half_sweep(R_cols, X_new, lam, X_prev=Y, cholesky=cholesky)
+    return X_new, Y_new

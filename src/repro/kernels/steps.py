@@ -1,0 +1,116 @@
+"""Hotspot-guided step decomposition (§V-C, Fig. 8).
+
+The paper tunes the three ALS steps one at a time: starting from the
+baseline it applies thread batching everywhere, then optimizes S1 with
+registers + local memory, then S2 with local-memory staging, and finally
+S3 with the Cholesky method.  Because the steps run as separate kernels,
+a mixed configuration's cost is the composition of per-step costs — which
+is what :func:`profile_steps` computes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.clsim.costmodel import CostModel, OptFlags, StepCosts
+
+__all__ = ["StepProfile", "mixed_step_costs", "profile_steps", "FIG8_STAGES"]
+
+
+@dataclass(frozen=True)
+class StepProfile:
+    """Absolute seconds and shares of S1/S2/S3 for one configuration."""
+
+    label: str
+    s1_seconds: float
+    s2_seconds: float
+    s3_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        return self.s1_seconds + self.s2_seconds + self.s3_seconds
+
+    @property
+    def shares(self) -> tuple[float, float, float]:
+        t = self.total_seconds
+        if t <= 0:
+            return (0.0, 0.0, 0.0)
+        return (self.s1_seconds / t, self.s2_seconds / t, self.s3_seconds / t)
+
+    def __str__(self) -> str:
+        s1, s2, s3 = self.shares
+        return (
+            f"{self.label}: S1 {s1:6.2%}  S2 {s2:6.2%}  S3 {s3:6.2%}"
+            f"  (total {self.total_seconds:.2f} s)"
+        )
+
+
+def mixed_step_costs(
+    cm: CostModel,
+    lengths: np.ndarray,
+    k: int,
+    ws: int,
+    s1_flags: OptFlags,
+    s2_flags: OptFlags,
+    s3_flags: OptFlags,
+) -> StepCosts:
+    """Per-step costs of a half-sweep whose steps use different variants."""
+    return StepCosts(
+        s1=cm.half_sweep(lengths, k, ws, s1_flags).s1,
+        s2=cm.half_sweep(lengths, k, ws, s2_flags).s2,
+        s3=cm.half_sweep(lengths, k, ws, s3_flags).s3,
+    )
+
+
+#: The Fig. 8 tuning pipeline: label → (s1_flags, s2_flags, s3_flags).
+#: S3 stays on plain elimination until the final Cholesky switch the text
+#: describes (15 s → 12 s on Netflix/K20c).
+_FLAT = OptFlags(batched=False, cholesky=False)
+_PLAIN = OptFlags(cholesky=False)
+_S1OPT = OptFlags(registers=True, local_mem=True, cholesky=False)
+_S2OPT = OptFlags(local_mem=True, cholesky=False)
+
+FIG8_STAGES: tuple[tuple[str, tuple[OptFlags, OptFlags, OptFlags]], ...] = (
+    ("baseline", (_FLAT, _FLAT, _FLAT)),
+    ("thread batching", (_PLAIN, _PLAIN, _PLAIN)),
+    ("optimizing S1", (_S1OPT, _PLAIN, _PLAIN)),
+    ("optimizing S2", (_S1OPT, _S2OPT, _PLAIN)),
+    (
+        "optimizing S3 (Cholesky)",
+        (_S1OPT, _S2OPT, OptFlags(local_mem=True, cholesky=True)),
+    ),
+)
+
+
+def profile_steps(
+    cm: CostModel,
+    row_lengths: np.ndarray,
+    col_lengths: np.ndarray,
+    k: int,
+    ws: int,
+    stage_flags: tuple[OptFlags, OptFlags, OptFlags],
+    label: str,
+    iterations: int = 5,
+) -> StepProfile:
+    """Simulated per-step seconds over a full training run.
+
+    The flat baseline is a single fused kernel; when all three stage flags
+    are flat, the fused cost is split by work share (as the paper's
+    profiler attribution does).
+    """
+    s1f, s2f, s3f = stage_flags
+    total = None
+    for lengths in (row_lengths, col_lengths):
+        if not s1f.batched and not s2f.batched and not s3f.batched:
+            costs = cm.flat_half_sweep(lengths, k, s1f)
+        else:
+            costs = mixed_step_costs(cm, lengths, k, ws, s1f, s2f, s3f)
+        total = costs if total is None else total + costs
+    return StepProfile(
+        label=label,
+        s1_seconds=total.s1.seconds * iterations,
+        s2_seconds=total.s2.seconds * iterations,
+        s3_seconds=total.s3.seconds * iterations,
+    )

@@ -1,0 +1,90 @@
+"""The 8-variant optimization space (§III-D).
+
+"Based on the thread batching version, we will yield 8 versions of code
+variants by individually applying different optimization techniques or
+combining them" — i.e. every subset of {registers, local memory, vector}.
+The flat baseline is a ninth configuration kept for comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from repro.clsim.costmodel import OptFlags
+from repro.clsim.device import DeviceKind, DeviceSpec
+
+__all__ = [
+    "Variant",
+    "all_variants",
+    "variant_from_flags",
+    "recommended_variant",
+    "FIG6_BARS",
+]
+
+
+@dataclass(frozen=True)
+class Variant:
+    """A named point in the optimization space."""
+
+    flags: OptFlags
+
+    @property
+    def name(self) -> str:
+        return self.flags.label()
+
+    @property
+    def is_baseline(self) -> bool:
+        return not self.flags.batched
+
+    def __str__(self) -> str:
+        return self.name
+
+
+#: The flat SAC15-style mapping (one thread per row/column).
+FLAT_BASELINE = Variant(OptFlags(batched=False))
+
+#: Thread batching with no architecture-specific optimization.
+THREAD_BATCHING = Variant(OptFlags())
+
+
+def all_variants(include_baseline: bool = False) -> tuple[Variant, ...]:
+    """All 8 thread-batched variants (optionally plus the flat baseline)."""
+    out = [
+        Variant(OptFlags(registers=reg, local_mem=lm, vector=vec))
+        for reg, lm, vec in product((False, True), repeat=3)
+    ]
+    if include_baseline:
+        out.insert(0, FLAT_BASELINE)
+    return tuple(out)
+
+
+def variant_from_flags(
+    registers: bool = False, local_mem: bool = False, vector: bool = False
+) -> Variant:
+    return Variant(OptFlags(registers=registers, local_mem=local_mem, vector=vector))
+
+
+def recommended_variant(device: DeviceSpec) -> Variant:
+    """The per-architecture variant the paper settles on (§V, Fig. 10).
+
+    "We use thread batching + local memory + registers on the GPU while we
+    only use thread batching + local memory on the CPU/MIC" — plus explicit
+    vectors on CPU/MIC, which §V-B reports as a slight further improvement.
+    """
+    if device.kind is DeviceKind.GPU:
+        return variant_from_flags(registers=True, local_mem=True)
+    return variant_from_flags(local_mem=True, vector=True)
+
+
+#: The four cumulative configurations plotted in Fig. 6, in bar order:
+#: thread batching, +local memory, +local memory+register, +vector.
+FIG6_BARS: tuple[tuple[str, Variant], ...] = (
+    ("thread batching", THREAD_BATCHING),
+    ("+local memory", variant_from_flags(local_mem=True)),
+    ("+local memory + register", variant_from_flags(local_mem=True, registers=True)),
+    (
+        "+vector",
+        variant_from_flags(local_mem=True, registers=True, vector=True),
+    ),
+)

@@ -1,0 +1,135 @@
+"""Cholesky factorization and triangular solves, scalar and batched.
+
+Implemented from scratch (no ``numpy.linalg.cholesky``) because the paper's
+S3 step is a hand-written Cholesky kernel and we model its cost at the
+operation level.  The ALS normal matrices ``YᵀY + λI`` are symmetric
+positive definite whenever λ > 0, so no pivoting is needed.
+
+The batched variants factor a whole stack of k×k systems with vectorized
+column updates — the NumPy analogue of the batched Cholesky the paper cites
+from Kurzak et al. [21].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "CholeskyError",
+    "cholesky_factor",
+    "cholesky_solve",
+    "forward_substitution",
+    "backward_substitution",
+    "batched_cholesky_factor",
+    "batched_cholesky_solve",
+]
+
+
+class CholeskyError(ValueError):
+    """Raised when a matrix is not (numerically) positive definite."""
+
+
+def cholesky_factor(a: np.ndarray) -> np.ndarray:
+    """Return lower-triangular ``L`` with ``L @ L.T == a``.
+
+    Column-by-column (left-looking) algorithm; ``a`` must be symmetric
+    positive definite.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 2 or a.shape[0] != a.shape[1]:
+        raise ValueError("input must be a square matrix")
+    k = a.shape[0]
+    L = np.zeros_like(a)
+    for j in range(k):
+        # diag: a[j,j] - sum of squares of the row built so far
+        d = a[j, j] - L[j, :j] @ L[j, :j]
+        if d <= 0.0 or not np.isfinite(d):
+            raise CholeskyError(f"matrix not positive definite at pivot {j} (d={d})")
+        L[j, j] = np.sqrt(d)
+        if j + 1 < k:
+            L[j + 1 :, j] = (a[j + 1 :, j] - L[j + 1 :, :j] @ L[j, :j]) / L[j, j]
+    return L
+
+
+def forward_substitution(L: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``L z = b`` for lower-triangular ``L``."""
+    L = np.asarray(L, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    k = L.shape[0]
+    z = np.zeros(k, dtype=np.float64)
+    for i in range(k):
+        z[i] = (b[i] - L[i, :i] @ z[:i]) / L[i, i]
+    return z
+
+
+def backward_substitution(U: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``U x = b`` for upper-triangular ``U``."""
+    U = np.asarray(U, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    k = U.shape[0]
+    x = np.zeros(k, dtype=np.float64)
+    for i in range(k - 1, -1, -1):
+        x[i] = (b[i] - U[i, i + 1 :] @ x[i + 1 :]) / U[i, i]
+    return x
+
+
+def cholesky_solve(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``a x = b`` via ``a = L Lᵀ`` (Algorithm 2 lines 16–17)."""
+    L = cholesky_factor(a)
+    z = forward_substitution(L, b)
+    return backward_substitution(L.T, z)
+
+
+# ----------------------------------------------------------------------
+# batched variants: stack shape (batch, k, k) / (batch, k)
+# ----------------------------------------------------------------------
+
+
+def batched_cholesky_factor(a: np.ndarray) -> np.ndarray:
+    """Factor a stack of SPD matrices: ``a[b] = L[b] @ L[b].T`` for all b.
+
+    Loops over the k columns only (k is small, typically 10–100) while the
+    batch dimension stays fully vectorized — the structure of a batched GPU
+    Cholesky, transliterated to NumPy broadcasting.
+    """
+    a = np.asarray(a, dtype=np.float64)
+    if a.ndim != 3 or a.shape[1] != a.shape[2]:
+        raise ValueError("input must have shape (batch, k, k)")
+    batch, k, _ = a.shape
+    L = np.zeros_like(a)
+    for j in range(k):
+        d = a[:, j, j] - np.einsum("bi,bi->b", L[:, j, :j], L[:, j, :j])
+        bad = (d <= 0.0) | ~np.isfinite(d)
+        if bad.any():
+            idx = int(np.nonzero(bad)[0][0])
+            raise CholeskyError(
+                f"matrix {idx} not positive definite at pivot {j} (d={d[idx]})"
+            )
+        L[:, j, j] = np.sqrt(d)
+        if j + 1 < k:
+            num = a[:, j + 1 :, j] - np.einsum(
+                "bij,bj->bi", L[:, j + 1 :, :j], L[:, j, :j]
+            )
+            L[:, j + 1 :, j] = num / L[:, j, j][:, None]
+    return L
+
+
+def batched_cholesky_solve(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``a[i] x[i] = b[i]`` for a stack of SPD systems."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if b.ndim != 2 or b.shape[0] != a.shape[0] or b.shape[1] != a.shape[1]:
+        raise ValueError("rhs must have shape (batch, k)")
+    L = batched_cholesky_factor(a)
+    batch, k, _ = a.shape
+    # forward: L z = b
+    z = np.zeros_like(b)
+    for i in range(k):
+        z[:, i] = (b[:, i] - np.einsum("bj,bj->b", L[:, i, :i], z[:, :i])) / L[:, i, i]
+    # backward: Lᵀ x = z
+    x = np.zeros_like(b)
+    for i in range(k - 1, -1, -1):
+        x[:, i] = (
+            z[:, i] - np.einsum("bj,bj->b", L[:, i + 1 :, i], x[:, i + 1 :])
+        ) / L[:, i, i]
+    return x

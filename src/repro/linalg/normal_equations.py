@@ -1,0 +1,65 @@
+"""Assembly of the ALS normal equations.
+
+For each row ``u`` with rated item set Ω_u, ALS solves
+
+    (Y_{Ω_u}ᵀ Y_{Ω_u} + λ I) x_u = Y_{Ω_u}ᵀ r_u
+
+(paper Eq. 4).  Algorithm 2 computes the Gram matrix over *only* the rated
+rows of ``Y`` — note line 6's loop bound ``omegaSize``: the Gram sum runs
+over the non-zeros of row ``u``, not over all of ``Y``.  These helpers form
+the vectorized reference that every kernel variant is validated against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["assemble_gram", "assemble_rhs", "batched_normal_equations"]
+
+
+def assemble_gram(Y: np.ndarray, cols: np.ndarray, lam: float) -> np.ndarray:
+    """``Y_Ωᵀ Y_Ω + λI`` for one row's rated column set (the paper's smat)."""
+    Y = np.asarray(Y, dtype=np.float64)
+    sub = Y[cols]
+    k = Y.shape[1]
+    return sub.T @ sub + lam * np.eye(k)
+
+
+def assemble_rhs(Y: np.ndarray, cols: np.ndarray, ratings: np.ndarray) -> np.ndarray:
+    """``Y_Ωᵀ r_u`` for one row (the paper's svec)."""
+    Y = np.asarray(Y, dtype=np.float64)
+    return Y[cols].T @ np.asarray(ratings, dtype=np.float64)
+
+
+def batched_normal_equations(
+    R: CSRMatrix, Y: np.ndarray, lam: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """Assemble ``(smat, svec)`` for every row of ``R`` at once.
+
+    Returns ``A`` of shape (m, k, k) and ``b`` of shape (m, k).  Rows with
+    no ratings get ``A = λI`` and ``b = 0`` so downstream batched solvers
+    stay regular; the ALS driver leaves such rows at zero, matching
+    Algorithm 2's ``omegaSize > 0`` guard.
+
+    The assembly is a segment-sum over the non-zeros: for each stored
+    rating (u, i, r) accumulate ``y_i y_iᵀ`` into ``A[u]`` and ``r · y_i``
+    into ``b[u]``.  ``np.add.at`` performs the scatter with duplicate
+    accumulation — the vectorized analogue of the per-row loops the kernels
+    run on-device.
+    """
+    Y = np.asarray(Y, dtype=np.float64)
+    m = R.nrows
+    k = Y.shape[1]
+    if Y.shape[0] != R.ncols:
+        raise ValueError(f"Y must have {R.ncols} rows, got {Y.shape[0]}")
+    rows = R.expanded_rows()
+    gathered = Y[R.col_idx]  # (nnz, k)
+    outer = gathered[:, :, None] * gathered[:, None, :]  # (nnz, k, k)
+    A = np.zeros((m, k, k), dtype=np.float64)
+    np.add.at(A, rows, outer)
+    A += lam * np.eye(k)
+    b = np.zeros((m, k), dtype=np.float64)
+    np.add.at(b, rows, gathered * R.value[:, None].astype(np.float64))
+    return A, b

@@ -1,0 +1,24 @@
+"""Solvers: the paper's implementation and the two comparators.
+
+* :class:`PortableALS` — the paper's contribution: thread-batched OpenCL
+  ALS with per-architecture code variants, running on any simulated
+  device.
+* :class:`Sac15Baseline` — Rodrigues et al. [12]: the flat
+  one-thread-per-row OpenMP (CPU) / CUDA (GPU) implementation the paper
+  diagnoses and measures against (Figs. 1, 7).
+* :class:`CuMF` — Tan et al.'s HPDC'16 GPU library [13], modelled by its
+  two documented cost characteristics (Fig. 7's 2.2–6.8× comparison).
+"""
+
+from repro.solvers.base import SimulatedRun, SolverReport
+from repro.solvers.portable import PortableALS
+from repro.solvers.baseline_sac15 import Sac15Baseline
+from repro.solvers.cumf import CuMF
+
+__all__ = [
+    "SimulatedRun",
+    "SolverReport",
+    "PortableALS",
+    "Sac15Baseline",
+    "CuMF",
+]

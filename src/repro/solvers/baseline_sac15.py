@@ -1,0 +1,81 @@
+"""The SAC15 baseline (Rodrigues et al. [12]).
+
+One *thread* per row/column (Algorithm 2), with the per-thread k×k
+private scratch and the colMajored value indirection.  On the CPU this is
+the OpenMP implementation of Fig. 1; on the K20c it is the CUDA one; the
+paper's §II-C observations (CUDA 8.4× slower than OpenMP; both far from
+the optimized solver) fall out of the flat cost model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clsim.calibration import Calibration
+from repro.clsim.costmodel import LaunchCost, OptFlags
+from repro.clsim.device import DeviceKind, DeviceSpec
+from repro.clsim.runtime import Context
+from repro.clsim.transfer import training_transfer_cost
+from repro.solvers.base import BaseSolver, SimulatedRun
+
+__all__ = ["Sac15Baseline"]
+
+
+class Sac15Baseline(BaseSolver):
+    """Flat one-thread-per-row ALS (OpenMP on CPU, CUDA on GPU)."""
+
+    name = "SAC15"
+
+    def __init__(
+        self, device: DeviceSpec, calibration: Calibration | None = None
+    ) -> None:
+        self.device = device
+        self.context = Context(device, calibration)
+        self.flags = OptFlags(batched=False)
+
+    @property
+    def implementation(self) -> str:
+        """What the flat code is called on this device (Fig. 1's legend)."""
+        return {
+            DeviceKind.CPU: "OpenMP",
+            DeviceKind.GPU: "CUDA",
+            DeviceKind.MIC: "flat-OpenCL",  # §II-C: the original cannot even
+            # run on the MIC; this is what a naive port would cost
+        }[self.device.kind]
+
+    def simulate(
+        self,
+        row_lengths: np.ndarray,
+        col_lengths: np.ndarray,
+        k: int = 10,
+        iterations: int = 5,
+        dataset: str = "?",
+    ) -> SimulatedRun:
+        cm = self.context.cost_model
+        queue = self.context.create_queue()
+        transfer = training_transfer_cost(
+            self.device,
+            m=len(row_lengths),
+            n=len(col_lengths),
+            nnz=int(np.asarray(row_lengths).sum()),
+            k=k,
+        )
+        if transfer.transfers:
+            queue.enqueue("pcie_transfers", LaunchCost(0.0, 0.0, transfer.seconds))
+        per_iter = None
+        for _ in range(iterations):
+            for lengths, side in ((row_lengths, "X"), (col_lengths, "Y")):
+                costs = cm.flat_half_sweep(lengths, k, self.flags)
+                # The baseline is one fused kernel per half-sweep.
+                queue.enqueue(f"flat_update_{side}", costs.s1 + costs.s2 + costs.s3)
+                per_iter = costs if per_iter is None else per_iter + costs
+        return SimulatedRun(
+            solver=f"{self.name}[{self.implementation}]",
+            device=self.device.kind.value,
+            dataset=dataset,
+            k=k,
+            ws=self.device.hw_width,
+            iterations=iterations,
+            seconds=queue.total_seconds,
+            step_costs=per_iter,
+        )

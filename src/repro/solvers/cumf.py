@@ -1,0 +1,115 @@
+"""cuMF comparator (Tan et al., HPDC'16 [13]).
+
+The paper attributes its 2.2–6.8× advantage over cuMF to two measurable
+characteristics (§V-A), which this model reproduces on top of the
+simulated K20c:
+
+1. **Generic building blocks** — cuMF assembles the update from cusparse
+   (``cusparseScsrmm2``) and cublas (``cublasSgeam``) calls that are tuned
+   for k = 100; at small k the generic kernels leave a constant-factor
+   penalty relative to the paper's per-step custom kernels.
+2. **Library call cascade** — each iteration issues a pipeline of library
+   kernels with their own launches, transposes and temporaries; this
+   fixed per-iteration cost dominates on tiny datasets, which is why the
+   paper's largest win (6.8×) is on YahooMusic R4.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clsim.calibration import Calibration
+from repro.clsim.costmodel import LaunchCost, OptFlags
+from repro.clsim.device import DeviceKind, DeviceSpec, NVIDIA_TESLA_K20C
+from repro.clsim.runtime import Context
+from repro.clsim.transfer import training_transfer_cost
+from repro.solvers.base import BaseSolver, SimulatedRun
+
+__all__ = ["CuMF"]
+
+#: The latent dimensionality cuMF's kernels are specially tuned for.
+CUMF_TUNED_K = 100
+
+#: Generic-kernel penalty at k far from the tuned point (fitted to the
+#: paper's 2.2–2.8× range on the large datasets).
+_GENERIC_PENALTY_MAX = 1.6
+
+#: Fixed per-iteration cost of the library call cascade (launches,
+#: transposes, temporaries) — dominates on YahooMusic R4.
+_ITERATION_OVERHEAD_S = 0.22
+
+
+class CuMF(BaseSolver):
+    """Model of the cuMF GPU matrix-factorization library."""
+
+    name = "cuMF"
+
+    def __init__(
+        self,
+        device: DeviceSpec = NVIDIA_TESLA_K20C,
+        calibration: Calibration | None = None,
+    ) -> None:
+        if device.kind is not DeviceKind.GPU:
+            raise ValueError("cuMF is CUDA-only; it runs on the GPU device")
+        self.device = device
+        self.context = Context(device, calibration)
+        # cuMF's memory-optimized ALS is a well-mapped batched design —
+        # the fair basis is the fully optimized batched cost, scaled by
+        # the two penalties documented above.
+        self.flags = OptFlags(registers=True, local_mem=True)
+
+    @staticmethod
+    def generic_penalty(k: int) -> float:
+        """Constant-factor cost of the k=100-tuned generic kernels at k."""
+        if k <= 0:
+            raise ValueError("k must be positive")
+        distance = 1.0 - min(k, CUMF_TUNED_K) / CUMF_TUNED_K
+        return 1.0 + _GENERIC_PENALTY_MAX * distance
+
+    def simulate(
+        self,
+        row_lengths: np.ndarray,
+        col_lengths: np.ndarray,
+        k: int = 10,
+        iterations: int = 5,
+        dataset: str = "?",
+    ) -> SimulatedRun:
+        cm = self.context.cost_model
+        queue = self.context.create_queue()
+        penalty = self.generic_penalty(k)
+        transfer = training_transfer_cost(
+            self.device,
+            m=len(row_lengths),
+            n=len(col_lengths),
+            nnz=int(np.asarray(row_lengths).sum()),
+            k=k,
+        )
+        queue.enqueue("pcie_transfers", LaunchCost(0.0, 0.0, transfer.seconds))
+        per_iter = None
+        for _ in range(iterations):
+            for lengths, side in ((row_lengths, "X"), (col_lengths, "Y")):
+                costs = cm.batched_half_sweep(lengths, k, 32, self.flags)
+                queue.enqueue(
+                    f"cusparse_csrmm_{side}",
+                    LaunchCost(
+                        costs.s1.compute_s * penalty + costs.s2.compute_s * penalty,
+                        costs.s1.memory_s * penalty + costs.s2.memory_s * penalty,
+                        costs.s1.overhead_s + costs.s2.overhead_s,
+                    ),
+                )
+                queue.enqueue("batched_solve_" + side, costs.s3)
+                per_iter = costs if per_iter is None else per_iter + costs
+            queue.enqueue(
+                "library_cascade",
+                LaunchCost(0.0, 0.0, _ITERATION_OVERHEAD_S),
+            )
+        return SimulatedRun(
+            solver=self.name,
+            device=self.device.kind.value,
+            dataset=dataset,
+            k=k,
+            ws=32,
+            iterations=iterations,
+            seconds=queue.total_seconds,
+            step_costs=per_iter,
+        )

@@ -1,0 +1,119 @@
+"""Compressed sparse column storage.
+
+The paper uses CSC when updating the item factors ``y_i`` (§III-A): same
+three-array layout as CSR but column-major.  Internally we represent CSC as
+the CSR form of the transpose, which keeps one set of validated kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+from repro.sparse.csr import CSRMatrix
+
+__all__ = ["CSCMatrix"]
+
+
+class CSCMatrix:
+    """An immutable CSC matrix over float32 values.
+
+    ``value`` stores non-zeros column-major, ``row_idx`` their row indices
+    and ``col_ptr`` each column's first element (length ``n + 1``).
+    """
+
+    __slots__ = ("shape", "_t")
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        value: np.ndarray,
+        row_idx: np.ndarray,
+        col_ptr: np.ndarray,
+    ) -> None:
+        m, n = int(shape[0]), int(shape[1])
+        # The transpose seen as CSR has shape (n, m): col_ptr becomes row_ptr
+        # and row_idx becomes col_idx.  CSRMatrix performs all validation.
+        self._t = CSRMatrix((n, m), value, row_idx, col_ptr)
+        self.shape = (m, n)
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "CSCMatrix":
+        t = CSRMatrix.from_coo(coo.transpose())
+        obj = cls.__new__(cls)
+        obj._t = t
+        obj.shape = coo.shape
+        return obj
+
+    @classmethod
+    def from_csr(cls, csr: CSRMatrix) -> "CSCMatrix":
+        return cls.from_coo(csr.to_coo())
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSCMatrix":
+        return cls.from_coo(COOMatrix.from_dense(dense))
+
+    # ------------------------------------------------------------------
+    # the paper's three arrays
+    # ------------------------------------------------------------------
+    @property
+    def value(self) -> np.ndarray:
+        return self._t.value
+
+    @property
+    def row_idx(self) -> np.ndarray:
+        return self._t.col_idx
+
+    @property
+    def col_ptr(self) -> np.ndarray:
+        return self._t.row_ptr
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return self._t.nnz
+
+    @property
+    def nrows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self.shape[1]
+
+    def col_lengths(self) -> np.ndarray:
+        """nnz per column — the ``omegaSize`` sequence for the Y update."""
+        return self._t.row_lengths()
+
+    def col_slice(self, i: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(row_idx, value)`` views for column ``i``."""
+        return self._t.row_slice(i)
+
+    def count_nonzeros(self, i: int) -> int:
+        return self._t.count_nonzeros(i)
+
+    # ------------------------------------------------------------------
+    # views / conversions
+    # ------------------------------------------------------------------
+    def transpose_as_csr(self) -> CSRMatrix:
+        """The transpose of this matrix, as CSR (zero-copy)."""
+        return self._t
+
+    def to_dense(self) -> np.ndarray:
+        return self._t.to_dense().T
+
+    def to_coo(self) -> COOMatrix:
+        return self._t.to_coo().transpose()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSCMatrix):
+            return NotImplemented
+        return self.shape == other.shape and self._t == other._t
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CSCMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,158 @@
+"""Compressed sparse row storage (paper §III-A, Fig. 2).
+
+The three arrays follow the paper's naming: ``value`` holds the non-zero
+ratings row-major, ``col_idx`` the column index of each non-zero, and
+``row_ptr`` the index of each row's first element (length ``m + 1``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sparse.coo import COOMatrix
+
+__all__ = ["CSRMatrix"]
+
+
+class CSRMatrix:
+    """An immutable CSR matrix over float32 values.
+
+    This is the structure Algorithm 2 iterates: ``row_ptr[u]:row_ptr[u+1]``
+    delimits row ``u``'s non-zeros, whose column indices select the rows of
+    the factor matrix ``Y`` that participate in updating ``x_u``.
+    """
+
+    __slots__ = ("shape", "value", "col_idx", "row_ptr")
+
+    def __init__(
+        self,
+        shape: tuple[int, int],
+        value: np.ndarray,
+        col_idx: np.ndarray,
+        row_ptr: np.ndarray,
+    ) -> None:
+        m, n = int(shape[0]), int(shape[1])
+        value = np.ascontiguousarray(value, dtype=np.float32)
+        col_idx = np.ascontiguousarray(col_idx, dtype=np.int64)
+        row_ptr = np.ascontiguousarray(row_ptr, dtype=np.int64)
+        if value.ndim != 1 or col_idx.ndim != 1 or row_ptr.ndim != 1:
+            raise ValueError("CSR arrays must be 1-D")
+        if value.size != col_idx.size:
+            raise ValueError("value and col_idx must have the same length")
+        if row_ptr.size != m + 1:
+            raise ValueError(f"row_ptr must have length m+1={m + 1}, got {row_ptr.size}")
+        if row_ptr[0] != 0 or row_ptr[-1] != value.size:
+            raise ValueError("row_ptr must start at 0 and end at nnz")
+        if np.any(np.diff(row_ptr) < 0):
+            raise ValueError("row_ptr must be non-decreasing")
+        if col_idx.size and (col_idx.min() < 0 or col_idx.max() >= n):
+            raise ValueError("col_idx out of range")
+        self.shape = (m, n)
+        self.value = value
+        self.col_idx = col_idx
+        self.row_ptr = row_ptr
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_coo(cls, coo: COOMatrix) -> "CSRMatrix":
+        coo = coo.deduplicate()
+        m, _ = coo.shape
+        order = np.lexsort((coo.col, coo.row))
+        row = coo.row[order]
+        counts = np.bincount(row, minlength=m)
+        row_ptr = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(counts, out=row_ptr[1:])
+        return cls(coo.shape, coo.value[order], coo.col[order], row_ptr)
+
+    @classmethod
+    def from_dense(cls, dense: np.ndarray) -> "CSRMatrix":
+        return cls.from_coo(COOMatrix.from_dense(dense))
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(self.value.size)
+
+    @property
+    def nrows(self) -> int:
+        return self.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self.shape[1]
+
+    def row_lengths(self) -> np.ndarray:
+        """nnz per row — the ``omegaSize`` sequence of Algorithm 2."""
+        return np.diff(self.row_ptr)
+
+    # ------------------------------------------------------------------
+    # element access
+    # ------------------------------------------------------------------
+    def row_slice(self, u: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(col_idx, value)`` views for row ``u``."""
+        if not 0 <= u < self.nrows:
+            raise IndexError(f"row {u} out of range for {self.nrows} rows")
+        lo, hi = self.row_ptr[u], self.row_ptr[u + 1]
+        return self.col_idx[lo:hi], self.value[lo:hi]
+
+    def count_nonzeros(self, u: int) -> int:
+        """``CountNonZeros(R, u)`` from Algorithm 2."""
+        return int(self.row_ptr[u + 1] - self.row_ptr[u])
+
+    def to_dense(self) -> np.ndarray:
+        out = np.zeros(self.shape, dtype=np.float32)
+        rows = np.repeat(np.arange(self.nrows), self.row_lengths())
+        out[rows, self.col_idx] = self.value
+        return out
+
+    def to_coo(self) -> COOMatrix:
+        rows = np.repeat(np.arange(self.nrows, dtype=np.int64), self.row_lengths())
+        return COOMatrix(self.shape, rows, self.col_idx.copy(), self.value.copy())
+
+    def expanded_rows(self) -> np.ndarray:
+        """Row index of every stored non-zero (length nnz)."""
+        return np.repeat(np.arange(self.nrows, dtype=np.int64), self.row_lengths())
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Sparse matrix–vector product ``R @ x``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.ncols,):
+            raise ValueError(f"vector of length {self.ncols} expected")
+        prods = self.value.astype(np.float64) * x[self.col_idx]
+        out = np.zeros(self.nrows, dtype=np.float64)
+        np.add.at(out, self.expanded_rows(), prods)
+        return out
+
+    def matmat(self, B: np.ndarray) -> np.ndarray:
+        """Sparse matrix–dense matrix product ``R @ B``."""
+        B = np.asarray(B, dtype=np.float64)
+        if B.ndim != 2 or B.shape[0] != self.ncols:
+            raise ValueError(f"dense operand must have {self.ncols} rows")
+        gathered = B[self.col_idx] * self.value[:, None].astype(np.float64)
+        out = np.zeros((self.nrows, B.shape[1]), dtype=np.float64)
+        np.add.at(out, self.expanded_rows(), gathered)
+        return out
+
+    def transpose_to_csr(self) -> "CSRMatrix":
+        """Return the transpose, itself in CSR form (= this matrix in CSC)."""
+        return CSRMatrix.from_coo(self.to_coo().transpose())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CSRMatrix):
+            return NotImplemented
+        return (
+            self.shape == other.shape
+            and np.array_equal(self.row_ptr, other.row_ptr)
+            and np.array_equal(self.col_idx, other.col_idx)
+            and np.array_equal(self.value, other.value)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CSRMatrix(shape={self.shape}, nnz={self.nnz})"

@@ -1,0 +1,110 @@
+"""Row partitioning for work scheduling.
+
+Two strategies used by the solvers:
+
+* **contiguous** — split the row range into equal-count chunks; this is how
+  the flat baseline assigns rows to threads and how work-groups enumerate
+  rows in the thread-batched mapping.
+* **balanced** — greedy longest-processing-time assignment by nnz, used by
+  the OpenMP-style CPU baseline with dynamic scheduling, where a core can
+  steal whole rows and the relevant imbalance is per-core total work rather
+  than per-warp divergence.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["RowPartition", "partition_rows_contiguous", "partition_rows_balanced"]
+
+
+@dataclass(frozen=True)
+class RowPartition:
+    """Assignment of rows to ``nparts`` workers."""
+
+    nparts: int
+    assignment: np.ndarray  # assignment[row] = part index
+    loads: np.ndarray  # total nnz per part
+
+    @property
+    def imbalance(self) -> float:
+        """max load / mean load (1.0 = perfect balance)."""
+        mean = self.loads.mean()
+        return float(self.loads.max() / mean) if mean > 0 else 1.0
+
+    def rows_of(self, part: int) -> np.ndarray:
+        if not 0 <= part < self.nparts:
+            raise IndexError(f"part {part} out of range")
+        return np.nonzero(self.assignment == part)[0]
+
+
+def partition_rows_contiguous(lengths: np.ndarray, nparts: int) -> RowPartition:
+    """Split rows into ``nparts`` contiguous, equal-count chunks."""
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if nparts <= 0:
+        raise ValueError("nparts must be positive")
+    nrows = lengths.size
+    # np.array_split semantics: first (nrows % nparts) chunks get one extra row.
+    assignment = np.empty(nrows, dtype=np.int64)
+    base, extra = divmod(nrows, nparts)
+    start = 0
+    loads = np.zeros(nparts, dtype=np.int64)
+    for p in range(nparts):
+        size = base + (1 if p < extra else 0)
+        assignment[start : start + size] = p
+        loads[p] = lengths[start : start + size].sum()
+        start += size
+    return RowPartition(nparts, assignment, loads)
+
+
+#: Above this row count the exact LPT heap (pure Python) is replaced by a
+#: vectorized snake assignment; with millions of near-equal tail rows the
+#: two are indistinguishable for load-modelling purposes.
+_LPT_EXACT_LIMIT = 65536
+
+
+def partition_rows_balanced(lengths: np.ndarray, nparts: int) -> RowPartition:
+    """Balanced assignment: heaviest rows spread across the parts.
+
+    For inputs up to ``_LPT_EXACT_LIMIT`` rows this is exact greedy LPT
+    (load ≤ (4/3 − 1/(3·nparts)) × optimal).  Larger inputs use a
+    boustrophedon ("snake") assignment of the descending-sorted rows —
+    vectorized, and within a fraction of a percent of LPT on the
+    heavy-tailed populations this library models.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if nparts <= 0:
+        raise ValueError("nparts must be positive")
+    if lengths.size <= _LPT_EXACT_LIMIT:
+        return _partition_lpt(lengths, nparts)
+    return _partition_snake(lengths, nparts)
+
+
+def _partition_lpt(lengths: np.ndarray, nparts: int) -> RowPartition:
+    assignment = np.zeros(lengths.size, dtype=np.int64)
+    loads = np.zeros(nparts, dtype=np.int64)
+    order = np.argsort(lengths)[::-1]
+    heap: list[tuple[int, int]] = [(0, p) for p in range(nparts)]
+    heapq.heapify(heap)
+    for row in order:
+        load, part = heapq.heappop(heap)
+        assignment[row] = part
+        new_load = load + int(lengths[row])
+        loads[part] = new_load
+        heapq.heappush(heap, (new_load, part))
+    return RowPartition(nparts, assignment, loads)
+
+
+def _partition_snake(lengths: np.ndarray, nparts: int) -> RowPartition:
+    order = np.argsort(lengths)[::-1]
+    n = lengths.size
+    # Positions 0..2p-1 repeat as 0,1,..,p-1,p-1,..,1,0 — the snake.
+    cycle = np.arange(2 * nparts) % (2 * nparts)
+    snake = np.where(cycle < nparts, cycle, 2 * nparts - 1 - cycle)
+    assignment = np.empty(n, dtype=np.int64)
+    assignment[order] = snake[np.arange(n) % (2 * nparts)]
+    loads = np.bincount(assignment, weights=lengths, minlength=nparts).astype(np.int64)
+    return RowPartition(nparts, assignment, loads)

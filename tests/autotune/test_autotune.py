@@ -1,0 +1,138 @@
+"""Tests for empirical variant search and the learned selector."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autotune import (
+    FEATURE_NAMES,
+    VariantSelector,
+    WS_CANDIDATES,
+    context_features,
+    exhaustive_search,
+)
+from repro.clsim import (
+    ALL_DEVICES,
+    INTEL_XEON_E5_2670_X2 as CPU,
+    INTEL_XEON_PHI_31SP as MIC,
+    NVIDIA_TESLA_K20C as GPU,
+)
+from repro.clsim.costmodel import CostModel
+from repro.datasets import NETFLIX, YAHOO_R1, YAHOO_R4, degree_sequences
+
+
+@pytest.fixture(scope="module")
+def seqs():
+    return {
+        s.abbr: degree_sequences(s, seed=7) for s in (NETFLIX, YAHOO_R1, YAHOO_R4)
+    }
+
+
+class TestExhaustiveSearch:
+    def test_covers_full_grid(self, seqs):
+        rows, cols = seqs["YMR4"]
+        result = exhaustive_search(GPU, rows, cols)
+        assert len(result.table) == 8 * len(WS_CANDIDATES)
+
+    def test_best_is_table_minimum(self, seqs):
+        rows, cols = seqs["YMR4"]
+        result = exhaustive_search(CPU, rows, cols)
+        assert result.best_seconds == pytest.approx(min(result.table.values()))
+        assert result.table[result.best_variant.name, result.best_ws] == result.best_seconds
+
+    def test_gpu_best_uses_registers_and_local(self, seqs):
+        """§V: the GPU winner combines registers + local memory."""
+        rows, cols = seqs["NTFX"]
+        result = exhaustive_search(GPU, rows, cols)
+        assert result.best_variant.flags.registers
+        assert result.best_variant.flags.local_mem
+        assert result.best_ws in (16, 32)
+
+    def test_cpu_best_avoids_registers(self, seqs):
+        """§V-B: registers+local degrade on the CPU."""
+        rows, cols = seqs["NTFX"]
+        result = exhaustive_search(CPU, rows, cols)
+        assert result.best_variant.flags.local_mem
+        assert not result.best_variant.flags.registers
+
+    def test_mic_ws_optimum_depends_on_dataset(self, seqs):
+        """Fig. 10: YMR4 → ws 8, YMR1 → ws 16 on the MIC."""
+        small = exhaustive_search(MIC, *seqs["YMR4"])
+        large = exhaustive_search(MIC, *seqs["YMR1"])
+        assert small.best_ws == 8
+        assert large.best_ws == 16
+
+    def test_ranking_sorted(self, seqs):
+        result = exhaustive_search(GPU, *seqs["YMR4"])
+        times = [t for _, _, t in result.ranking()]
+        assert times == sorted(times)
+        assert result.speedup_over_worst() > 1.0
+
+    def test_empty_candidates_rejected(self, seqs):
+        with pytest.raises(ValueError):
+            exhaustive_search(GPU, *seqs["YMR4"], ws_candidates=())
+
+
+class TestFeatures:
+    def test_feature_vector_shape(self, seqs):
+        feats = context_features(GPU, *seqs["YMR4"])
+        assert feats.shape == (len(FEATURE_NAMES),)
+        assert np.isfinite(feats).all()
+
+    def test_device_features_differ(self, seqs):
+        a = context_features(GPU, *seqs["YMR4"])
+        b = context_features(CPU, *seqs["YMR4"])
+        assert not np.allclose(a, b)
+
+    def test_dataset_features_differ(self, seqs):
+        a = context_features(GPU, *seqs["YMR4"])
+        b = context_features(GPU, *seqs["NTFX"])
+        assert not np.allclose(a, b)
+
+    def test_inconsistent_sequences_rejected(self, seqs):
+        rows, cols = seqs["YMR4"]
+        with pytest.raises(ValueError, match="nnz"):
+            context_features(GPU, rows, cols[:-1])
+
+
+class TestSelector:
+    @pytest.fixture(scope="class")
+    def selector(self, seqs):
+        # Train on two datasets across devices, predict the third.
+        contexts = []
+        for abbr in ("NTFX", "YMR4"):
+            rows, cols = seqs[abbr]
+            for device in ALL_DEVICES:
+                contexts.append((device, rows, cols))
+        return VariantSelector(n_neighbors=1).fit(contexts)
+
+    def test_predicts_near_optimal_on_held_out(self, seqs, selector):
+        """The learned choice must be close to the exhaustive optimum."""
+        rows, cols = seqs["YMR1"]
+        for device in ALL_DEVICES:
+            variant, ws = selector.predict(device, rows, cols)
+            best = exhaustive_search(device, rows, cols)
+            chosen = CostModel(device).training_time(
+                rows, cols, 10, ws, variant.flags, 5
+            )
+            assert chosen <= 1.5 * best.best_seconds, device.name
+
+    def test_respects_device_structure(self, seqs, selector):
+        rows, cols = seqs["YMR1"]
+        v_gpu, _ = selector.predict(GPU, rows, cols)
+        v_cpu, _ = selector.predict(CPU, rows, cols)
+        assert v_gpu.flags.registers
+        assert not v_cpu.flags.registers
+
+    def test_unfitted_rejects_predict(self, seqs):
+        with pytest.raises(RuntimeError):
+            VariantSelector().predict(GPU, *seqs["YMR4"])
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValueError):
+            VariantSelector().fit([])
+
+    def test_invalid_neighbors(self):
+        with pytest.raises(ValueError):
+            VariantSelector(n_neighbors=0)

@@ -1,0 +1,230 @@
+"""Integration tests: every experiment runner reproduces its paper shape.
+
+One test class per table/figure; together these are the acceptance tests
+for the reproduction (the measured values are recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    run_fig1,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    run_fig10,
+    run_table1,
+)
+from repro.bench.report import format_bar, format_table
+from repro.datasets import TABLE_I
+
+
+@pytest.fixture(scope="module")
+def fig1():
+    return run_fig1()
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return run_fig6()
+
+
+@pytest.fixture(scope="module")
+def fig7():
+    return run_fig7()
+
+
+@pytest.fixture(scope="module")
+def fig9():
+    return run_fig9()
+
+
+@pytest.fixture(scope="module")
+def fig10():
+    return run_fig10()
+
+
+class TestTable1:
+    def test_generated_nnz_matches_spec(self):
+        result = run_table1()
+        for abbr, _, m, n, nnz_spec, nnz_rows, nnz_cols in result.rows:
+            assert nnz_rows == nnz_spec
+            assert nnz_cols == nnz_spec
+        assert len(result.rows) == 4
+
+    def test_render_contains_all_datasets(self):
+        text = run_table1().render()
+        for spec in TABLE_I:
+            assert spec.abbr in text
+
+
+class TestFig1:
+    def test_cuda_slower_on_every_dataset(self, fig1):
+        """Observation 1 (§II-C): baseline ALS runs faster on the CPU."""
+        for abbr, ratio in fig1.ratios.items():
+            assert ratio > 2.0, abbr
+
+    def test_mean_ratio_same_order_as_paper(self, fig1):
+        # Paper: 8.4× on average.  Calibration note (EXPERIMENTS.md): the
+        # paper's own anchors are mutually inconsistent; we land the mean
+        # in the same regime while matching Figs. 7/9 closely.
+        assert 3.0 < fig1.mean_ratio < 12.0
+
+    def test_render(self, fig1):
+        assert "8.4" in fig1.render()
+
+
+class TestFig6:
+    def test_gpu_bar_ordering(self, fig6):
+        """GPU: batching > +local > +local+register; vector ≈ neutral."""
+        for abbr in ("MVLE", "NTFX", "YMR1"):
+            bars = fig6.times[abbr]["gpu"]
+            assert bars["thread batching"] > bars["+local memory"]
+            assert bars["+local memory"] > bars["+local memory + register"]
+            assert bars["+vector"] == pytest.approx(
+                bars["+local memory + register"], rel=1e-6
+            )
+
+    def test_gpu_combined_speedup_up_to_2_6(self, fig6):
+        ratios = [
+            fig6.times[s.abbr]["gpu"]["thread batching"]
+            / fig6.times[s.abbr]["gpu"]["+local memory + register"]
+            for s in TABLE_I
+        ]
+        assert 2.2 < max(ratios) < 3.2  # paper: "by upto 2.6×"
+
+    def test_cpu_mic_local_memory_boost(self, fig6):
+        """§V-B: local memory helps on CPU (≤1.6×) and MIC (≤1.4×)."""
+        for dev, cap in (("cpu", 1.9), ("mic", 1.7)):
+            ratios = [
+                fig6.times[s.abbr][dev]["thread batching"]
+                / fig6.times[s.abbr][dev]["+local memory"]
+                for s in TABLE_I
+            ]
+            assert all(r > 1.0 for r in ratios)
+            assert 1.2 < max(ratios) < cap
+
+    def test_cpu_mic_register_degradation(self, fig6):
+        """§V-B: combining registers with local memory degrades CPU/MIC."""
+        for dev in ("cpu", "mic"):
+            for s in TABLE_I:
+                bars = fig6.times[s.abbr][dev]
+                assert (
+                    bars["+local memory + register"] > bars["+local memory"]
+                ), (dev, s.abbr)
+
+    def test_render_mentions_every_dataset(self, fig6):
+        text = fig6.render()
+        for s in TABLE_I:
+            assert s.abbr in text
+
+
+class TestFig7:
+    def test_cpu_speedup_near_5_5(self, fig7):
+        mean = np.mean(list(fig7.vs_sac15_cpu.values()))
+        assert 4.0 < mean < 7.5  # paper: 5.5×
+
+    def test_gpu_speedup_near_21(self, fig7):
+        mean = np.mean(list(fig7.vs_sac15_gpu.values()))
+        assert 15.0 < mean < 28.0  # paper: 21.2×
+
+    def test_cumf_range(self, fig7):
+        values = list(fig7.vs_hpdc16_gpu.values())
+        assert all(2.0 < v < 8.0 for v in values)  # paper: 2.2–6.8×
+
+    def test_cumf_max_on_ymr4(self, fig7):
+        """§V-A: "we achieve the largest speedup for YahooMusic R4"."""
+        assert max(fig7.vs_hpdc16_gpu, key=fig7.vs_hpdc16_gpu.get) == "YMR4"
+
+    def test_all_speedups_above_one(self, fig7):
+        for d in (fig7.vs_sac15_cpu, fig7.vs_sac15_gpu, fig7.vs_hpdc16_gpu):
+            assert all(v > 1.0 for v in d.values())
+
+
+class TestFig8:
+    def test_pipeline_story(self):
+        result = run_fig8()
+        profiles = {p.label: p for p in result.profiles}
+        totals = [p.total_seconds for p in result.profiles]
+        assert totals == sorted(totals, reverse=True)  # every stage helps
+        # S1 is the hotspot after batching (§V-C: "around 70%").
+        assert profiles["thread batching"].shares[0] > 0.5
+        # After optimizing S1, S2's share rises (paper: S2 becomes the
+        # most time-consuming step).
+        assert (
+            profiles["optimizing S1"].shares[1]
+            > profiles["thread batching"].shares[1]
+        )
+        # After optimizing S2, S1 dominates again.
+        s2opt = profiles["optimizing S2"].shares
+        assert s2opt[0] > max(s2opt[1], s2opt[2])
+
+    def test_render(self):
+        text = run_fig8().render()
+        assert "S1" in text and "Cholesky" in text
+
+
+class TestFig9:
+    def test_cpu_fastest_overall(self, fig9):
+        slow = fig9.slowdowns()
+        gpu_mean = np.mean([slow[a]["gpu"] for a in slow])
+        mic_mean = np.mean([slow[a]["mic"] for a in slow])
+        assert 1.0 <= gpu_mean < 2.0  # paper: 1.5×
+        assert 3.0 < mic_mean < 5.5  # paper: 4.1×
+
+    def test_gpu_wins_on_ymr1(self, fig9):
+        """§V-D: "our ALS solver on the K20c GPU outperforms that on the
+        16-core CPU" for YahooMusic R1."""
+        s = fig9.seconds["YMR1"]
+        assert s["gpu"] <= s["cpu"]
+
+    def test_mic_slowest_everywhere(self, fig9):
+        for abbr, per_dev in fig9.seconds.items():
+            assert per_dev["mic"] == max(per_dev.values()), abbr
+
+
+class TestFig10:
+    def test_gpu_optimum_16_or_32(self, fig10):
+        for abbr, per_dev in fig10.optima().items():
+            assert per_dev["gpu"] in (16, 32), abbr
+
+    def test_gpu_penalties_off_optimum(self, fig10):
+        for s in TABLE_I:
+            sweep = fig10.times[s.abbr]["gpu"]
+            assert sweep[8] > sweep[16]
+            assert sweep[64] > sweep[32]
+            assert sweep[128] > sweep[64]
+
+    def test_cpu_smaller_is_better(self, fig10):
+        for s in TABLE_I:
+            sweep = fig10.times[s.abbr]["cpu"]
+            values = [sweep[ws] for ws in (8, 16, 32, 64, 128)]
+            assert values == sorted(values), s.abbr
+
+    def test_mic_optimum_dataset_dependent(self, fig10):
+        """§V-E: YMR4 best at 8, YMR1 best at 16 on the MIC."""
+        optima = fig10.optima()
+        assert optima["YMR4"]["mic"] == 8
+        assert optima["YMR1"]["mic"] == 16
+
+    def test_render(self, fig10):
+        assert "ws=128" in fig10.render()
+
+
+class TestReportHelpers:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["x", 1.5], ["yy", 2.25]])
+        lines = text.splitlines()
+        assert len({len(l) for l in lines}) == 1  # rectangular
+
+    def test_format_table_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            format_table(["a"], [["x", "y"]])
+
+    def test_format_bar(self):
+        assert format_bar(5.0, 10.0, width=10) == "#####"
+        assert format_bar(0.0, 10.0) == ""
+        assert format_bar(1.0, 0.0) == ""

@@ -1,0 +1,85 @@
+"""Tests for the k-sweep extension experiment and the CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import EXPERIMENTS, run_ksweep
+from repro.cli import main
+
+
+class TestKSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_ksweep(ks=(10, 50, 100))
+
+    def test_speedup_shrinks_toward_k100(self, result):
+        """§V-A: cuMF is tuned for k=100 — the gap must close as k grows."""
+        speed = result.speedups()
+        assert speed[10] > speed[50] > speed[100]
+        assert speed[100] == pytest.approx(1.0, abs=0.25)
+
+    def test_ours_wins_at_small_k(self, result):
+        assert result.speedups()[10] > 2.0
+
+    def test_times_grow_with_k(self, result):
+        assert result.ours_s[100] > result.ours_s[50] > result.ours_s[10]
+
+    def test_registered(self):
+        assert "ksweep" in EXPERIMENTS
+
+    def test_render(self, result):
+        text = result.render()
+        assert "k=100" in text or "100" in text
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("table1", "fig1", "fig10", "ksweep"):
+            assert name in out
+
+    def test_single_experiment(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Movielens10M" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_tune(self, capsys):
+        assert main(["tune", "gpu", "YMR4"]) == 0
+        out = capsys.readouterr().out
+        assert "best:" in out
+        assert "batching" in out
+
+    def test_tune_usage_error(self, capsys):
+        assert main(["tune", "gpu"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+    def test_tune_with_custom_k(self, capsys):
+        assert main(["tune", "cpu", "YMR4", "--k", "20"]) == 0
+        assert "k=20" in capsys.readouterr().out
+
+
+class TestEmitCL:
+    def test_emit_cl_gpu(self, capsys):
+        from repro.cli import main
+
+        assert main(["emit-cl", "gpu"]) == 0
+        out = capsys.readouterr().out
+        assert "__kernel void als_s1" in out
+        assert "batching+local+reg" in out
+
+    def test_emit_cl_with_k(self, capsys):
+        from repro.cli import main
+
+        assert main(["emit-cl", "cpu", "--k", "16"]) == 0
+        assert "#define K 16" in capsys.readouterr().out
+
+    def test_emit_cl_usage(self, capsys):
+        from repro.cli import main
+
+        assert main(["emit-cl"]) == 2
+        assert "usage" in capsys.readouterr().err

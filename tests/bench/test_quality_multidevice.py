@@ -1,0 +1,49 @@
+"""Tests for the quality-vs-time extension experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import EXPERIMENTS, run_quality
+
+
+@pytest.fixture(scope="module")
+def quality():
+    return run_quality()
+
+
+class TestQuality:
+    def test_reaches_noise_floor(self, quality):
+        assert quality.rmse_per_iteration[-1] < 0.15  # planted noise = 0.1
+
+    def test_rmse_improves_overall(self, quality):
+        curve = quality.rmse_per_iteration
+        assert curve[-1] < curve[0] / 5
+
+    def test_cpu_time_axis_fastest(self, quality):
+        assert (
+            quality.iteration_seconds["cpu"]
+            < quality.iteration_seconds["gpu"]
+            < quality.iteration_seconds["mic"]
+        )
+
+    def test_curve_is_time_ordered(self, quality):
+        curve = quality.curve("gpu")
+        times = [t for t, _ in curve]
+        assert times == sorted(times)
+        assert len(curve) == len(quality.rmse_per_iteration)
+
+    def test_time_to_target(self, quality):
+        t = quality.time_to("cpu", target_rmse=0.2)
+        assert t is not None
+        assert t < quality.time_to("mic", target_rmse=0.2)
+
+    def test_time_to_unreachable_target(self, quality):
+        assert quality.time_to("cpu", target_rmse=0.0) is None
+
+    def test_registered(self):
+        assert "quality" in EXPERIMENTS
+
+    def test_render(self, quality):
+        text = quality.render()
+        assert "held-out RMSE" in text

@@ -1,0 +1,42 @@
+"""The top-level acceptance test: every paper anchor must hold."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import collect_anchors, render_scorecard
+
+
+@pytest.fixture(scope="module")
+def anchors():
+    return collect_anchors()
+
+
+def test_every_anchor_holds(anchors):
+    failed = [a for a in anchors if not a.holds]
+    assert not failed, "\n".join(
+        f"{a.experiment}: {a.description} (paper {a.paper}, measured {a.measured})"
+        for a in failed
+    )
+
+
+def test_anchor_coverage(anchors):
+    """Every paper artifact contributes at least one anchor."""
+    experiments = {a.experiment for a in anchors}
+    assert experiments >= {
+        "table1",
+        "fig1",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "ksweep",
+    }
+    assert len(anchors) >= 12
+
+
+def test_scorecard_renders(anchors):
+    text = render_scorecard(anchors)
+    assert "anchors hold" in text
+    assert "FAIL" not in text

@@ -1,0 +1,125 @@
+"""Property-based invariants of the performance model.
+
+These complement tests/clsim/test_costmodel.py with randomized checks of
+the algebraic structure the cost model must have regardless of
+calibration values.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clsim import ALL_DEVICES, CostModel, OptFlags
+from repro.clsim.device import NVIDIA_TESLA_K20C as GPU
+
+K = 10
+
+
+def _lengths(seed: int, n: int = 2000, scale: int = 10) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return (rng.zipf(1.6, n).clip(max=200) * scale).astype(np.int64)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**31))
+def test_batched_cost_additive_in_rows(seed):
+    """Splitting a row population across two launches costs what one
+    launch costs, minus the duplicated fixed overheads."""
+    lengths = _lengths(seed)
+    half = len(lengths) // 2
+    a, b = lengths[:half], lengths[half:]
+    cm = CostModel(GPU)
+    flags = OptFlags(registers=True, local_mem=True)
+    whole = cm.batched_half_sweep(lengths, K, 32, flags)
+    parts = cm.batched_half_sweep(a, K, 32, flags) + cm.batched_half_sweep(
+        b, K, 32, flags
+    )
+    # component sums must match exactly up to the extra launch overheads
+    assert parts.s1.compute_s == pytest.approx(whole.s1.compute_s, rel=1e-6)
+    assert parts.s2.memory_s == pytest.approx(whole.s2.memory_s, rel=1e-6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 2**31))
+def test_batched_invariant_under_permutation(seed):
+    """The batched mapping has no window structure: shuffling rows must
+    not change its cost (unlike the flat mapping)."""
+    lengths = _lengths(seed)
+    rng = np.random.default_rng(seed + 1)
+    shuffled = rng.permutation(lengths)
+    cm = CostModel(GPU)
+    a = cm.batched_half_sweep(lengths, K, 32, OptFlags()).seconds
+    b = cm.batched_half_sweep(shuffled, K, 32, OptFlags()).seconds
+    assert a == pytest.approx(b, rel=1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**31), k=st.sampled_from([5, 10, 20, 40]))
+def test_cost_monotone_in_k(seed, k):
+    lengths = _lengths(seed)
+    for device in ALL_DEVICES:
+        cm = CostModel(device)
+        small = cm.batched_half_sweep(lengths, k, 32, OptFlags()).seconds
+        large = cm.batched_half_sweep(lengths, 2 * k, 32, OptFlags()).seconds
+        assert large > small
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**31), factor=st.integers(2, 5))
+def test_cost_scales_superlinearly_never(seed, factor):
+    """k fixed: duplicating the population `factor` times must scale the
+    work terms exactly linearly (no hidden super-linear term).  The
+    population must exceed the device's concurrency hint, else the
+    parallel-slack term makes small launches intentionally sub-linear."""
+    lengths = _lengths(seed, n=2000)
+    tiled = np.tile(lengths, factor)
+    cm = CostModel(GPU)
+    one = cm.batched_half_sweep(lengths, K, 32, OptFlags())
+    many = cm.batched_half_sweep(tiled, K, 32, OptFlags())
+    assert many.s1.compute_s == pytest.approx(factor * one.s1.compute_s, rel=1e-9)
+    assert many.s2.memory_s == pytest.approx(factor * one.s2.memory_s, rel=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 2**31))
+def test_flat_cost_at_least_balanced_lower_bound(seed):
+    """The flat cost can never beat the same population with perfectly
+    balanced windows (divergence only adds)."""
+    lengths = _lengths(seed)
+    mean = max(1, int(lengths.mean()))
+    balanced = np.full_like(lengths, mean)
+    # equalize total work
+    balanced[-1] += int(lengths.sum() - balanced.sum())
+    if balanced[-1] < 0:
+        balanced[-1] = 0
+    cm = CostModel(GPU)
+    real = cm.flat_half_sweep(lengths, K).seconds
+    ideal = cm.flat_half_sweep(np.sort(balanced), K).seconds
+    assert real >= ideal * 0.95
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 2**31),
+    ws=st.sampled_from([8, 16, 32, 64]),
+    reg=st.booleans(),
+    lm=st.booleans(),
+    vec=st.booleans(),
+)
+def test_every_variant_orders_devices_consistently(seed, ws, reg, lm, vec):
+    """MIC never beats the CPU at the paper's scale, whatever the variant
+    (Fig. 9's ordering is variant-independent in the model)."""
+    lengths = _lengths(seed, n=20_000)
+    flags = OptFlags(registers=reg, local_mem=lm, vector=vec)
+    from repro.clsim.device import INTEL_XEON_E5_2670_X2, INTEL_XEON_PHI_31SP
+
+    cpu = CostModel(INTEL_XEON_E5_2670_X2).batched_half_sweep(
+        lengths, K, ws, flags
+    ).seconds
+    mic = CostModel(INTEL_XEON_PHI_31SP).batched_half_sweep(
+        lengths, K, ws, flags
+    ).seconds
+    assert mic > cpu

@@ -1,0 +1,88 @@
+"""Tests for device specs."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.clsim import (
+    ALL_DEVICES,
+    INTEL_XEON_E5_2670_X2,
+    INTEL_XEON_PHI_31SP,
+    NVIDIA_TESLA_K20C,
+    DeviceKind,
+    device_by_name,
+)
+
+
+class TestPresets:
+    def test_paper_cpu_parameters(self):
+        cpu = INTEL_XEON_E5_2670_X2
+        assert cpu.kind is DeviceKind.CPU
+        assert cpu.compute_units == 16  # dual-socket, 8 cores each (§IV-A)
+        assert cpu.clock_ghz == pytest.approx(2.6)
+        assert not cpu.has_scratchpad
+
+    def test_paper_gpu_parameters(self):
+        gpu = NVIDIA_TESLA_K20C
+        assert gpu.kind is DeviceKind.GPU
+        assert gpu.compute_units == 13  # 13 SMX (§IV-A)
+        assert gpu.hw_width == 32  # warp (§V-E)
+        assert gpu.registers_per_thread == 255  # §III-C1
+        assert gpu.has_scratchpad
+        assert gpu.scratchpad_bytes == 48 * 1024
+
+    def test_paper_mic_parameters(self):
+        mic = INTEL_XEON_PHI_31SP
+        assert mic.kind is DeviceKind.MIC
+        assert mic.compute_units == 57  # §IV-A
+        assert mic.hw_width == 16  # 512-bit SIMD
+
+    def test_all_devices_unique_kinds(self):
+        kinds = [d.kind for d in ALL_DEVICES]
+        assert len(set(kinds)) == 3
+
+    def test_warps_per_group(self):
+        assert NVIDIA_TESLA_K20C.warps_per_group(32) == 1
+        assert NVIDIA_TESLA_K20C.warps_per_group(33) == 2
+        assert NVIDIA_TESLA_K20C.warps_per_group(8) == 1
+        assert INTEL_XEON_E5_2670_X2.warps_per_group(32) == 4
+
+    def test_warps_per_group_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            NVIDIA_TESLA_K20C.warps_per_group(0)
+
+    def test_peak_strips_positive(self):
+        for d in ALL_DEVICES:
+            assert d.peak_strips_per_second > 0
+            assert d.concurrent_groups_hint > 0
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(NVIDIA_TESLA_K20C, compute_units=0)
+        with pytest.raises(ValueError):
+            dataclasses.replace(NVIDIA_TESLA_K20C, clock_ghz=-1.0)
+
+
+class TestLookup:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("cpu", INTEL_XEON_E5_2670_X2),
+            ("GPU", NVIDIA_TESLA_K20C),
+            ("k20c", NVIDIA_TESLA_K20C),
+            ("  mic ", INTEL_XEON_PHI_31SP),
+            ("xeon-phi", INTEL_XEON_PHI_31SP),
+        ],
+    )
+    def test_lookup(self, name, expected):
+        assert device_by_name(name) is expected
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown device"):
+            device_by_name("fpga")
+
+    def test_str(self):
+        assert "K20c" in str(NVIDIA_TESLA_K20C)
+        assert "[gpu]" in str(NVIDIA_TESLA_K20C)

@@ -1,0 +1,111 @@
+"""Tests for the divergence analyzer and row-reordering mitigation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clsim import (
+    NVIDIA_TESLA_K20C as GPU,
+    analyze_divergence,
+    sort_rows_by_length,
+)
+
+
+class TestAnalyzer:
+    def test_uniform_rows_have_no_divergence(self):
+        report = analyze_divergence(np.full(64, 9), 32)
+        assert report.efficiency == pytest.approx(1.0)
+        assert report.divergence_factor == pytest.approx(1.0)
+        assert report.wall_iterations == 2 * 9
+
+    def test_single_long_row_serializes_window(self):
+        lengths = np.ones(32, dtype=np.int64)
+        lengths[5] = 100
+        report = analyze_divergence(lengths, 32)
+        assert report.wall_iterations == 100
+        assert report.efficiency == pytest.approx((31 + 100) / (100 * 32))
+
+    def test_device_window_taken_from_spec(self):
+        report = analyze_divergence(np.full(64, 3), GPU)
+        assert report.window == GPU.hw_width
+
+    def test_empty_sequence(self):
+        report = analyze_divergence(np.array([], dtype=np.int64), 32)
+        assert report.efficiency == 1.0
+        assert report.n_windows == 0
+
+    def test_padding_counts_as_waste(self):
+        # 3 busy rows padded with 29 idle lanes.
+        report = analyze_divergence(np.full(3, 10), 32)
+        assert report.wall_iterations == 10
+        assert report.efficiency == pytest.approx(30 / 320)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            analyze_divergence(np.array([1]), 0)
+        with pytest.raises(ValueError):
+            analyze_divergence(np.array([-1]), 8)
+
+    def test_str(self):
+        assert "divergence factor" in str(analyze_divergence(np.full(8, 2), 4))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31),
+        window=st.sampled_from([4, 8, 16, 32]),
+        n=st.integers(1, 300),
+    )
+    def test_property_bounds(self, seed, window, n):
+        rng = np.random.default_rng(seed)
+        lengths = rng.integers(0, 200, size=n)
+        report = analyze_divergence(lengths, window)
+        assert 0.0 <= report.efficiency <= 1.0 + 1e-12
+        assert report.divergence_factor >= 1.0 - 1e-12
+        assert report.wall_iterations >= (lengths.max() if n else 0)
+
+
+class TestSorting:
+    def test_sorting_improves_efficiency(self):
+        rng = np.random.default_rng(1)
+        lengths = rng.zipf(1.6, 4096).clip(max=10_000)
+        before = analyze_divergence(lengths, 32)
+        after = analyze_divergence(sort_rows_by_length(lengths), 32)
+        assert after.efficiency > before.efficiency
+        assert after.wall_iterations <= before.wall_iterations
+
+    def test_sorting_preserves_work(self):
+        rng = np.random.default_rng(2)
+        lengths = rng.integers(0, 50, size=100)
+        assert sort_rows_by_length(lengths).sum() == lengths.sum()
+
+    def test_sorted_descending(self):
+        out = sort_rows_by_length(np.array([3, 9, 1]))
+        np.testing.assert_array_equal(out, [9, 3, 1])
+
+    def test_flat_cost_model_rewards_sorting(self):
+        """The reorder experiment's mechanism: the flat cost model must
+        price sorted rows cheaper (it reads window maxima)."""
+        from repro.clsim import CostModel
+
+        rng = np.random.default_rng(3)
+        lengths = (rng.zipf(1.6, 20_000).clip(max=400) * 10).astype(np.int64)
+        cm = CostModel(GPU)
+        flat = cm.flat_half_sweep(lengths, 10).seconds
+        flat_sorted = cm.flat_half_sweep(sort_rows_by_length(lengths), 10).seconds
+        assert flat_sorted < flat
+
+    def test_batched_cost_indifferent_to_order(self):
+        """Thread batching removes the order sensitivity entirely."""
+        from repro.clsim import CostModel, OptFlags
+
+        rng = np.random.default_rng(4)
+        lengths = rng.integers(1, 300, size=5000)
+        cm = CostModel(GPU)
+        a = cm.batched_half_sweep(lengths, 10, 32, OptFlags()).seconds
+        b = cm.batched_half_sweep(
+            sort_rows_by_length(lengths), 10, 32, OptFlags()
+        ).seconds
+        assert a == pytest.approx(b, rel=1e-12)

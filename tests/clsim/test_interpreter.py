@@ -1,0 +1,113 @@
+"""Tests for the work-item interpreter's barrier semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clsim import BARRIER, Buffer, Kernel, NDRange, execute_ndrange
+from repro.clsim.interpreter import BarrierDivergenceError
+from repro.clsim.kernel import LocalDecl
+
+
+def test_items_run_and_see_ids():
+    out = Buffer(np.zeros(8, dtype=np.int64))
+
+    def body(item, local, *, out):
+        yield from ()
+        out.store(item.global_id, item.group_id * 100 + item.local_id)
+
+    execute_ndrange(Kernel("ids", body), NDRange(8, 4), {"out": out})
+    np.testing.assert_array_equal(out.array, [0, 1, 2, 3, 100, 101, 102, 103])
+
+
+def test_barrier_synchronizes_phases():
+    """Writes before a barrier must be visible to all items after it."""
+    out = Buffer(np.zeros(4, dtype=np.float64))
+
+    def body(item, local, *, out):
+        stage = local["stage"]
+        # phase 1: each item writes its slot
+        stage.store(item.local_id, float(item.local_id + 1))
+        yield BARRIER
+        # phase 2: each item sums everyone's slots
+        total = sum(float(stage.load(i)) for i in range(item.local_size))
+        out.store(item.global_id, total)
+
+    kernel = Kernel("sum", body, (LocalDecl("stage", lambda **_: (4,)),))
+    execute_ndrange(kernel, NDRange(4, 4), {"out": out})
+    np.testing.assert_array_equal(out.array, [10.0] * 4)
+
+
+def test_local_memory_is_per_group():
+    """Group 1 must not see group 0's staged data."""
+    out = Buffer(np.zeros(4, dtype=np.float64))
+
+    def body(item, local, *, out):
+        stage = local["stage"]
+        if item.group_id == 0:
+            stage.store(0, 99.0)
+        yield BARRIER
+        out.store(item.global_id, float(stage.load(0)))
+
+    kernel = Kernel("leak", body, (LocalDecl("stage", lambda **_: (1,)),))
+    execute_ndrange(kernel, NDRange(4, 2), {"out": out})
+    np.testing.assert_array_equal(out.array, [99.0, 99.0, 0.0, 0.0])
+
+
+def test_divergent_barrier_detected():
+    def body(item, local):
+        if item.local_id == 0:
+            yield BARRIER
+
+    with pytest.raises(BarrierDivergenceError, match="barrier"):
+        execute_ndrange(Kernel("diverge", body), NDRange(4, 4), {})
+
+
+def test_mismatched_barrier_counts_detected():
+    def body(item, local):
+        for _ in range(item.local_id + 1):
+            yield BARRIER
+
+    with pytest.raises(BarrierDivergenceError):
+        execute_ndrange(Kernel("counts", body), NDRange(4, 4), {})
+
+
+def test_only_barrier_tokens_allowed():
+    def body(item, local):
+        yield "not-a-barrier"
+
+    with pytest.raises(TypeError, match="BARRIER"):
+        execute_ndrange(Kernel("bad", body), NDRange(2, 2), {})
+
+
+def test_scratchpad_capacity_enforced():
+    def body(item, local):
+        yield from ()
+
+    kernel = Kernel(
+        "big", body, (LocalDecl("huge", lambda **_: (10_000,)),)
+    )
+    with pytest.raises(MemoryError):
+        execute_ndrange(kernel, NDRange(2, 2), {}, scratchpad_capacity=1024)
+
+
+def test_negative_local_shape_rejected():
+    kernel = Kernel(
+        "neg", lambda item, local: iter(()), (LocalDecl("x", lambda **_: (-1,)),)
+    )
+    with pytest.raises(ValueError, match="negative"):
+        execute_ndrange(kernel, NDRange(2, 2), {})
+
+
+def test_uniform_early_return_is_fine():
+    """All items of a group returning before any barrier is legal."""
+    def body(item, local, *, flag):
+        yield from ()
+        if item.group_id == 0:
+            return
+        flag.store(item.global_id, 1.0)
+
+    flag = Buffer(np.zeros(4))
+    execute_ndrange(Kernel("early", body), NDRange(4, 2), {"flag": flag})
+    np.testing.assert_array_equal(flag.array, [0, 0, 1, 1])

@@ -1,0 +1,81 @@
+"""Tests for the data-parallel multi-device model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clsim import NVIDIA_TESLA_K20C as GPU
+from repro.clsim.multidevice import MultiDeviceRun, simulate_multi_device
+from repro.datasets import NETFLIX, YAHOO_R4, degree_sequences
+
+
+@pytest.fixture(scope="module")
+def netflix():
+    return degree_sequences(NETFLIX, seed=7)
+
+
+@pytest.fixture(scope="module")
+def ymr4():
+    return degree_sequences(YAHOO_R4, seed=7)
+
+
+class TestScaling:
+    def test_two_gpus_faster_than_one(self, netflix):
+        one = simulate_multi_device(GPU, 1, *netflix)
+        two = simulate_multi_device(GPU, 2, *netflix)
+        assert two.seconds < one.seconds
+
+    def test_speedup_sublinear(self, netflix):
+        one = simulate_multi_device(GPU, 1, *netflix)
+        four = simulate_multi_device(GPU, 4, *netflix)
+        speedup = four.speedup_over(one)
+        assert 1.5 < speedup < 4.0
+
+    def test_speedup_monotone_up_to_four(self, netflix):
+        runs = [simulate_multi_device(GPU, d, *netflix) for d in (1, 2, 4)]
+        times = [r.seconds for r in runs]
+        assert times == sorted(times, reverse=True)
+
+    def test_small_dataset_scales_worse(self, netflix, ymr4):
+        """Communication and imbalance dominate tiny problems."""
+        big = simulate_multi_device(GPU, 4, *netflix).speedup_over(
+            simulate_multi_device(GPU, 1, *netflix)
+        )
+        small = simulate_multi_device(GPU, 4, *ymr4).speedup_over(
+            simulate_multi_device(GPU, 1, *ymr4)
+        )
+        assert big > small
+
+    def test_comm_grows_with_devices_and_k(self, netflix):
+        rows, cols = netflix
+        two = simulate_multi_device(GPU, 2, rows, cols, k=10)
+        four = simulate_multi_device(GPU, 4, rows, cols, k=10)
+        assert four.comm_seconds > two.comm_seconds
+        k40 = simulate_multi_device(GPU, 2, rows, cols, k=40)
+        assert k40.comm_seconds > two.comm_seconds
+
+    def test_single_device_has_no_comm(self, ymr4):
+        assert simulate_multi_device(GPU, 1, *ymr4).comm_seconds == 0.0
+
+    def test_single_device_matches_portable_solver(self, ymr4):
+        from repro.solvers import PortableALS
+
+        rows, cols = ymr4
+        multi = simulate_multi_device(GPU, 1, rows, cols)
+        single = PortableALS(GPU).simulate(rows, cols)
+        # PortableALS additionally counts the host→device setup transfer.
+        assert multi.seconds == pytest.approx(single.seconds, rel=0.3)
+
+    def test_invalid_devices(self, ymr4):
+        with pytest.raises(ValueError):
+            simulate_multi_device(GPU, 0, *ymr4)
+
+    def test_run_fields(self, ymr4):
+        run = simulate_multi_device(GPU, 2, *ymr4, iterations=3)
+        assert isinstance(run, MultiDeviceRun)
+        assert run.n_devices == 2
+        assert run.iterations == 3
+        assert run.seconds == pytest.approx(
+            run.compute_seconds + run.comm_seconds
+        )

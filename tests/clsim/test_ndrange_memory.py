@@ -1,0 +1,98 @@
+"""Tests for NDRange indexing and simulated memory objects."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clsim import Buffer, LocalMemory, NDRange
+
+
+class TestNDRange:
+    def test_paper_default(self):
+        nd = NDRange.paper_default()
+        assert (nd.global_size, nd.local_size) == (8192 * 32, 32)
+        assert nd.num_groups == 8192
+
+    def test_group_items_enumeration(self):
+        nd = NDRange(12, 4)
+        items = list(nd.group_items(2))
+        assert [it.global_id for it in items] == [8, 9, 10, 11]
+        assert [it.local_id for it in items] == [0, 1, 2, 3]
+        assert all(it.group_id == 2 for it in items)
+        assert all(it.num_groups == 3 for it in items)
+        assert items[0].global_size == 12
+
+    def test_non_multiple_rejected(self):
+        with pytest.raises(ValueError, match="multiple"):
+            NDRange(10, 4)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            NDRange(0, 4)
+        with pytest.raises(ValueError):
+            NDRange(8, 0)
+
+    def test_group_out_of_range(self):
+        with pytest.raises(IndexError):
+            list(NDRange(8, 4).group_items(2))
+
+    def test_iteration_yields_group_ids(self):
+        assert list(NDRange(16, 4)) == [0, 1, 2, 3]
+
+    @settings(max_examples=30, deadline=None)
+    @given(groups=st.integers(1, 50), ws=st.integers(1, 64))
+    def test_property_ids_partition_global_range(self, groups, ws):
+        nd = NDRange(groups * ws, ws)
+        seen = sorted(
+            it.global_id for g in nd for it in nd.group_items(g)
+        )
+        assert seen == list(range(groups * ws))
+
+
+class TestBuffer:
+    def test_load_store_and_counting(self):
+        buf = Buffer(np.zeros(4, dtype=np.float32), "b")
+        buf.store(1, 2.5)
+        assert buf.load(1) == 2.5
+        assert buf.counter.writes == 1
+        assert buf.counter.reads == 1
+
+    def test_slice_load_counts_elements(self):
+        buf = Buffer(np.arange(10.0))
+        out = buf.load(slice(2, 7))
+        np.testing.assert_array_equal(out, [2, 3, 4, 5, 6])
+        assert buf.counter.reads == 5
+
+    def test_counter_reset(self):
+        buf = Buffer(np.zeros(3))
+        buf.load(0)
+        buf.counter.reset()
+        assert buf.counter.total == 0
+
+    def test_len_and_nbytes(self):
+        buf = Buffer(np.zeros(6, dtype=np.float32))
+        assert len(buf) == 6
+        assert buf.nbytes == 24
+
+
+class TestLocalMemory:
+    def test_zero_initialized(self):
+        lm = LocalMemory((3, 2))
+        np.testing.assert_array_equal(lm.array, np.zeros((3, 2), dtype=np.float32))
+
+    def test_capacity_enforced(self):
+        with pytest.raises(MemoryError):
+            LocalMemory((1024,), dtype=np.float64, capacity_bytes=1024)
+
+    def test_capacity_ok_at_limit(self):
+        lm = LocalMemory((256,), dtype=np.float32, capacity_bytes=1024)
+        assert lm.nbytes == 1024
+
+    def test_load_store(self):
+        lm = LocalMemory((2, 2))
+        lm.store((1, 0), 7.0)
+        assert lm.load((1, 0)) == 7.0
+        assert lm.counter.writes == 1

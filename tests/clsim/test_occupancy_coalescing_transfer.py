@@ -1,0 +1,150 @@
+"""Tests for occupancy, coalescing and transfer analyses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.clsim import (
+    AccessPattern,
+    INTEL_XEON_E5_2670_X2 as CPU,
+    INTEL_XEON_PHI_31SP as MIC,
+    NVIDIA_TESLA_K20C as GPU,
+    batched_column_pattern,
+    efficiency_for,
+    flat_smat_pattern,
+    occupancy,
+    training_transfer_cost,
+    transactions_for,
+)
+from repro.clsim.transfer import PCIE_BANDWIDTH_GBS
+
+
+class TestCoalescing:
+    def test_flat_pattern_one_transaction_per_lane(self):
+        """§III-B: neighbouring flat threads sit (k+1)·k elements apart, so
+        every lane pays its own transaction."""
+        pattern = flat_smat_pattern(GPU, k=10)
+        assert transactions_for(pattern, GPU) == GPU.hw_width
+        assert efficiency_for(pattern, GPU) == pytest.approx(
+            4 / GPU.cacheline_bytes
+        )
+
+    def test_batched_column_coalesces(self):
+        """A k=10 column strip spans at most 2 GPU transactions."""
+        pattern = batched_column_pattern(base_element=12345, k=10)
+        assert transactions_for(pattern, GPU) <= 2
+        assert efficiency_for(pattern, GPU) > 0.15
+
+    def test_batched_beats_flat_on_every_device(self):
+        for device in (CPU, GPU, MIC):
+            flat = efficiency_for(flat_smat_pattern(device, k=10), device)
+            batched = efficiency_for(batched_column_pattern(0, 10), device)
+            assert batched > 3 * flat, device.name
+
+    def test_aligned_full_line_is_perfect(self):
+        line = GPU.cacheline_bytes
+        pattern = AccessPattern(np.arange(line // 4) * 4)
+        assert efficiency_for(pattern, GPU) == pytest.approx(1.0)
+
+    def test_duplicate_addresses_broadcast(self):
+        # All lanes reading one address = one transaction (broadcast).
+        pattern = AccessPattern(np.zeros(32, dtype=np.int64))
+        assert transactions_for(pattern, GPU) == 1
+
+    def test_invalid_patterns_rejected(self):
+        with pytest.raises(ValueError):
+            AccessPattern(np.array([]))
+        with pytest.raises(ValueError):
+            AccessPattern(np.array([-4]))
+        with pytest.raises(ValueError):
+            AccessPattern(np.array([0]), element_bytes=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31),
+        lanes=st.integers(1, 64),
+    )
+    def test_property_efficiency_bounded(self, seed, lanes):
+        rng = np.random.default_rng(seed)
+        pattern = AccessPattern(rng.integers(0, 1 << 20, size=lanes) * 4)
+        eff = efficiency_for(pattern, GPU)
+        assert 0 < eff <= 1.0 + 1e-12
+
+
+class TestOccupancy:
+    def test_gpu_limited_by_group_slots_at_small_ws(self):
+        report = occupancy(GPU, ws=32, k=10)
+        assert report.limiting_resource == "group slots"
+        assert report.groups_per_cu == 16
+
+    def test_gpu_thread_slots_bind_at_large_ws(self):
+        report = occupancy(GPU, ws=2048, k=10)
+        assert report.groups_per_cu == 1
+
+    def test_gpu_scratchpad_can_limit(self):
+        report = occupancy(GPU, ws=32, k=10, local_bytes_per_group=24 * 1024)
+        assert report.limiting_resource == "scratchpad"
+        assert report.groups_per_cu == 2
+
+    def test_gpu_registers_can_limit(self):
+        report = occupancy(GPU, ws=256, k=10, registers_per_item=128)
+        assert report.limiting_resource == "registers"
+
+    def test_lane_utilization_drops_with_oversized_groups(self):
+        """§V-E: ws=64 at k=10 leaves idle warps."""
+        small = occupancy(GPU, ws=16, k=10)
+        big = occupancy(GPU, ws=64, k=10)
+        assert small.lane_utilization > big.lane_utilization
+
+    def test_cpu_bound_by_thread_contexts(self):
+        report = occupancy(CPU, ws=32, k=10)
+        assert report.limiting_resource == "thread contexts"
+        assert report.groups_per_cu == CPU.threads_per_unit
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            occupancy(GPU, ws=0, k=10)
+        with pytest.raises(ValueError):
+            occupancy(GPU, ws=32, k=10, registers_per_item=0)
+        with pytest.raises(ValueError):
+            occupancy(GPU, ws=32, k=10, local_bytes_per_group=-1)
+
+    def test_str(self):
+        assert "groups/CU" in str(occupancy(GPU, ws=32, k=10))
+
+
+class TestTransfer:
+    def test_cpu_transfers_nothing(self):
+        cost = training_transfer_cost(CPU, m=100, n=50, nnz=1000, k=10)
+        assert cost.seconds == 0.0
+        assert cost.transfers == 0
+
+    def test_gpu_traffic_scales_with_nnz(self):
+        small = training_transfer_cost(GPU, m=100, n=50, nnz=1_000, k=10)
+        big = training_transfer_cost(GPU, m=100, n=50, nnz=1_000_000, k=10)
+        assert big.host_to_device_bytes > 100 * small.host_to_device_bytes / 2
+        assert big.seconds > small.seconds
+
+    def test_bytes_accounting(self):
+        cost = training_transfer_cost(GPU, m=10, n=5, nnz=20, k=2)
+        # CSR: 20*8 + 11*4 ; CSC: 20*8 + 6*4 ; Y down: 5*2*4
+        assert cost.host_to_device_bytes == (20 * 8 + 11 * 4) + (20 * 8 + 6 * 4) + 40
+        # up: (10+5)*2*4
+        assert cost.device_to_host_bytes == 120
+
+    def test_seconds_formula(self):
+        cost = training_transfer_cost(GPU, m=10, n=5, nnz=20, k=2)
+        expect = (
+            cost.host_to_device_bytes + cost.device_to_host_bytes
+        ) / (PCIE_BANDWIDTH_GBS * 1e9) + cost.transfers * 20e-6
+        assert cost.seconds == pytest.approx(expect)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            training_transfer_cost(GPU, m=0, n=5, nnz=20, k=2)
+
+    def test_mic_also_pays(self):
+        assert training_transfer_cost(MIC, m=10, n=5, nnz=20, k=2).seconds > 0

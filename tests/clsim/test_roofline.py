@@ -1,0 +1,64 @@
+"""Tests for the roofline analyzer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clsim import (
+    ALL_DEVICES,
+    NVIDIA_TESLA_K20C as GPU,
+    OptFlags,
+    roofline_analysis,
+)
+
+
+@pytest.fixture(scope="module")
+def lengths():
+    rng = np.random.default_rng(5)
+    return (rng.zipf(1.6, 30_000).clip(max=400) * 10).astype(np.int64)
+
+
+class TestRoofline:
+    def test_als_is_bandwidth_limited(self, lengths):
+        """§III-C1: 'factorizing rating matrix is a typical
+        bandwidth-limited kernel' — all steps below the ridge at k=10."""
+        for device in ALL_DEVICES:
+            report = roofline_analysis(device, lengths, k=10)
+            assert all(p.bound == "memory" for p in report.points), device.name
+
+    def test_intensity_grows_with_k(self, lengths):
+        low = roofline_analysis(GPU, lengths, k=10)
+        high = roofline_analysis(GPU, lengths, k=100)
+        assert high.points[0].intensity > low.points[0].intensity
+
+    def test_s1_crosses_the_ridge_at_large_k(self, lengths):
+        """The Gram step's intensity ~ (k+1)/4 flop/B eventually exceeds
+        the K20c ridge (~11.3) — compute-bound at k≈50+."""
+        report = roofline_analysis(GPU, lengths, k=64)
+        assert report.points[0].bound == "compute"
+
+    def test_achieved_below_attainable(self, lengths):
+        for device in ALL_DEVICES:
+            report = roofline_analysis(device, lengths)
+            for p in report.points:
+                assert p.achieved_flops <= p.attainable_flops * 1.001, (
+                    device.name,
+                    p.name,
+                )
+
+    def test_attainable_is_roofline_min(self, lengths):
+        report = roofline_analysis(GPU, lengths)
+        for p in report.points:
+            assert p.attainable_flops == pytest.approx(
+                min(p.peak_flops, p.intensity * p.bandwidth)
+            )
+
+    def test_s1_has_highest_intensity(self, lengths):
+        report = roofline_analysis(GPU, lengths, k=10)
+        by_name = {p.name: p for p in report.points}
+        assert by_name["s1_gram"].intensity > by_name["s2_rhs"].intensity
+
+    def test_render(self, lengths):
+        text = roofline_analysis(GPU, lengths).render()
+        assert "flop/B" in text and "ridge" in text

@@ -1,0 +1,91 @@
+"""Tests for the runtime objects and calibration plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clsim import (
+    Calibration,
+    CommandQueue,
+    Context,
+    CostModel,
+    LaunchCost,
+    NVIDIA_TESLA_K20C,
+    OptFlags,
+    default_calibration,
+)
+from repro.clsim.device import DeviceKind
+
+
+class TestRuntime:
+    def test_queue_accumulates(self):
+        q = CommandQueue(NVIDIA_TESLA_K20C)
+        q.enqueue("a", LaunchCost(1.0, 0.5, 0.1))
+        q.enqueue("b", LaunchCost(0.2, 0.8, 0.0))
+        assert q.total_seconds == pytest.approx(1.1 + 0.8)
+
+    def test_seconds_by_kernel(self):
+        q = CommandQueue(NVIDIA_TESLA_K20C)
+        q.enqueue("s1", LaunchCost(1.0, 0.0, 0.0))
+        q.enqueue("s1", LaunchCost(2.0, 0.0, 0.0))
+        q.enqueue("s2", LaunchCost(0.5, 0.0, 0.0))
+        agg = q.seconds_by_kernel()
+        assert agg["s1"] == pytest.approx(3.0)
+        assert agg["s2"] == pytest.approx(0.5)
+
+    def test_reset(self):
+        q = CommandQueue(NVIDIA_TESLA_K20C)
+        q.enqueue("x", LaunchCost(1.0, 1.0, 1.0))
+        q.reset()
+        assert q.total_seconds == 0.0
+        assert q.events == []
+
+    def test_context_builds_buffers_and_model(self):
+        ctx = Context(NVIDIA_TESLA_K20C)
+        buf = ctx.create_buffer(np.zeros(3), "z")
+        assert buf.name == "z"
+        assert isinstance(ctx.cost_model, CostModel)
+        assert ctx.create_queue().device is NVIDIA_TESLA_K20C
+
+    def test_launchcost_seconds_is_max_plus_overhead(self):
+        c = LaunchCost(compute_s=2.0, memory_s=3.0, overhead_s=0.25)
+        assert c.seconds == pytest.approx(3.25)
+        assert c.bound == "memory"
+
+    def test_launchcost_addition(self):
+        a = LaunchCost(1.0, 2.0, 0.1) + LaunchCost(3.0, 1.0, 0.2)
+        assert (a.compute_s, a.memory_s, a.overhead_s) == (4.0, 3.0, pytest.approx(0.3))
+
+
+class TestCalibration:
+    def test_for_kind_covers_all(self):
+        cal = default_calibration()
+        for kind in DeviceKind:
+            assert cal.for_kind(kind).compute_eff > 0
+
+    def test_with_kind_returns_modified_copy(self):
+        cal = default_calibration()
+        cal2 = cal.with_kind(DeviceKind.GPU, spill_mult=9.9)
+        assert cal2.gpu.spill_mult == 9.9
+        assert cal.gpu.spill_mult != 9.9  # original untouched
+        assert cal2.cpu == cal.cpu
+
+    def test_custom_calibration_changes_model_output(self):
+        lengths = np.full(1000, 50)
+        base = CostModel(NVIDIA_TESLA_K20C).batched_half_sweep(
+            lengths, 10, 32, OptFlags()
+        )
+        slow = CostModel(
+            NVIDIA_TESLA_K20C,
+            default_calibration().with_kind(DeviceKind.GPU, compute_eff=1e-4),
+        ).batched_half_sweep(lengths, 10, 32, OptFlags())
+        assert slow.seconds > base.seconds
+
+    def test_flags_label(self):
+        assert OptFlags(batched=False).label() == "flat-baseline"
+        assert OptFlags().label() == "batching"
+        assert (
+            OptFlags(registers=True, local_mem=True, vector=True).label()
+            == "batching+local+reg+vec"
+        )

@@ -1,0 +1,57 @@
+"""Tests for the float32 device-precision study."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.precision import compare_precision, float32_half_sweep
+from repro.datasets import planted_problem
+from repro.kernels.fastpath import fast_half_sweep
+from repro.sparse import CSRMatrix
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return planted_problem(m=80, n=60, rank=4, density=0.3, noise_std=0.05, seed=12)
+
+
+class TestFloat32HalfSweep:
+    def test_matches_float64_closely(self, problem, rng):
+        R = CSRMatrix.from_coo(problem.ratings)
+        Y = rng.standard_normal((R.ncols, 5))
+        x32 = float32_half_sweep(R, Y, 0.1)
+        x64 = fast_half_sweep(R, Y, 0.1)
+        np.testing.assert_allclose(x32, x64, rtol=5e-3, atol=5e-3)
+
+    def test_output_dtype_is_float32(self, problem, rng):
+        R = CSRMatrix.from_coo(problem.ratings)
+        Y = rng.standard_normal((R.ncols, 4))
+        assert float32_half_sweep(R, Y, 0.1).dtype == np.float32
+
+    def test_empty_rows_keep_previous(self, rng):
+        dense = np.zeros((3, 4), dtype=np.float32)
+        dense[0, 1] = 2.0
+        R = CSRMatrix.from_dense(dense)
+        prev = np.full((3, 2), 5.0, dtype=np.float32)
+        out = float32_half_sweep(R, rng.standard_normal((4, 2)), 0.1, X_prev=prev)
+        np.testing.assert_array_equal(out[1], [5.0, 5.0])
+
+
+class TestComparison:
+    def test_single_precision_is_adequate(self, problem):
+        """The paper's float arithmetic must not hurt model quality —
+        that is what licenses single-precision kernels."""
+        cmp = compare_precision(problem.ratings, k=4, lam=0.1, iterations=5)
+        assert cmp.rmse_gap < 1e-3
+        assert cmp.rmse_float32 < 0.5
+
+    def test_factors_stay_close(self, problem):
+        cmp = compare_precision(problem.ratings, k=4, lam=0.1, iterations=5)
+        assert cmp.factor_max_abs_diff < 0.05
+
+    def test_fields_consistent(self, problem):
+        cmp = compare_precision(problem.ratings, k=3, iterations=2)
+        assert cmp.rmse_gap == pytest.approx(
+            abs(cmp.rmse_float32 - cmp.rmse_float64)
+        )

@@ -1,0 +1,113 @@
+"""Tests for prediction, recommendation and initialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ALSConfig,
+    init_factors,
+    mae,
+    predict_entries,
+    predict_rating,
+    recommend_top_n,
+    train_als,
+)
+from repro.datasets import planted_problem
+from repro.sparse import COOMatrix, CSRMatrix
+
+
+@pytest.fixture(scope="module")
+def model_and_data():
+    problem = planted_problem(m=40, n=30, rank=3, density=0.35, seed=9)
+    model = train_als(problem.ratings, ALSConfig(k=3, lam=0.05, iterations=6))
+    return model, CSRMatrix.from_coo(problem.ratings)
+
+
+class TestPredict:
+    def test_predict_rating_is_inner_product(self, model_and_data):
+        model, _ = model_and_data
+        assert predict_rating(model, 3, 7) == pytest.approx(
+            float(model.X[3] @ model.Y[7])
+        )
+
+    def test_bounds_checked(self, model_and_data):
+        model, _ = model_and_data
+        with pytest.raises(IndexError):
+            predict_rating(model, 40, 0)
+        with pytest.raises(IndexError):
+            predict_rating(model, 0, 30)
+
+    def test_predict_entries_vectorized(self, model_and_data):
+        model, _ = model_and_data
+        users = np.array([0, 1, 2])
+        items = np.array([5, 6, 7])
+        out = predict_entries(model, users, items)
+        for idx in range(3):
+            assert out[idx] == pytest.approx(
+                predict_rating(model, int(users[idx]), int(items[idx]))
+            )
+
+    def test_predict_entries_shape_mismatch(self, model_and_data):
+        model, _ = model_and_data
+        with pytest.raises(ValueError):
+            predict_entries(model, np.array([0]), np.array([0, 1]))
+
+    def test_predictions_approximate_observed(self, model_and_data):
+        model, R = model_and_data
+        coo = R.to_coo()
+        assert mae(coo, model.X, model.Y) < 0.25
+
+
+class TestRecommend:
+    def test_excludes_seen_items(self, model_and_data):
+        model, R = model_and_data
+        user = 0
+        seen, _ = R.row_slice(user)
+        recs = recommend_top_n(model, user, n_items=10, exclude=R)
+        assert not set(i for i, _ in recs) & set(seen.tolist())
+
+    def test_sorted_descending(self, model_and_data):
+        model, R = model_and_data
+        recs = recommend_top_n(model, 1, n_items=8, exclude=R)
+        scores = [s for _, s in recs]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_without_exclusion_returns_global_top(self, model_and_data):
+        model, _ = model_and_data
+        recs = recommend_top_n(model, 2, n_items=5)
+        expect_best = int(np.argmax(model.Y @ model.X[2]))
+        assert recs[0][0] == expect_best
+
+    def test_n_larger_than_catalog(self, model_and_data):
+        model, _ = model_and_data
+        recs = recommend_top_n(model, 0, n_items=10_000)
+        assert len(recs) == 30
+
+    def test_invalid_args(self, model_and_data):
+        model, _ = model_and_data
+        with pytest.raises(IndexError):
+            recommend_top_n(model, 99)
+        with pytest.raises(ValueError):
+            recommend_top_n(model, 0, n_items=0)
+
+
+class TestInit:
+    def test_x_zero_y_small_random(self):
+        X, Y = init_factors(5, 4, 3, seed=0, scale=0.1)
+        np.testing.assert_array_equal(X, np.zeros((5, 3)))
+        assert Y.shape == (4, 3)
+        assert np.all(np.abs(Y) <= 0.1)
+        assert np.any(Y != 0)
+
+    def test_deterministic(self):
+        _, y1 = init_factors(5, 4, 3, seed=7)
+        _, y2 = init_factors(5, 4, 3, seed=7)
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            init_factors(0, 4, 3)
+        with pytest.raises(ValueError):
+            init_factors(5, 4, 3, scale=0.0)

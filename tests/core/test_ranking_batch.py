@@ -1,0 +1,110 @@
+"""Tests for ranking metrics and batch recommendation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ALSConfig,
+    RankingMetrics,
+    evaluate_ranking,
+    recommend_top_n,
+    recommend_top_n_batch,
+    train_als,
+)
+from repro.datasets import planted_problem, train_test_split
+from repro.sparse import COOMatrix, CSRMatrix
+
+
+@pytest.fixture(scope="module")
+def setup():
+    problem = planted_problem(m=120, n=90, rank=4, density=0.25, seed=14)
+    split = train_test_split(problem.ratings, test_fraction=0.25, seed=1)
+    model = train_als(split.train, ALSConfig(k=4, lam=0.05, iterations=10))
+    train_csr = CSRMatrix.from_coo(split.train)
+    return model, train_csr, split.test
+
+
+class TestEvaluateRanking:
+    def test_trained_model_beats_random_scorer(self, setup):
+        model, train, test = setup
+        rng = np.random.default_rng(0)
+        trained = evaluate_ranking(
+            lambda u: model.Y @ model.X[u], train, test, n=10
+        )
+        random = evaluate_ranking(
+            lambda u: rng.random(model.Y.shape[0]), train, test, n=10
+        )
+        assert trained.ndcg > random.ndcg
+        assert trained.hit_rate > random.hit_rate
+
+    def test_metric_ranges(self, setup):
+        model, train, test = setup
+        m = evaluate_ranking(lambda u: model.Y @ model.X[u], train, test, n=10)
+        for v in (m.hit_rate, m.precision, m.recall, m.ndcg):
+            assert 0.0 <= v <= 1.0
+        assert m.users > 0
+
+    def test_perfect_scorer_maxes_ndcg(self):
+        """A scorer that ranks exactly the held-out items first."""
+        dense_train = np.zeros((4, 8), dtype=np.float32)
+        dense_train[:, 0] = 1.0  # everyone saw item 0
+        train = CSRMatrix.from_dense(dense_train)
+        test = COOMatrix((4, 8), [0, 1, 2, 3], [1, 2, 3, 4], [1.0] * 4)
+        held = {0: 1, 1: 2, 2: 3, 3: 4}
+
+        def perfect(u):
+            scores = np.zeros(8)
+            scores[held[u]] = 10.0
+            return scores
+
+        m = evaluate_ranking(perfect, train, test, n=3)
+        assert m.ndcg == pytest.approx(1.0)
+        assert m.recall == pytest.approx(1.0)
+        assert m.hit_rate == pytest.approx(1.0)
+
+    def test_rejects_bad_inputs(self, setup):
+        model, train, test = setup
+        with pytest.raises(ValueError):
+            evaluate_ranking(lambda u: None, train, test, n=0)
+        with pytest.raises(ValueError):
+            evaluate_ranking(
+                lambda u: None, train, COOMatrix.empty(train.shape)
+            )
+        with pytest.raises(ValueError):
+            evaluate_ranking(
+                lambda u: None,
+                train,
+                COOMatrix((3, 3), [0], [0], [1.0]),
+            )
+
+    def test_str(self, setup):
+        model, train, test = setup
+        m = evaluate_ranking(lambda u: model.Y @ model.X[u], train, test)
+        assert "NDCG" in str(m)
+        assert isinstance(m, RankingMetrics)
+
+
+class TestBatchRecommend:
+    def test_matches_single_user_path(self, setup):
+        model, train, _ = setup
+        users = np.array([0, 3, 7])
+        batch = recommend_top_n_batch(model, users, n_items=5, exclude=train)
+        for row, user in zip(batch, users):
+            single = [i for i, _ in recommend_top_n(model, int(user), 5, exclude=train)]
+            assert row.tolist() == single
+
+    def test_without_exclusion(self, setup):
+        model, _, _ = setup
+        batch = recommend_top_n_batch(model, np.arange(4), n_items=3)
+        assert batch.shape == (4, 3)
+
+    def test_invalid_args(self, setup):
+        model, train, _ = setup
+        with pytest.raises(ValueError):
+            recommend_top_n_batch(model, np.zeros((2, 2), dtype=int))
+        with pytest.raises(ValueError):
+            recommend_top_n_batch(model, np.array([0]), n_items=0)
+        with pytest.raises(ValueError):
+            recommend_top_n_batch(model, np.array([0]), n_items=10_000)

@@ -1,0 +1,60 @@
+"""Tests for hyper-parameter grid search."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import grid_search, rmse
+from repro.datasets import planted_problem, train_test_split
+
+
+@pytest.fixture(scope="module")
+def ratings():
+    return planted_problem(m=100, n=70, rank=4, density=0.3, seed=8).ratings
+
+
+@pytest.fixture(scope="module")
+def result(ratings):
+    return grid_search(
+        ratings, ks=(2, 4, 8), lams=(0.01, 0.1), iterations=6, seed=1
+    )
+
+
+class TestGridSearch:
+    def test_covers_full_grid(self, result):
+        assert len(result.points) == 6
+        assert {(p.k, p.lam) for p in result.points} == {
+            (k, lam) for k in (2, 4, 8) for lam in (0.01, 0.1)
+        }
+
+    def test_best_is_grid_minimum(self, result):
+        assert result.best.validation_rmse == min(
+            p.validation_rmse for p in result.points
+        )
+
+    def test_ranking_sorted(self, result):
+        ranked = result.ranking()
+        rmses = [p.validation_rmse for p in ranked]
+        assert rmses == sorted(rmses)
+
+    def test_picks_adequate_capacity(self, result):
+        """On a planted rank-4 problem, k=2 must not win."""
+        assert result.best.k >= 4
+
+    def test_final_model_refit_on_all_data(self, ratings, result):
+        assert result.model.X.shape == (100, result.best.k)
+        # The refit model fits the full data well.
+        assert rmse(ratings, result.model.X, result.model.Y) < 0.5
+
+    def test_overfit_gap_nonnegative_for_winner(self, result):
+        # Not guaranteed in general, but with a sane winner on planted
+        # data the validation error should not beat train by much.
+        assert result.best.overfit_gap > -0.05
+
+    def test_invalid_grids(self, ratings):
+        with pytest.raises(ValueError):
+            grid_search(ratings, ks=())
+        with pytest.raises(ValueError):
+            grid_search(ratings, ks=(0,))
+        with pytest.raises(ValueError):
+            grid_search(ratings, lams=(0.0,))

@@ -1,0 +1,174 @@
+"""Tests for the Table I catalog and synthetic generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets import (
+    MOVIELENS10M,
+    NETFLIX,
+    TABLE_I,
+    YAHOO_R1,
+    YAHOO_R4,
+    DatasetSpec,
+    dataset_by_name,
+    degree_sequences,
+    generate_ratings,
+    zipf_degrees,
+)
+from repro.sparse import CSRMatrix
+
+
+class TestTableI:
+    """The catalog must match Table I of the paper exactly."""
+
+    @pytest.mark.parametrize(
+        "spec,m,n,nnz",
+        [
+            (MOVIELENS10M, 71567, 65133, 8_000_044),
+            (NETFLIX, 480189, 17770, 99_072_112),
+            (YAHOO_R1, 1_948_882, 98212, 115_248_575),
+            (YAHOO_R4, 7642, 11916, 211_231),
+        ],
+    )
+    def test_shapes(self, spec, m, n, nnz):
+        assert (spec.m, spec.n, spec.nnz) == (m, n, nnz)
+
+    def test_order_matches_table(self):
+        assert [s.abbr for s in TABLE_I] == ["MVLE", "NTFX", "YMR1", "YMR4"]
+
+    def test_lookup_by_abbr_and_name(self):
+        assert dataset_by_name("ntfx") is NETFLIX
+        assert dataset_by_name("NetFlix") is NETFLIX
+        assert dataset_by_name("movielens") is MOVIELENS10M
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            dataset_by_name("lastfm")
+
+    def test_derived_statistics(self):
+        assert NETFLIX.mean_row_nnz == pytest.approx(206.3, abs=0.1)
+        assert NETFLIX.mean_col_nnz == pytest.approx(5575.2, abs=0.1)
+        assert 0 < NETFLIX.density < 0.02
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            DatasetSpec("x", "X", 2, 2, 10, 0.7, 0.9, 1.0, 5.0)  # nnz > m*n
+        with pytest.raises(ValueError):
+            DatasetSpec("x", "X", 0, 2, 1, 0.7, 0.9, 1.0, 5.0)
+        with pytest.raises(ValueError):
+            DatasetSpec("x", "X", 2, 2, 1, 0.7, 0.9, 5.0, 1.0)
+
+
+class TestScaled:
+    def test_preserves_density(self):
+        small = NETFLIX.scaled(1 / 256)
+        assert small.density == pytest.approx(NETFLIX.density, rel=0.15)
+
+    def test_mean_row_length_shrinks_by_sqrt_scale(self):
+        small = NETFLIX.scaled(1 / 256)
+        assert small.mean_row_nnz == pytest.approx(
+            NETFLIX.mean_row_nnz / 16, rel=0.15
+        )
+
+    def test_scale_one_is_identity(self):
+        assert NETFLIX.scaled(1.0) is NETFLIX
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            NETFLIX.scaled(0.0)
+        with pytest.raises(ValueError):
+            NETFLIX.scaled(1.5)
+
+    def test_nnz_fits(self):
+        tiny = YAHOO_R4.scaled(1 / 1000)
+        assert tiny.nnz <= tiny.m * tiny.n
+
+
+class TestZipfDegrees:
+    def test_exact_sum(self):
+        deg = zipf_degrees(1000, 50_000, 0.8, max_degree=500, seed=1)
+        assert deg.sum() == 50_000
+        assert deg.max() <= 500
+        assert deg.min() >= 0
+
+    def test_deterministic(self):
+        a = zipf_degrees(500, 10_000, 0.9, 400, seed=3)
+        b = zipf_degrees(500, 10_000, 0.9, 400, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_arrangement_not_sum(self):
+        a = zipf_degrees(500, 10_000, 0.9, 400, seed=3)
+        b = zipf_degrees(500, 10_000, 0.9, 400, seed=4)
+        assert a.sum() == b.sum()
+        assert not np.array_equal(a, b)
+
+    def test_skew_increases_with_alpha(self):
+        flat = zipf_degrees(2000, 100_000, 0.2, 10_000, seed=5)
+        steep = zipf_degrees(2000, 100_000, 1.2, 10_000, seed=5)
+        assert steep.max() > flat.max()
+
+    def test_overfull_rejected(self):
+        with pytest.raises(ValueError):
+            zipf_degrees(10, 101, 0.8, max_degree=10, seed=0)
+
+    def test_saturated_exact(self):
+        deg = zipf_degrees(10, 100, 0.8, max_degree=10, seed=0)
+        np.testing.assert_array_equal(deg, np.full(10, 10))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        count=st.integers(1, 500),
+        mean=st.integers(1, 50),
+        alpha=st.floats(0.1, 1.5),
+        seed=st.integers(0, 2**31),
+    )
+    def test_property_sum_and_bounds(self, count, mean, alpha, seed):
+        nnz = count * mean
+        deg = zipf_degrees(count, nnz, alpha, max_degree=10 * mean + 10, seed=seed)
+        assert deg.sum() == nnz
+        assert deg.min() >= 0
+
+
+class TestDegreeSequences:
+    def test_both_sides_sum_to_nnz(self):
+        rows, cols = degree_sequences(YAHOO_R4)
+        assert rows.sum() == cols.sum() == YAHOO_R4.nnz
+        assert rows.size == YAHOO_R4.m
+        assert cols.size == YAHOO_R4.n
+
+    def test_deterministic_per_seed(self):
+        a = degree_sequences(YAHOO_R4, seed=5)
+        b = degree_sequences(YAHOO_R4, seed=5)
+        np.testing.assert_array_equal(a[0], b[0])
+
+
+class TestGenerateRatings:
+    @pytest.fixture(scope="class")
+    def small(self):
+        return MOVIELENS10M.scaled(1 / 512)
+
+    def test_shape_and_nnz(self, small):
+        coo = generate_ratings(small, seed=2)
+        assert coo.shape == (small.m, small.n)
+        assert coo.nnz == small.nnz
+
+    def test_no_duplicates(self, small):
+        coo = generate_ratings(small, seed=2)
+        assert coo.deduplicate().nnz == coo.nnz
+
+    def test_ratings_in_range(self, small):
+        coo = generate_ratings(small, seed=2)
+        assert coo.value.min() >= small.rating_min
+        assert coo.value.max() <= small.rating_max
+
+    def test_row_degrees_skewed(self, small):
+        coo = generate_ratings(small, seed=2)
+        lengths = CSRMatrix.from_coo(coo).row_lengths()
+        assert lengths.max() > 4 * lengths.mean()
+
+    def test_deterministic(self, small):
+        assert generate_ratings(small, seed=9) == generate_ratings(small, seed=9)

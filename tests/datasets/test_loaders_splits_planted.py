@@ -1,0 +1,145 @@
+"""Tests for file loaders, train/test splits and planted problems."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    load_ratings,
+    planted_problem,
+    save_ratings,
+    train_test_split,
+)
+from repro.sparse import COOMatrix, CSRMatrix
+
+
+class TestLoaders:
+    def _roundtrip(self, tmp_path, text, name="r.dat", delimiter=None):
+        path = tmp_path / name
+        path.write_text(text)
+        return load_ratings(path, delimiter=delimiter)
+
+    def test_movielens_double_colon(self, tmp_path):
+        rf = self._roundtrip(tmp_path, "1::10::4.0::978300760\n1::20::3.0::1\n7::10::5.0::2\n")
+        assert rf.ratings.shape == (2, 2)
+        assert rf.n_users == 2 and rf.n_items == 2
+        np.testing.assert_array_equal(rf.user_ids, [1, 7])
+        np.testing.assert_array_equal(rf.item_ids, [10, 20])
+        assert rf.ratings.to_dense()[0, 0] == 4.0
+
+    def test_tab_and_comma(self, tmp_path):
+        a = self._roundtrip(tmp_path, "3\t5\t2.5\n", name="a.tsv")
+        b = self._roundtrip(tmp_path, "3,5,2.5\n", name="b.csv")
+        assert a.ratings.to_dense()[0, 0] == b.ratings.to_dense()[0, 0] == 2.5
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        rf = self._roundtrip(tmp_path, "# header\n\n1 2 3.0\n")
+        assert rf.ratings.nnz == 1
+
+    def test_duplicate_last_wins(self, tmp_path):
+        rf = self._roundtrip(tmp_path, "1,2,3.0\n1,2,5.0\n")
+        assert rf.ratings.nnz == 1
+        assert rf.ratings.value[0] == 5.0
+
+    def test_bad_line_reported_with_position(self, tmp_path):
+        with pytest.raises(ValueError, match=":2:"):
+            self._roundtrip(tmp_path, "1,2,3.0\n1,2\n")
+
+    def test_empty_file_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="no ratings"):
+            self._roundtrip(tmp_path, "# nothing\n")
+
+    def test_undetectable_delimiter(self, tmp_path):
+        with pytest.raises(ValueError, match="delimiter"):
+            self._roundtrip(tmp_path, "123\n")
+
+    def test_save_load_roundtrip(self, tmp_path, small_ratings):
+        coo = small_ratings.to_coo()
+        path = tmp_path / "out.tsv"
+        save_ratings(path, coo)
+        rf = load_ratings(path)
+        # Compaction may renumber; compare dense content on occupied rows.
+        dense = coo.to_dense()
+        occupied_rows = np.unique(coo.row)
+        occupied_cols = np.unique(coo.col)
+        np.testing.assert_allclose(
+            rf.ratings.to_dense(), dense[np.ix_(occupied_rows, occupied_cols)]
+        )
+
+
+class TestSplit:
+    @pytest.fixture
+    def ratings(self, rng):
+        dense = np.where(
+            rng.random((40, 25)) < 0.4,
+            rng.integers(1, 6, (40, 25)).astype(np.float32),
+            0.0,
+        ).astype(np.float32)
+        return COOMatrix.from_dense(dense)
+
+    def test_partition_is_disjoint_and_complete(self, ratings):
+        split = train_test_split(ratings, 0.25, seed=3)
+        assert split.train.nnz + split.test.nnz == ratings.nnz
+        train_keys = set(zip(split.train.row.tolist(), split.train.col.tolist()))
+        test_keys = set(zip(split.test.row.tolist(), split.test.col.tolist()))
+        assert not train_keys & test_keys
+
+    def test_fraction_approximate(self, ratings):
+        split = train_test_split(ratings, 0.25, seed=3)
+        assert 0.1 < split.test_fraction < 0.4
+
+    def test_row_coverage_kept(self, ratings):
+        split = train_test_split(ratings, 0.9, seed=0, keep_row_coverage=True)
+        occupied = np.unique(ratings.row)
+        covered = np.unique(split.train.row)
+        np.testing.assert_array_equal(occupied, covered)
+
+    def test_row_coverage_can_be_disabled(self, ratings):
+        split = train_test_split(ratings, 0.95, seed=0, keep_row_coverage=False)
+        assert split.test.nnz > 0.8 * ratings.nnz
+
+    def test_deterministic(self, ratings):
+        a = train_test_split(ratings, 0.2, seed=5)
+        b = train_test_split(ratings, 0.2, seed=5)
+        assert a.train == b.train
+
+    def test_invalid_fraction(self, ratings):
+        with pytest.raises(ValueError):
+            train_test_split(ratings, 1.0)
+        with pytest.raises(ValueError):
+            train_test_split(ratings, -0.1)
+
+    def test_zero_fraction(self, ratings):
+        split = train_test_split(ratings, 0.0)
+        assert split.test.nnz == 0
+        assert split.train.nnz == ratings.nnz
+
+
+class TestPlanted:
+    def test_observation_density(self):
+        p = planted_problem(50, 40, rank=3, density=0.25, seed=1)
+        assert p.ratings.nnz == pytest.approx(0.25 * 50 * 40, rel=0.25)
+        assert p.rank == 3
+
+    def test_noise_floor(self):
+        p = planted_problem(30, 30, rank=2, density=0.5, noise_std=0.07, seed=1)
+        assert p.ideal_rmse() == 0.07
+
+    def test_observed_values_match_factors_up_to_noise(self):
+        p = planted_problem(40, 30, rank=3, density=0.4, noise_std=0.01, seed=2)
+        clean = np.einsum(
+            "ij,ij->i",
+            p.true_user_factors[p.ratings.row],
+            p.true_item_factors[p.ratings.col],
+        )
+        resid = p.ratings.value - clean
+        assert np.abs(resid).max() < 0.08  # a few noise sigmas
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            planted_problem(10, 10, rank=0, density=0.5)
+        with pytest.raises(ValueError):
+            planted_problem(10, 10, rank=3, density=0.0)
+        with pytest.raises(ValueError):
+            planted_problem(10, 10, rank=11, density=0.5)

@@ -1,0 +1,96 @@
+"""Tests for MatrixMarket coordinate IO."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_matrix_market, save_matrix_market
+from repro.sparse import COOMatrix
+
+
+@pytest.fixture
+def sample(rng):
+    dense = np.where(
+        rng.random((6, 9)) < 0.4, rng.random((6, 9)).astype(np.float32) * 5, 0.0
+    ).astype(np.float32)
+    return COOMatrix.from_dense(dense)
+
+
+class TestRoundTrip:
+    def test_roundtrip_preserves_matrix(self, sample, tmp_path):
+        path = tmp_path / "r.mtx"
+        save_matrix_market(path, sample)
+        loaded = load_matrix_market(path)
+        assert loaded.shape == sample.shape
+        np.testing.assert_allclose(loaded.to_dense(), sample.to_dense(), rtol=1e-5)
+
+    def test_one_based_indices_on_disk(self, tmp_path):
+        coo = COOMatrix((2, 3), [0], [2], [1.5])
+        path = tmp_path / "r.mtx"
+        save_matrix_market(path, coo)
+        body = path.read_text().splitlines()
+        assert body[0].startswith("%%MatrixMarket matrix coordinate real general")
+        assert body[-1].split()[:2] == ["1", "3"]
+
+    def test_empty_matrix(self, tmp_path):
+        path = tmp_path / "e.mtx"
+        save_matrix_market(path, COOMatrix.empty((4, 4)))
+        loaded = load_matrix_market(path)
+        assert loaded.nnz == 0
+        assert loaded.shape == (4, 4)
+
+
+class TestParsing:
+    def _write(self, tmp_path, text):
+        path = tmp_path / "x.mtx"
+        path.write_text(text)
+        return path
+
+    def test_comments_allowed(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real general\n"
+            "% a comment\n"
+            "2 2 1\n"
+            "% another\n"
+            "1 2 3.5\n",
+        )
+        loaded = load_matrix_market(path)
+        assert loaded.to_dense()[0, 1] == pytest.approx(3.5)
+
+    def test_wrong_header_rejected(self, tmp_path):
+        path = self._write(tmp_path, "%%MatrixMarket matrix array real general\n1 1\n")
+        with pytest.raises(ValueError, match="unsupported"):
+            load_matrix_market(path)
+
+    def test_missing_size_line(self, tmp_path):
+        path = self._write(
+            tmp_path, "%%MatrixMarket matrix coordinate real general\n% only\n"
+        )
+        with pytest.raises(ValueError, match="size line"):
+            load_matrix_market(path)
+
+    def test_entry_count_mismatch(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n",
+        )
+        with pytest.raises(ValueError, match="declared 2"):
+            load_matrix_market(path)
+
+    def test_too_many_entries(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            "%%MatrixMarket matrix coordinate real general\n"
+            "2 2 1\n1 1 1.0\n2 2 2.0\n",
+        )
+        with pytest.raises(ValueError, match="more entries"):
+            load_matrix_market(path)
+
+    def test_bad_size_line(self, tmp_path):
+        path = self._write(
+            tmp_path, "%%MatrixMarket matrix coordinate real general\ntwo 2 1\n"
+        )
+        with pytest.raises(ValueError, match="bad size line"):
+            load_matrix_market(path)

@@ -1,0 +1,44 @@
+"""Golden-file test: the checked-in .cl artifacts match the generator.
+
+``examples/generated_kernels/`` ships the OpenCL source for each device's
+recommended variant (what a release of the paper's system would contain);
+this test keeps them in sync with the generator.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.clsim.device import ALL_DEVICES
+from repro.kernels.opencl_source import generate_program
+from repro.kernels.variants import recommended_variant
+
+ARTIFACTS = (
+    pathlib.Path(__file__).resolve().parents[2] / "examples" / "generated_kernels"
+)
+
+
+@pytest.mark.parametrize("device", ALL_DEVICES, ids=lambda d: d.kind.value)
+def test_artifact_is_current(device):
+    variant = recommended_variant(device)
+    expected = generate_program(variant.flags, k=10, ws=32, tile=256) + "\n"
+    path = ARTIFACTS / (
+        f"als_{device.kind.value}_{variant.name.replace('+', '_')}.cl"
+    )
+    assert path.exists(), (
+        f"missing artifact {path.name}; regenerate with "
+        "python -c \"...generate_program...\" (see this test)"
+    )
+    assert path.read_text() == expected, (
+        f"{path.name} is stale — regenerate it from repro.kernels.opencl_source"
+    )
+
+
+def test_artifacts_directory_has_exactly_the_three_devices():
+    names = sorted(p.name for p in ARTIFACTS.glob("*.cl"))
+    assert len(names) == 3
+    assert any("gpu" in n for n in names)
+    assert any("cpu" in n for n in names)
+    assert any("mic" in n for n in names)

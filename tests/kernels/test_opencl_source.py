@@ -1,0 +1,123 @@
+"""Structural tests for the generated OpenCL C source.
+
+No OpenCL runtime exists here, so the source cannot be compiled; these
+tests pin the structure that defines each variant — which constructs
+appear when each optimization is enabled — and basic well-formedness.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.clsim.costmodel import OptFlags
+from repro.kernels.opencl_source import (
+    generate_flat,
+    generate_program,
+    generate_s1,
+    generate_s2,
+    generate_s3,
+)
+from repro.kernels.variants import all_variants
+
+
+def balanced_braces(src: str) -> bool:
+    depth = 0
+    for ch in src:
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            if depth < 0:
+                return False
+    return depth == 0
+
+
+@pytest.mark.parametrize("variant", all_variants(), ids=lambda v: v.name)
+class TestProgramStructure:
+    def test_braces_balanced(self, variant):
+        assert balanced_braces(generate_program(variant.flags))
+
+    def test_three_step_kernels_plus_flat(self, variant):
+        src = generate_program(variant.flags)
+        for name in ("als_s1", "als_s2", "als_s3", "als_update_flat"):
+            assert f"__kernel void {name}" in src
+
+    def test_constants_baked(self, variant):
+        src = generate_program(variant.flags, k=12, ws=16, tile=64)
+        assert "#define K 12" in src
+        assert "#define WS 16" in src
+        assert "#define TILE 64" in src
+
+    def test_variant_label_recorded(self, variant):
+        assert variant.flags.label() in generate_program(variant.flags)
+
+    def test_empty_row_guard(self, variant):
+        # Algorithm 2 line 5 in every kernel that walks a row (the guard
+        # continues to the group's next persistent row).
+        src = generate_s1(variant.flags)
+        assert "if (omega == 0) continue;" in src
+
+    def test_persistent_group_loop(self, variant):
+        # The paper's 8192×WS launch: groups stride over rows.
+        src = generate_program(variant.flags)
+        assert src.count("u += get_num_groups(0)") == 3  # s1, s2, s3
+
+
+class TestOptimizationConstructs:
+    def test_local_memory_only_when_enabled(self):
+        staged = generate_program(OptFlags(local_mem=True))
+        unstaged = generate_program(OptFlags())
+        assert "__local" in staged
+        assert "barrier(CLK_LOCAL_MEM_FENCE)" in staged
+        assert "__local" not in unstaged.replace("CLK_LOCAL_MEM_FENCE", "")
+        assert "barrier" not in generate_s1(OptFlags())
+
+    def test_register_variant_drops_kxk_private_array(self):
+        reg = generate_s1(OptFlags(registers=True))
+        plain = generate_s1(OptFlags())
+        assert "float sum[K * K]" in plain  # Fig. 3(a)
+        assert "float sum[K * K]" not in reg  # Fig. 3(b)
+        assert "sums[strip][j]" in reg
+
+    def test_vector_variant_uses_vload_vstore(self):
+        vec = generate_s1(OptFlags(registers=True, vector=True))
+        scalar = generate_s1(OptFlags(registers=True))
+        assert "vload4" in vec and "vstore4" in vec
+        assert "vload4" not in scalar
+
+    def test_cholesky_vs_elimination_s3(self):
+        chol = generate_s3(OptFlags(cholesky=True))
+        gauss = generate_s3(OptFlags(cholesky=False))
+        assert "sqrt(" in chol
+        assert "Cholesky" in chol
+        assert "Gaussian elimination" in gauss
+        assert "sqrt(" not in gauss
+
+    def test_flat_kernel_has_colmajor_indirection(self):
+        src = generate_flat()
+        assert "colmajor_id[idx]" in src  # Algorithm 2 line 10
+        assert "get_global_id(0)" in src  # one thread per row
+        assert "get_group_id" not in src
+
+    def test_batched_kernels_are_group_per_row(self):
+        for gen in (generate_s1, generate_s2):
+            src = gen(OptFlags())
+            assert "get_group_id(0)" in src
+            assert "get_local_id(0)" in src
+
+    def test_s2_unstaged_comment_names_the_pathology(self):
+        assert "scattered scalar" in generate_s2(OptFlags())
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            generate_program(OptFlags(), k=0)
+        with pytest.raises(ValueError):
+            generate_program(OptFlags(), ws=-1)
+
+    def test_all_eight_programs_distinct(self):
+        sources = {generate_program(v.flags) for v in all_variants()}
+        # vector changes nothing without registers in S1 — allow collisions
+        # only between variants that differ solely in an inert flag.
+        assert len(sources) >= 6

@@ -1,0 +1,70 @@
+"""Tests for the persistent-group launch mode (the paper's 8192×32).
+
+With fewer groups than rows, each group strides over the rows it owns;
+results must be identical to the one-group-per-row launch for every
+variant, including the staged ones whose barriers now repeat per row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clsim.costmodel import OptFlags
+from repro.kernels import fast_half_sweep, interpreted_half_sweep
+from repro.kernels.variants import all_variants
+from repro.sparse import CSRMatrix
+
+LAM = 0.1
+
+
+def _problem(seed: int, m: int = 17, n: int = 9, k: int = 5):
+    rng = np.random.default_rng(seed)
+    dense = np.where(
+        rng.random((m, n)) < 0.35,
+        rng.integers(1, 6, (m, n)).astype(np.float32),
+        0.0,
+    ).astype(np.float32)
+    return CSRMatrix.from_dense(dense), rng.standard_normal((n, k)).astype(np.float32)
+
+
+@pytest.mark.parametrize("variant", all_variants(), ids=lambda v: v.name)
+@pytest.mark.parametrize("n_groups", [1, 3, 5])
+def test_persistent_equals_per_row(variant, n_groups):
+    R, Y = _problem(seed=31)
+    full = interpreted_half_sweep(R, Y, LAM, variant.flags, ws=4, tile=3)
+    strided = interpreted_half_sweep(
+        R, Y, LAM, variant.flags, ws=4, tile=3, n_groups=n_groups
+    )
+    np.testing.assert_allclose(strided, full, rtol=1e-6, atol=1e-6)
+
+
+def test_persistent_matches_reference():
+    R, Y = _problem(seed=32)
+    X = interpreted_half_sweep(R, Y, LAM, OptFlags(local_mem=True), ws=4, n_groups=4)
+    np.testing.assert_allclose(
+        X, fast_half_sweep(R, Y, LAM), rtol=5e-4, atol=5e-4
+    )
+
+
+def test_more_groups_than_rows_clamped():
+    R, Y = _problem(seed=33, m=5)
+    X = interpreted_half_sweep(R, Y, LAM, OptFlags(), ws=4, n_groups=64)
+    np.testing.assert_allclose(
+        X, fast_half_sweep(R, Y, LAM), rtol=5e-4, atol=5e-4
+    )
+
+
+def test_invalid_group_count():
+    R, Y = _problem(seed=34)
+    with pytest.raises(ValueError):
+        interpreted_half_sweep(R, Y, LAM, OptFlags(), ws=4, n_groups=0)
+
+
+def test_row_ownership_is_disjoint_and_complete():
+    """Every occupied row is written by exactly one group."""
+    R, Y = _problem(seed=35, m=23)
+    X = interpreted_half_sweep(R, Y, LAM, OptFlags(), ws=4, n_groups=6)
+    occupied = R.row_lengths() > 0
+    assert (np.abs(X[occupied]).sum(axis=1) > 0).all()
+    assert not np.abs(X[~occupied]).any()

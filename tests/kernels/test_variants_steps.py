@@ -1,0 +1,124 @@
+"""Tests for the variant space and the hotspot step decomposition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clsim import CostModel, NVIDIA_TESLA_K20C, OptFlags
+from repro.clsim.device import ALL_DEVICES, DeviceKind
+from repro.kernels.steps import FIG8_STAGES, mixed_step_costs, profile_steps
+from repro.kernels.variants import (
+    FIG6_BARS,
+    Variant,
+    all_variants,
+    recommended_variant,
+    variant_from_flags,
+)
+
+
+class TestVariantSpace:
+    def test_eight_variants(self):
+        variants = all_variants()
+        assert len(variants) == 8  # §III-D: "8 versions of code variants"
+        assert len({v.name for v in variants}) == 8
+        assert all(v.flags.batched for v in variants)
+
+    def test_nine_with_baseline(self):
+        variants = all_variants(include_baseline=True)
+        assert len(variants) == 9
+        assert variants[0].is_baseline
+
+    def test_recommended_per_architecture(self):
+        # §V / Fig. 10 caption: GPU gets batching+local+registers,
+        # CPU/MIC get batching+local(+vector).
+        for device in ALL_DEVICES:
+            v = recommended_variant(device)
+            assert v.flags.local_mem
+            if device.kind is DeviceKind.GPU:
+                assert v.flags.registers and not v.flags.vector
+            else:
+                assert not v.flags.registers and v.flags.vector
+
+    def test_fig6_bars_are_cumulative(self):
+        labels = [label for label, _ in FIG6_BARS]
+        assert labels[0] == "thread batching"
+        assert FIG6_BARS[1][1].flags.local_mem
+        assert FIG6_BARS[2][1].flags.registers
+        assert FIG6_BARS[3][1].flags.vector
+
+    def test_variant_str(self):
+        assert str(variant_from_flags(local_mem=True)) == "batching+local"
+
+    def test_baseline_not_batched(self):
+        assert Variant(OptFlags(batched=False)).is_baseline
+
+
+class TestStepProfiles:
+    @pytest.fixture(scope="class")
+    def seqs(self):
+        rng = np.random.default_rng(11)
+        rows = (rng.zipf(1.6, 30_000).clip(max=300) * 8).astype(np.int64)
+        cols = (rng.zipf(1.6, 5_000).clip(max=300) * 48).astype(np.int64)
+        return rows, cols
+
+    def test_fig8_pipeline_monotone_total(self, seqs):
+        """Each tuning stage must reduce the total time (§V-C)."""
+        rows, cols = seqs
+        cm = CostModel(NVIDIA_TESLA_K20C)
+        totals = [
+            profile_steps(cm, rows, cols, 10, 32, flags, label).total_seconds
+            for label, flags in FIG8_STAGES
+        ]
+        assert all(a > b for a, b in zip(totals, totals[1:]))
+
+    def test_hotspot_rotation(self, seqs):
+        """§V-C's narrative: S1 dominates, optimizing S1 promotes S2,
+        optimizing S2 makes S1 dominant again."""
+        rows, cols = seqs
+        cm = CostModel(NVIDIA_TESLA_K20C)
+        profiles = {
+            label: profile_steps(cm, rows, cols, 10, 32, flags, label)
+            for label, flags in FIG8_STAGES
+        }
+        batching = profiles["thread batching"].shares
+        s1opt = profiles["optimizing S1"].shares
+        s2opt = profiles["optimizing S2"].shares
+        assert batching[0] > 0.5  # S1 is the hotspot
+        assert s1opt[1] > batching[1]  # S2's share rises after S1 opt
+        assert s2opt[0] > s2opt[1]  # S1 dominates again after S2 opt
+
+    def test_cholesky_stage_shrinks_s3(self, seqs):
+        rows, cols = seqs
+        cm = CostModel(NVIDIA_TESLA_K20C)
+        profiles = {
+            label: profile_steps(cm, rows, cols, 10, 32, flags, label)
+            for label, flags in FIG8_STAGES
+        }
+        assert (
+            profiles["optimizing S3 (Cholesky)"].s3_seconds
+            < profiles["optimizing S2"].s3_seconds
+        )
+
+    def test_mixed_costs_compose_per_step(self, seqs):
+        rows, _ = seqs
+        cm = CostModel(NVIDIA_TESLA_K20C)
+        plain = OptFlags(cholesky=False)
+        opt = OptFlags(registers=True, local_mem=True, cholesky=False)
+        mixed = mixed_step_costs(cm, rows, 10, 32, opt, plain, plain)
+        assert mixed.s1.seconds == cm.half_sweep(rows, 10, 32, opt).s1.seconds
+        assert mixed.s2.seconds == cm.half_sweep(rows, 10, 32, plain).s2.seconds
+
+    def test_profile_shares_sum_to_one(self, seqs):
+        rows, cols = seqs
+        cm = CostModel(NVIDIA_TESLA_K20C)
+        p = profile_steps(cm, rows, cols, 10, 32, FIG8_STAGES[1][1], "x")
+        assert sum(p.shares) == pytest.approx(1.0)
+        assert "S1" in str(p)
+
+    def test_iterations_scale_profile(self, seqs):
+        rows, cols = seqs
+        cm = CostModel(NVIDIA_TESLA_K20C)
+        one = profile_steps(cm, rows, cols, 10, 32, FIG8_STAGES[1][1], "x", 1)
+        five = profile_steps(cm, rows, cols, 10, 32, FIG8_STAGES[1][1], "x", 5)
+        assert five.total_seconds == pytest.approx(5 * one.total_seconds)

@@ -1,0 +1,135 @@
+"""Tests for the from-scratch Cholesky factorization and solves."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import (
+    CholeskyError,
+    backward_substitution,
+    batched_cholesky_factor,
+    batched_cholesky_solve,
+    cholesky_factor,
+    cholesky_solve,
+    forward_substitution,
+)
+
+
+def random_spd(rng: np.random.Generator, k: int, lam: float = 0.1) -> np.ndarray:
+    """Random SPD matrix shaped like an ALS normal matrix YᵀY + λI."""
+    Y = rng.standard_normal((k + 3, k))
+    return Y.T @ Y + lam * np.eye(k)
+
+
+class TestScalarCholesky:
+    def test_factor_reconstructs(self, rng):
+        a = random_spd(rng, 8)
+        L = cholesky_factor(a)
+        np.testing.assert_allclose(L @ L.T, a, rtol=1e-10, atol=1e-10)
+
+    def test_factor_is_lower_triangular(self, rng):
+        L = cholesky_factor(random_spd(rng, 6))
+        np.testing.assert_array_equal(np.triu(L, 1), np.zeros((6, 6)))
+
+    def test_matches_numpy(self, rng):
+        a = random_spd(rng, 10)
+        np.testing.assert_allclose(cholesky_factor(a), np.linalg.cholesky(a), rtol=1e-9)
+
+    def test_1x1(self):
+        np.testing.assert_allclose(cholesky_factor([[4.0]]), [[2.0]])
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            cholesky_factor(np.ones((2, 3)))
+
+    def test_indefinite_rejected(self):
+        with pytest.raises(CholeskyError):
+            cholesky_factor(np.array([[1.0, 2.0], [2.0, 1.0]]))
+
+    def test_zero_matrix_rejected(self):
+        with pytest.raises(CholeskyError):
+            cholesky_factor(np.zeros((3, 3)))
+
+    def test_solve_matches_numpy(self, rng):
+        a = random_spd(rng, 10)
+        b = rng.standard_normal(10)
+        np.testing.assert_allclose(cholesky_solve(a, b), np.linalg.solve(a, b), rtol=1e-8)
+
+    def test_triangular_substitutions(self, rng):
+        L = np.tril(rng.standard_normal((7, 7))) + 7 * np.eye(7)
+        b = rng.standard_normal(7)
+        np.testing.assert_allclose(L @ forward_substitution(L, b), b, rtol=1e-9)
+        np.testing.assert_allclose(
+            L.T @ backward_substitution(L.T, b), b, rtol=1e-9
+        )
+
+
+class TestBatchedCholesky:
+    def test_matches_scalar(self, rng):
+        stack = np.stack([random_spd(rng, 5) for _ in range(9)])
+        Ls = batched_cholesky_factor(stack)
+        for i in range(9):
+            np.testing.assert_allclose(Ls[i], cholesky_factor(stack[i]), rtol=1e-10)
+
+    def test_solve_matches_numpy(self, rng):
+        stack = np.stack([random_spd(rng, 6) for _ in range(12)])
+        b = rng.standard_normal((12, 6))
+        x = batched_cholesky_solve(stack, b)
+        np.testing.assert_allclose(
+            x, np.linalg.solve(stack, b[..., None])[..., 0], rtol=1e-8
+        )
+
+    def test_batch_of_one(self, rng):
+        a = random_spd(rng, 4)[None]
+        b = rng.standard_normal((1, 4))
+        np.testing.assert_allclose(
+            batched_cholesky_solve(a, b)[0], np.linalg.solve(a[0], b[0]), rtol=1e-8
+        )
+
+    def test_bad_shapes_rejected(self, rng):
+        with pytest.raises(ValueError):
+            batched_cholesky_factor(np.ones((2, 3, 4)))
+        with pytest.raises(ValueError):
+            batched_cholesky_solve(np.eye(3)[None], np.ones(3))
+
+    def test_indefinite_member_reported(self, rng):
+        stack = np.stack([random_spd(rng, 3), -np.eye(3)])
+        with pytest.raises(CholeskyError, match="matrix 1"):
+            batched_cholesky_factor(stack)
+
+    def test_identity_stack(self):
+        stack = np.broadcast_to(np.eye(4), (5, 4, 4)).copy()
+        np.testing.assert_allclose(batched_cholesky_factor(stack), stack)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    k=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=2**31),
+    lam=st.floats(min_value=1e-3, max_value=10.0),
+)
+def test_property_solve_residual(k, seed, lam):
+    """For any ALS-shaped SPD system, the residual must vanish."""
+    rng = np.random.default_rng(seed)
+    a = random_spd(rng, k, lam)
+    b = rng.standard_normal(k)
+    x = cholesky_solve(a, b)
+    np.testing.assert_allclose(a @ x, b, rtol=1e-6, atol=1e-6)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    batch=st.integers(min_value=1, max_value=8),
+    k=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_property_batched_equals_scalar(batch, k, seed):
+    rng = np.random.default_rng(seed)
+    stack = np.stack([random_spd(rng, k) for _ in range(batch)])
+    rhs = rng.standard_normal((batch, k))
+    batched = batched_cholesky_solve(stack, rhs)
+    scalar = np.stack([cholesky_solve(stack[i], rhs[i]) for i in range(batch)])
+    np.testing.assert_allclose(batched, scalar, rtol=1e-9, atol=1e-9)

@@ -1,0 +1,142 @@
+"""Tests for the three solvers and their relative behaviour."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.clsim import (
+    ALL_DEVICES,
+    INTEL_XEON_E5_2670_X2 as CPU,
+    INTEL_XEON_PHI_31SP as MIC,
+    NVIDIA_TESLA_K20C as GPU,
+)
+from repro.core import ALSConfig
+from repro.datasets import YAHOO_R4, degree_sequences, generate_ratings
+from repro.kernels.variants import FLAT_BASELINE, variant_from_flags
+from repro.solvers import CuMF, PortableALS, Sac15Baseline
+
+
+@pytest.fixture(scope="module")
+def ymr4():
+    return degree_sequences(YAHOO_R4, seed=7)
+
+
+class TestPortableALS:
+    def test_simulate_returns_positive_time(self, ymr4):
+        rows, cols = ymr4
+        for device in ALL_DEVICES:
+            run = PortableALS(device).simulate(rows, cols, dataset="YMR4")
+            assert run.seconds > 0
+            assert run.device == device.kind.value
+            assert run.iterations == 5
+            assert run.step_costs is not None
+
+    def test_default_variant_is_recommended(self):
+        assert PortableALS(GPU).variant.flags.registers
+        assert PortableALS(CPU).variant.flags.vector
+        assert not PortableALS(MIC).variant.flags.registers
+
+    def test_rejects_flat_variant(self):
+        with pytest.raises(ValueError, match="thread-batched"):
+            PortableALS(GPU, variant=FLAT_BASELINE)
+
+    def test_rejects_bad_ws(self):
+        with pytest.raises(ValueError):
+            PortableALS(GPU, ws=0)
+
+    def test_queue_records_six_kernels_per_iteration(self, ymr4):
+        rows, cols = ymr4
+        solver = PortableALS(GPU)
+        solver.simulate(rows, cols, iterations=1)
+        # fresh queue per simulate() call; inspect via a fresh run
+        queue = solver.context.create_queue()
+        assert queue.total_seconds == 0.0
+        run = solver.simulate(rows, cols, iterations=2)
+        assert run.seconds > 0
+
+    def test_simulate_spec_matches_manual(self, ymr4):
+        rows, cols = ymr4
+        solver = PortableALS(GPU)
+        via_spec = solver.simulate_spec(YAHOO_R4)
+        manual = solver.simulate(rows, cols, dataset=YAHOO_R4.abbr)
+        assert via_spec.seconds == pytest.approx(manual.seconds)
+
+    def test_fit_report_trains_and_times(self):
+        spec = YAHOO_R4.scaled(1 / 64)
+        ratings = generate_ratings(spec, seed=1)
+        report = PortableALS(CPU).fit_report(
+            ratings, ALSConfig(k=4, iterations=2), dataset=spec.abbr
+        )
+        assert len(report.model.history) == 2
+        assert report.run.seconds > 0
+        losses = report.model.losses()
+        assert losses[-1] <= losses[0]
+
+    def test_variant_affects_time(self, ymr4):
+        rows, cols = ymr4
+        plain = PortableALS(GPU, variant=variant_from_flags()).simulate(rows, cols)
+        tuned = PortableALS(
+            GPU, variant=variant_from_flags(registers=True, local_mem=True)
+        ).simulate(rows, cols)
+        assert tuned.seconds < plain.seconds
+
+    def test_str_of_run(self, ymr4):
+        rows, cols = ymr4
+        text = str(PortableALS(GPU).simulate(rows, cols, dataset="YMR4"))
+        assert "YMR4" in text and "gpu" in text
+
+
+class TestSac15:
+    def test_implementation_names(self):
+        assert Sac15Baseline(CPU).implementation == "OpenMP"
+        assert Sac15Baseline(GPU).implementation == "CUDA"
+        assert Sac15Baseline(MIC).implementation == "flat-OpenCL"
+
+    def test_cuda_slower_than_openmp(self, ymr4):
+        """Fig. 1's motivating observation, on YMR4's shape."""
+        rows, cols = ymr4
+        omp = Sac15Baseline(CPU).simulate(rows, cols).seconds
+        cuda = Sac15Baseline(GPU).simulate(rows, cols).seconds
+        assert cuda > 2 * omp
+
+    def test_ours_beats_baseline_on_same_device(self, ymr4):
+        rows, cols = ymr4
+        for device in (CPU, GPU):
+            base = Sac15Baseline(device).simulate(rows, cols).seconds
+            ours = PortableALS(device).simulate(rows, cols).seconds
+            assert ours < base, device.name
+
+    def test_functional_fit_shared(self):
+        spec = YAHOO_R4.scaled(1 / 64)
+        ratings = generate_ratings(spec, seed=2)
+        model = Sac15Baseline(CPU).fit(ratings, ALSConfig(k=3, iterations=2))
+        assert model.X.shape[1] == 3
+
+
+class TestCuMF:
+    def test_requires_gpu(self):
+        with pytest.raises(ValueError, match="CUDA-only"):
+            CuMF(device=CPU)
+
+    def test_generic_penalty_shape(self):
+        # Tuned point: no penalty at k=100; maximal at small k (§V-A).
+        assert CuMF.generic_penalty(100) == pytest.approx(1.0)
+        assert CuMF.generic_penalty(10) > CuMF.generic_penalty(50) > 1.0
+        assert CuMF.generic_penalty(200) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            CuMF.generic_penalty(0)
+
+    def test_ours_beats_cumf_at_k10(self, ymr4):
+        rows, cols = ymr4
+        ours = PortableALS(GPU).simulate(rows, cols).seconds
+        cumf = CuMF().simulate(rows, cols).seconds
+        assert 2.0 < cumf / ours < 8.0  # paper: 2.2–6.8×
+
+    def test_gap_narrows_at_k100(self, ymr4):
+        rows, cols = ymr4
+        ours10 = PortableALS(GPU).simulate(rows, cols, k=10).seconds
+        cumf10 = CuMF().simulate(rows, cols, k=10).seconds
+        ours100 = PortableALS(GPU).simulate(rows, cols, k=100).seconds
+        cumf100 = CuMF().simulate(rows, cols, k=100).seconds
+        assert cumf100 / ours100 < cumf10 / ours10

@@ -1,0 +1,113 @@
+"""Unit tests for the COO interchange format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.sparse import COOMatrix
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self, rng):
+        dense = np.where(rng.random((7, 5)) < 0.4, rng.random((7, 5)), 0.0).astype(
+            np.float32
+        )
+        coo = COOMatrix.from_dense(dense)
+        np.testing.assert_array_equal(coo.to_dense(), dense)
+
+    def test_empty(self):
+        coo = COOMatrix.empty((3, 4))
+        assert coo.nnz == 0
+        assert coo.density == 0.0
+        np.testing.assert_array_equal(coo.to_dense(), np.zeros((3, 4)))
+
+    def test_zero_sized_shape(self):
+        coo = COOMatrix.empty((0, 0))
+        assert coo.nnz == 0
+        assert coo.density == 0.0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            COOMatrix((2, 2), np.array([0]), np.array([0, 1]), np.array([1.0]))
+
+    def test_row_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="row index"):
+            COOMatrix((2, 2), np.array([2]), np.array([0]), np.array([1.0]))
+
+    def test_col_out_of_range_rejected(self):
+        with pytest.raises(ValueError, match="col index"):
+            COOMatrix((2, 2), np.array([0]), np.array([5]), np.array([1.0]))
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            COOMatrix((2, 2), np.array([-1]), np.array([0]), np.array([1.0]))
+
+    def test_nonfinite_value_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            COOMatrix((2, 2), np.array([0]), np.array([0]), np.array([np.nan]))
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            COOMatrix.empty((-1, 2))
+
+    def test_2d_input_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            COOMatrix((2, 2), np.zeros((1, 1)), np.zeros((1, 1)), np.zeros((1, 1)))
+
+    def test_dtype_normalization(self):
+        coo = COOMatrix((2, 2), [0], [1], [2.5])
+        assert coo.row.dtype == np.int64
+        assert coo.value.dtype == np.float32
+
+
+class TestTransforms:
+    def test_deduplicate_last_wins(self):
+        coo = COOMatrix(
+            (2, 2),
+            np.array([0, 0, 1]),
+            np.array([1, 1, 0]),
+            np.array([3.0, 7.0, 2.0]),
+        )
+        deduped = coo.deduplicate()
+        assert deduped.nnz == 2
+        assert deduped.to_dense()[0, 1] == 7.0
+
+    def test_deduplicate_noop_when_unique(self, paper_fig2_matrix):
+        assert paper_fig2_matrix.deduplicate() == paper_fig2_matrix
+
+    def test_transpose_involution(self, paper_fig2_matrix):
+        assert paper_fig2_matrix.transpose().transpose() == paper_fig2_matrix
+
+    def test_transpose_dense_agrees(self, paper_fig2_matrix):
+        np.testing.assert_array_equal(
+            paper_fig2_matrix.transpose().to_dense(), paper_fig2_matrix.to_dense().T
+        )
+
+    def test_sorted_by_row_preserves_content(self, rng):
+        perm = rng.permutation(4)
+        coo = COOMatrix(
+            (4, 4), perm, np.arange(4)[perm], np.arange(1.0, 5.0)[perm]
+        )
+        assert coo.sorted_by_row() == coo
+        assert np.all(np.diff(coo.sorted_by_row().row) >= 0)
+
+    def test_eq_against_other_type(self, paper_fig2_matrix):
+        assert (paper_fig2_matrix == 42) is False or paper_fig2_matrix.__eq__(42) is NotImplemented
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    dense=hnp.arrays(
+        np.float32,
+        hnp.array_shapes(min_dims=2, max_dims=2, min_side=1, max_side=12),
+        elements=st.sampled_from([0.0, 1.0, 2.5, 5.0]),
+    )
+)
+def test_property_dense_roundtrip(dense):
+    coo = COOMatrix.from_dense(dense)
+    np.testing.assert_array_equal(coo.to_dense(), dense)
+    assert coo.nnz == int(np.count_nonzero(dense))

@@ -1,0 +1,166 @@
+"""Tests for degree statistics and row partitioning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import (
+    degree_stats,
+    gini_coefficient,
+    partition_rows_balanced,
+    partition_rows_contiguous,
+    window_imbalance,
+)
+
+degree_seqs = st.lists(st.integers(min_value=0, max_value=500), min_size=1, max_size=200)
+
+
+class TestDegreeStats:
+    def test_basic_fields(self):
+        s = degree_stats(np.array([2, 1, 0, 2]))
+        assert (s.count, s.nnz, s.max, s.min) == (4, 5, 2, 0)
+        assert s.empty_fraction == 0.25
+        assert s.mean == pytest.approx(1.25)
+
+    def test_empty_sequence(self):
+        s = degree_stats(np.array([], dtype=np.int64))
+        assert s.count == 0 and s.nnz == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            degree_stats(np.array([1, -2]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(ValueError):
+            degree_stats(np.zeros((2, 2), dtype=int))
+
+    def test_str_contains_key_numbers(self):
+        assert "nnz=5" in str(degree_stats(np.array([2, 3])))
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient(np.full(50, 7)) == pytest.approx(0.0, abs=1e-12)
+
+    def test_single_owner_is_near_one(self):
+        x = np.zeros(1000)
+        x[0] = 1000
+        assert gini_coefficient(x) > 0.99
+
+    def test_all_zero(self):
+        assert gini_coefficient(np.zeros(10)) == 0.0
+
+    def test_empty(self):
+        assert gini_coefficient(np.array([])) == 0.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(seq=degree_seqs)
+    def test_property_bounded(self, seq):
+        g = gini_coefficient(np.array(seq))
+        assert -1e-9 <= g < 1.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(seq=degree_seqs, scale=st.integers(min_value=2, max_value=9))
+    def test_property_scale_invariant(self, seq, scale):
+        a = np.array(seq)
+        assert gini_coefficient(a) == pytest.approx(
+            gini_coefficient(a * scale), abs=1e-9
+        )
+
+
+class TestWindowImbalance:
+    def test_uniform_is_one(self):
+        assert window_imbalance(np.full(64, 5), 32) == pytest.approx(1.0)
+
+    def test_skew_increases_imbalance(self):
+        balanced = np.full(64, 10)
+        skewed = balanced.copy()
+        skewed[::8] = 80
+        assert window_imbalance(skewed, 8) > window_imbalance(balanced, 8)
+
+    def test_padding_of_partial_window(self):
+        # 3 rows, window 4: padded zeros lower the mean, raising max/mean.
+        v = window_imbalance(np.array([4, 4, 4]), 4)
+        assert v == pytest.approx(4 / 3)
+
+    def test_window_one_is_always_one(self):
+        assert window_imbalance(np.array([1, 100, 3]), 1) == pytest.approx(1.0)
+
+    def test_zero_window_rejected(self):
+        with pytest.raises(ValueError):
+            window_imbalance(np.array([1]), 0)
+
+    def test_empty_sequence(self):
+        assert window_imbalance(np.array([]), 8) == 1.0
+
+    def test_all_empty_rows(self):
+        assert window_imbalance(np.zeros(16), 4) == 1.0
+
+    @settings(max_examples=50, deadline=None)
+    @given(seq=degree_seqs, window=st.sampled_from([1, 2, 4, 8, 16, 32]))
+    def test_property_at_least_one(self, seq, window):
+        assert window_imbalance(np.array(seq), window) >= 1.0 - 1e-12
+
+
+class TestPartition:
+    def test_contiguous_covers_all_rows(self):
+        lengths = np.arange(10)
+        part = partition_rows_contiguous(lengths, 3)
+        assert part.loads.sum() == lengths.sum()
+        assert set(part.assignment) == {0, 1, 2}
+
+    def test_contiguous_is_contiguous(self):
+        part = partition_rows_contiguous(np.ones(10, dtype=int), 3)
+        assert np.all(np.diff(part.assignment) >= 0)
+
+    def test_balanced_beats_contiguous_on_skew(self, rng):
+        lengths = rng.zipf(1.6, size=256).clip(max=10_000)
+        cont = partition_rows_contiguous(lengths, 16)
+        bal = partition_rows_balanced(lengths, 16)
+        assert bal.imbalance <= cont.imbalance + 1e-9
+
+    def test_balanced_lpt_bound(self, rng):
+        lengths = rng.integers(1, 100, size=128)
+        part = partition_rows_balanced(lengths, 8)
+        # LPT ratio bound vs the trivial lower bound (mean load).
+        assert part.loads.max() <= (4 / 3) * max(
+            lengths.sum() / 8, lengths.max()
+        ) + 1e-9
+
+    def test_rows_of_inverse_of_assignment(self):
+        part = partition_rows_balanced(np.array([5, 1, 3, 2]), 2)
+        for p in range(2):
+            for r in part.rows_of(p):
+                assert part.assignment[r] == p
+
+    def test_rows_of_out_of_range(self):
+        part = partition_rows_contiguous(np.ones(4, dtype=int), 2)
+        with pytest.raises(IndexError):
+            part.rows_of(2)
+
+    def test_zero_parts_rejected(self):
+        for fn in (partition_rows_contiguous, partition_rows_balanced):
+            with pytest.raises(ValueError):
+                fn(np.ones(4, dtype=int), 0)
+
+    def test_more_parts_than_rows(self):
+        part = partition_rows_balanced(np.array([3, 1]), 5)
+        assert part.loads.sum() == 4
+        assert (part.loads > 0).sum() == 2
+
+    @settings(max_examples=40, deadline=None)
+    @given(seq=degree_seqs, nparts=st.integers(min_value=1, max_value=17))
+    def test_property_loads_conserved(self, seq, nparts):
+        lengths = np.array(seq)
+        for fn in (partition_rows_contiguous, partition_rows_balanced):
+            part = fn(lengths, nparts)
+            assert part.loads.sum() == lengths.sum()
+            np.testing.assert_array_equal(
+                np.bincount(part.assignment, weights=lengths, minlength=nparts).astype(
+                    np.int64
+                ),
+                part.loads,
+            )

@@ -1,0 +1,61 @@
+"""Smoke tests: the example scripts must run end to end.
+
+Each example executes in its own interpreter (as a user would run it);
+only the fast ones run here — the heavy sweeps are exercised through
+their underlying experiment runners in tests/bench/.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "movielens_recommend.py",
+    "implicit_feedback.py",
+    "solver_families.py",
+]
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=420,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_examples_directory_complete():
+    present = {p.name for p in EXAMPLES.glob("*.py")}
+    assert present >= {
+        "quickstart.py",
+        "movielens_recommend.py",
+        "portability_sweep.py",
+        "variant_autotune.py",
+        "implicit_feedback.py",
+        "solver_families.py",
+        "divergence_study.py",
+    }
+
+
+def test_quickstart_output_shape():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=420,
+    )
+    out = result.stdout
+    assert "train RMSE" in out
+    assert "top-5 unseen items" in out
+    assert "simulated training time" in out

@@ -1,0 +1,89 @@
+"""Integration tests over the top-level public API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestSurface:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_version(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_ml1m_catalog_entry(self):
+        spec = repro.MOVIELENS1M
+        assert (spec.m, spec.n, spec.nnz) == (6040, 3706, 1_000_209)
+        assert repro.dataset_by_name("ML1M") is spec
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def pipeline(self, tmp_path_factory):
+        """generate → split → fit → evaluate → persist → reload."""
+        spec = repro.MOVIELENS1M.scaled(1 / 16)
+        ratings = repro.generate_ratings(spec, seed=3)
+        split = repro.train_test_split(ratings, test_fraction=0.2, seed=3)
+        rec = repro.Recommender(k=8, lam=0.1, iterations=4).fit(split.train)
+        path = tmp_path_factory.mktemp("model") / "ml1m.npz"
+        rec.save(path)
+        return spec, split, rec, repro.Recommender.load(path)
+
+    def test_training_learned_something(self, pipeline):
+        _, split, rec, _ = pipeline
+        metrics = rec.evaluate(split.train.deduplicate())
+        values = split.train.value.astype(np.float64)
+        constant_rmse = float(np.sqrt(np.mean((values - values.mean()) ** 2)))
+        assert metrics["rmse"] < constant_rmse
+
+    def test_reload_equivalent(self, pipeline):
+        _, split, rec, loaded = pipeline
+        np.testing.assert_allclose(
+            loaded.evaluate(split.test)["rmse"], rec.evaluate(split.test)["rmse"]
+        )
+
+    def test_recommendations_well_formed(self, pipeline):
+        spec, _, rec, _ = pipeline
+        recs = rec.recommend(user=0, n_items=7)
+        assert len(recs) == 7
+        assert all(0 <= item < spec.n for item, _ in recs)
+
+    def test_simulated_cost_for_same_shape(self, pipeline):
+        spec, _, _, _ = pipeline
+        run = repro.PortableALS(repro.NVIDIA_TESLA_K20C).simulate_spec(
+            spec, iterations=4
+        )
+        assert run.seconds > 0
+
+
+class TestCrossSolverConsistency:
+    """All solver families drive down the same objective on one problem."""
+
+    def test_three_families_converge(self):
+        problem = repro.planted_problem(m=60, n=45, rank=3, density=0.3, seed=2)
+        als = repro.train_als(
+            problem.ratings, repro.ALSConfig(k=3, lam=0.05, iterations=6)
+        )
+        sgd = repro.train_sgd(
+            problem.ratings, repro.SGDConfig(k=3, lam=0.05, lr=0.15, epochs=15)
+        )
+        ccd = repro.train_ccd(
+            problem.ratings, repro.CCDConfig(k=3, lam=0.05, outer_iterations=6)
+        )
+        for model in (als, sgd, ccd):
+            history = model.losses() if hasattr(model, "losses") else model.history
+            assert history[-1] < history[0]
+
+    def test_simulators_agree_on_ordering(self):
+        """Every solver pair preserves the paper's Netflix ordering."""
+        rows, cols = repro.degree_sequences(repro.NETFLIX)
+        gpu = repro.NVIDIA_TESLA_K20C
+        ours = repro.PortableALS(gpu).simulate(rows, cols).seconds
+        cumf = repro.CuMF().simulate(rows, cols).seconds
+        flat = repro.Sac15Baseline(gpu).simulate(rows, cols).seconds
+        assert ours < cumf < flat
