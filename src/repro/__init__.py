@@ -70,6 +70,7 @@ from repro.kernels import Variant, all_variants, recommended_variant
 from repro.solvers import PortableALS, Sac15Baseline, CuMF, SimulatedRun
 from repro.autotune import exhaustive_search, VariantSelector, train_default_selector
 from repro.extensions import SGDConfig, train_sgd, CCDConfig, train_ccd
+from repro import obs
 
 __version__ = "1.0.0"
 
@@ -136,5 +137,7 @@ __all__ = [
     "train_sgd",
     "CCDConfig",
     "train_ccd",
+    # observability
+    "obs",
     "__version__",
 ]

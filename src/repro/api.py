@@ -13,10 +13,11 @@ from dataclasses import asdict
 
 import numpy as np
 
-from repro.core.als import ALSConfig, ALSModel, train_als
+from repro.core.als import ALSConfig, ALSModel, IterationStats, ratings_views, train_als
 from repro.core.alswr import train_als_wr
 from repro.core.loss import mae, rmse
 from repro.core.predict import predict_entries, recommend_top_n
+from repro.obs.spans import span
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
 
@@ -54,10 +55,16 @@ class Recommender:
     # ------------------------------------------------------------------
     # training
     # ------------------------------------------------------------------
-    def fit(self, ratings: COOMatrix) -> "Recommender":
-        """Train the factor model on observed ratings."""
-        self._model = _ALGORITHMS[self.algorithm](ratings, self.config)
-        self._train_csr = CSRMatrix.from_coo(ratings)
+    def fit(self, ratings: COOMatrix | CSRMatrix) -> "Recommender":
+        """Train the factor model on observed ratings.
+
+        The input is converted to CSR exactly once; the same view feeds
+        the trainer and the ``exclude_seen`` filter of ``recommend``.
+        """
+        with span("recommender.fit", algorithm=self.algorithm, k=self.config.k):
+            _, csr = ratings_views(ratings)
+            self._model = _ALGORITHMS[self.algorithm](csr, self.config)
+            self._train_csr = csr
         return self
 
     @property
@@ -75,30 +82,38 @@ class Recommender:
     # ------------------------------------------------------------------
     def predict(self, users, items) -> np.ndarray:
         """Predicted ratings for parallel user/item index arrays."""
-        return predict_entries(self.model, np.asarray(users), np.asarray(items))
+        with span("recommender.predict"):
+            return predict_entries(self.model, np.asarray(users), np.asarray(items))
 
     def recommend(
         self, user: int, n_items: int = 10, exclude_seen: bool = True
     ) -> list[tuple[int, float]]:
         """Top-N items for a user, excluding training items by default."""
-        exclude = self._train_csr if exclude_seen else None
-        return recommend_top_n(self.model, user, n_items=n_items, exclude=exclude)
+        with span("recommender.recommend", n_items=n_items):
+            exclude = self._train_csr if exclude_seen else None
+            return recommend_top_n(self.model, user, n_items=n_items, exclude=exclude)
 
     def evaluate(self, ratings: COOMatrix) -> dict[str, float]:
         """RMSE/MAE on a rating set (e.g. the held-out split)."""
-        model = self.model
-        return {
-            "rmse": rmse(ratings, model.X, model.Y),
-            "mae": mae(ratings, model.X, model.Y),
-        }
+        with span("recommender.evaluate"):
+            model = self.model
+            return {
+                "rmse": rmse(ratings, model.X, model.Y),
+                "mae": mae(ratings, model.X, model.Y),
+            }
 
     # ------------------------------------------------------------------
     # persistence
     # ------------------------------------------------------------------
     def save(self, path: str | os.PathLike) -> None:
-        """Persist factors + hyper-parameters to one ``.npz`` file."""
+        """Persist factors, hyper-parameters and the per-iteration
+        training history to one ``.npz`` file."""
         model = self.model
-        meta = {"algorithm": self.algorithm, "config": asdict(self.config)}
+        meta = {
+            "algorithm": self.algorithm,
+            "config": asdict(self.config),
+            "history": [asdict(stats) for stats in model.history],
+        }
         np.savez_compressed(
             path,
             X=model.X,
@@ -122,5 +137,8 @@ class Recommender:
             algorithm=meta["algorithm"],
             seed=cfg["seed"],
         )
-        rec._model = ALSModel(X=X, Y=Y, config=ALSConfig(**cfg))
+        # Files written before history persistence lack the key; they
+        # load with an empty history, as before.
+        history = [IterationStats(**stats) for stats in meta.get("history", [])]
+        rec._model = ALSModel(X=X, Y=Y, config=ALSConfig(**cfg), history=history)
         return rec

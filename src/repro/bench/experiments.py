@@ -16,7 +16,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.autotune.search import WS_CANDIDATES
-from repro.bench.report import format_table
+from repro.bench.report import format_table, write_metrics_json
+from repro.obs import metrics as obs_metrics
+from repro.obs.export import metrics_payload
+from repro.obs.spans import capture, span
 from repro.clsim.costmodel import CostModel
 from repro.clsim.device import (
     ALL_DEVICES,
@@ -46,6 +49,7 @@ __all__ = [
     "run_ksweep",
     "run_quality",
     "run_reorder",
+    "run_with_metrics",
     "EXPERIMENTS",
 ]
 
@@ -572,6 +576,37 @@ def run_reorder(seed: int = 7) -> ReorderResult:
             rows_sorted, NVIDIA_TESLA_K20C
         ).efficiency
     return ReorderResult(orig, sort, eff_b, eff_a)
+
+
+def run_with_metrics(
+    name: str, metrics_path: str | None = None
+) -> tuple[object, dict]:
+    """Run one experiment instrumented; return ``(result, payload)``.
+
+    The payload carries the run's wall-clock, counters and per-span
+    aggregates; with ``metrics_path`` it is also written as JSON — the
+    machine-readable record a perf trajectory (``BENCH_*.json``) is
+    accumulated from.  Experiments that train real models (``quality``)
+    get the full S1/S2/S3 span detail; pure cost-model experiments
+    record their wall-clock and whatever the simulator touches.
+    """
+    runner = EXPERIMENTS.get(name)
+    if runner is None:
+        raise KeyError(f"unknown experiment {name!r}; known: {', '.join(EXPERIMENTS)}")
+    obs_metrics.reset()
+    with capture() as tracer:
+        with span(f"experiment.{name}", cat="bench"):
+            result = runner()
+    records = tuple(tracer.records)
+    wall = sum(r.duration for r in records if r.name == f"experiment.{name}")
+    payload = metrics_payload(
+        obs_metrics.get_registry(),
+        records,
+        meta={"experiment": name, "wall_seconds": wall},
+    )
+    if metrics_path is not None:
+        write_metrics_json(metrics_path, payload)
+    return result, payload
 
 
 #: Registry used by the CLI and the benchmark tree.

@@ -3,9 +3,11 @@ reports", printed instead of plotted)."""
 
 from __future__ import annotations
 
+import json
+import os
 from typing import Sequence
 
-__all__ = ["format_table", "format_bar"]
+__all__ = ["format_table", "format_bar", "write_metrics_json"]
 
 
 def format_table(
@@ -45,3 +47,14 @@ def format_bar(value: float, scale: float, width: int = 40) -> str:
         return ""
     n = max(0, min(width, round(value / scale * width)))
     return "#" * n
+
+
+def write_metrics_json(path: str | os.PathLike, payload: dict) -> None:
+    """Write one experiment run's machine-readable metrics document.
+
+    The payload comes from :func:`repro.bench.experiments.run_with_metrics`
+    (counters + per-span aggregates + meta) — the per-run record a
+    ``BENCH_*.json`` perf trajectory is built from.
+    """
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)

@@ -4,8 +4,14 @@ Usage::
 
     repro-als list                 # available experiments
     repro-als fig7                 # reproduce Fig. 7
+    repro-als fig7 --metrics m.json  # + machine-readable metrics dump
     repro-als all                  # everything, in paper order
     repro-als tune gpu NTFX        # exhaustive variant search (§III-D)
+    repro-als profile ML10M --device gpu --trace t.json --metrics m.json
+                                   # instrumented real training run:
+                                   # measured S1/S2/S3 hotspot table, top
+                                   # spans, and a merged Perfetto trace of
+                                   # host spans + simulated kernels
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ import argparse
 import sys
 
 from repro.autotune.search import exhaustive_search
-from repro.bench.experiments import EXPERIMENTS
+from repro.bench.experiments import EXPERIMENTS, run_with_metrics
 from repro.clsim.device import device_by_name
 from repro.datasets.catalog import dataset_by_name
 from repro.datasets.synthetic import degree_sequences
@@ -24,12 +30,17 @@ from repro.kernels.variants import recommended_variant
 __all__ = ["main"]
 
 
-def _run_experiment(name: str) -> int:
+def _run_experiment(name: str, metrics_path: str | None = None) -> int:
     runner = EXPERIMENTS.get(name)
     if runner is None:
         print(f"unknown experiment {name!r}; try: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
-    print(runner().render())
+    if metrics_path is not None:
+        result, _ = run_with_metrics(name, metrics_path)
+        print(result.render())
+        print(f"metrics written to {metrics_path}")
+    else:
+        print(runner().render())
     return 0
 
 
@@ -48,6 +59,36 @@ def _run_tune(device_name: str, dataset_name: str, k: int) -> int:
     return 0
 
 
+def _run_profile(ns: argparse.Namespace) -> int:
+    if len(ns.args) != 1:
+        print("usage: repro-als profile <dataset> [--device D] [--trace T.json]"
+              " [--metrics M.json] [--scale S] [--iterations N]", file=sys.stderr)
+        return 2
+    from repro.obs.profiler import profile_training, render_report
+
+    try:
+        report = profile_training(
+            ns.args[0],
+            device=ns.device,
+            k=ns.k,
+            iterations=ns.iterations,
+            scale=ns.scale,
+            seed=ns.seed,
+            algorithm=ns.algorithm,
+        )
+    except (KeyError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    print(render_report(report, top=ns.top))
+    if ns.trace:
+        report.write_trace(ns.trace)
+        print(f"\ntrace written to {ns.trace} (open at https://ui.perfetto.dev)")
+    if ns.metrics:
+        report.write_metrics(ns.metrics)
+        print(f"metrics written to {ns.metrics}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-als",
@@ -55,10 +96,39 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "command",
-        help="experiment id (table1, fig1, fig6..fig10, ksweep), 'all', 'list', 'summary', 'tune' or 'emit-cl'",
+        help="experiment id (table1, fig1, fig6..fig10, ksweep), 'all', 'list', "
+        "'summary', 'tune', 'emit-cl' or 'profile'",
     )
-    parser.add_argument("args", nargs="*", help="for tune: <device> <dataset>")
+    parser.add_argument(
+        "args", nargs="*", help="for tune: <device> <dataset>; for profile: <dataset>"
+    )
     parser.add_argument("--k", type=int, default=10, help="latent factor (default 10)")
+    parser.add_argument(
+        "--device", default=None, help="profile: also simulate on this device (cpu/gpu/mic)"
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="profile: write the merged Perfetto/Chrome trace JSON here",
+    )
+    parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write the run's metrics JSON here (profile and experiments)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="profile: dataset scale in (0,1]; default auto-shrinks to a fast run",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=5, help="profile: ALS iterations (default 5)"
+    )
+    parser.add_argument(
+        "--algorithm", default="als", choices=("als", "als-wr"),
+        help="profile: trainer (default als)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="profile: RNG seed")
+    parser.add_argument(
+        "--top", type=int, default=10, help="profile: top-N spans to print (default 10)"
+    )
     ns = parser.parse_args(argv)
 
     if ns.command == "summary":
@@ -87,7 +157,9 @@ def main(argv: list[str] | None = None) -> int:
             print("usage: repro-als tune <device> <dataset>", file=sys.stderr)
             return 2
         return _run_tune(ns.args[0], ns.args[1], ns.k)
-    return _run_experiment(ns.command)
+    if ns.command == "profile":
+        return _run_profile(ns)
+    return _run_experiment(ns.command, metrics_path=ns.metrics)
 
 
 def _entry() -> int:

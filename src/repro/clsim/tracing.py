@@ -4,6 +4,11 @@ Serializes a :class:`~repro.clsim.runtime.CommandQueue`'s profiling
 events as a Chrome trace (``chrome://tracing`` / Perfetto JSON), laying
 the launches end-to-end on the simulated device timeline — the moral
 equivalent of ``CL_QUEUE_PROFILING_ENABLE`` plus a trace viewer.
+
+The event serialization itself lives in :mod:`repro.obs.export`, the
+single producer of the trace format; that is what lets a simulated queue
+and the measured host spans of :mod:`repro.obs.spans` share one merged
+timeline (``repro-als profile ... --device ... --trace out.json``).
 """
 
 from __future__ import annotations
@@ -12,6 +17,7 @@ import json
 import os
 
 from repro.clsim.runtime import CommandQueue
+from repro.obs.export import queue_to_events
 
 __all__ = ["queue_to_chrome_trace", "write_chrome_trace"]
 
@@ -22,29 +28,7 @@ def queue_to_chrome_trace(queue: CommandQueue) -> list[dict]:
     In-order queue semantics: each launch starts when the previous one
     finishes.  Timestamps are microseconds of *simulated* device time.
     """
-    events = []
-    cursor_us = 0.0
-    for event in queue.events:
-        duration_us = event.seconds * 1e6
-        events.append(
-            {
-                "name": event.kernel_name,
-                "cat": "kernel",
-                "ph": "X",
-                "ts": cursor_us,
-                "dur": duration_us,
-                "pid": 0,
-                "tid": 0,
-                "args": {
-                    "compute_s": event.cost.compute_s,
-                    "memory_s": event.cost.memory_s,
-                    "overhead_s": event.cost.overhead_s,
-                    "bound": event.cost.bound,
-                },
-            }
-        )
-        cursor_us += duration_us
-    return events
+    return queue_to_events(queue, pid=0, tid=0)
 
 
 def write_chrome_trace(queue: CommandQueue, path: str | os.PathLike) -> None:

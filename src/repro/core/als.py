@@ -15,11 +15,19 @@ import numpy as np
 from repro.core.init import init_factors
 from repro.core.loss import regularized_loss, rmse
 from repro.kernels.fastpath import fast_half_sweep
+from repro.obs import metrics as obs_metrics
+from repro.obs.spans import span
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.csr import CSRMatrix
 
-__all__ = ["ALSConfig", "IterationStats", "ALSModel", "train_als"]
+__all__ = [
+    "ALSConfig",
+    "IterationStats",
+    "ALSModel",
+    "train_als",
+    "ratings_views",
+]
 
 
 @dataclass(frozen=True)
@@ -85,6 +93,21 @@ class ALSModel:
         return [s.loss for s in self.history]
 
 
+def ratings_views(ratings: COOMatrix | CSRMatrix) -> tuple[COOMatrix, CSRMatrix]:
+    """Canonical ``(deduplicated COO, CSR)`` views of a rating input.
+
+    The single conversion point every trainer (and the ``Recommender``
+    facade) shares: COO inputs are deduplicated and converted exactly
+    once; a prebuilt CSR passes through untouched.
+    """
+    if isinstance(ratings, COOMatrix):
+        coo = ratings.deduplicate()
+        return coo, CSRMatrix.from_coo(coo)
+    if isinstance(ratings, CSRMatrix):
+        return ratings.to_coo(), ratings
+    raise TypeError(f"ratings must be COOMatrix or CSRMatrix, got {type(ratings)}")
+
+
 def train_als(
     ratings: COOMatrix | CSRMatrix,
     config: ALSConfig | None = None,
@@ -98,38 +121,51 @@ def train_als(
     ``validation`` set is given its RMSE is tracked per iteration.
     """
     config = config or ALSConfig()
-    if isinstance(ratings, COOMatrix):
-        coo = ratings.deduplicate()
-        R_rows = CSRMatrix.from_coo(coo)
-    elif isinstance(ratings, CSRMatrix):
-        R_rows = ratings
-        coo = ratings.to_coo()
-    else:
-        raise TypeError(f"ratings must be COOMatrix or CSRMatrix, got {type(ratings)}")
-    R_cols = CSCMatrix.from_csr(R_rows).transpose_as_csr()
-
-    m, n = R_rows.shape
-    X, Y = init_factors(m, n, config.k, seed=config.seed, scale=config.init_scale)
-
-    model = ALSModel(X=X, Y=Y, config=config)
-    for it in range(1, config.iterations + 1):
-        X = fast_half_sweep(R_rows, Y, config.lam, X_prev=X, cholesky=config.cholesky)
-        Y = fast_half_sweep(R_cols, X, config.lam, X_prev=Y, cholesky=config.cholesky)
-        if config.track_loss:
-            model.history.append(
-                IterationStats(
-                    iteration=it,
-                    loss=regularized_loss(coo, X, Y, config.lam),
-                    train_rmse=rmse(coo, X, Y),
-                    validation_rmse=(
-                        rmse(validation, X, Y) if validation is not None else None
-                    ),
-                )
+    coo, R_rows = ratings_views(ratings)
+    with span(
+        "als.train",
+        algorithm="als",
+        k=config.k,
+        iterations=config.iterations,
+        nnz=coo.nnz,
+    ):
+        with span("als.build_views"):
+            R_cols = CSCMatrix.from_csr(R_rows).transpose_as_csr()
+            m, n = R_rows.shape
+            X, Y = init_factors(
+                m, n, config.k, seed=config.seed, scale=config.init_scale
             )
-            if config.tol > 0 and len(model.history) >= 2:
+
+        model = ALSModel(X=X, Y=Y, config=config)
+        for it in range(1, config.iterations + 1):
+            with span("als.iteration", iteration=it):
+                obs_metrics.inc("als.iterations")
+                with span("als.half_sweep", side="X", iteration=it):
+                    X = fast_half_sweep(
+                        R_rows, Y, config.lam, X_prev=X, cholesky=config.cholesky
+                    )
+                with span("als.half_sweep", side="Y", iteration=it):
+                    Y = fast_half_sweep(
+                        R_cols, X, config.lam, X_prev=Y, cholesky=config.cholesky
+                    )
+                if config.track_loss:
+                    with span("als.loss", iteration=it):
+                        model.history.append(
+                            IterationStats(
+                                iteration=it,
+                                loss=regularized_loss(coo, X, Y, config.lam),
+                                train_rmse=rmse(coo, X, Y),
+                                validation_rmse=(
+                                    rmse(validation, X, Y)
+                                    if validation is not None
+                                    else None
+                                ),
+                            )
+                        )
+            if config.track_loss and config.tol > 0 and len(model.history) >= 2:
                 prev = model.history[-2].loss
                 cur = model.history[-1].loss
                 if prev > 0 and (prev - cur) / prev < config.tol:
                     break
-    model.X, model.Y = X, Y
+        model.X, model.Y = X, Y
     return model

@@ -10,11 +10,13 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.als import ALSConfig, ALSModel, IterationStats
+from repro.core.als import ALSConfig, ALSModel, IterationStats, ratings_views
 from repro.core.init import init_factors
 from repro.core.loss import rmse
 from repro.linalg.cholesky import batched_cholesky_solve
 from repro.linalg.normal_equations import batched_normal_equations
+from repro.obs import metrics as obs_metrics
+from repro.obs.spans import is_enabled, span
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.csr import CSRMatrix
@@ -38,31 +40,55 @@ def weighted_half_sweep(
     X = np.zeros((R.nrows, k), dtype=np.float64)
     if X_prev is not None:
         X[:] = X_prev
+    if is_enabled():
+        obs_metrics.inc("als.sweep.rows", int(occupied.sum()))
+        obs_metrics.inc("sparse.nnz_touched", R.nnz)
     if occupied.any():
-        X[occupied] = batched_cholesky_solve(A[occupied], b[occupied])
+        with span("als.s3.solve", stage="S3", solver="cholesky", k=k):
+            obs_metrics.inc("solver.cholesky.calls")
+            X[occupied] = batched_cholesky_solve(A[occupied], b[occupied])
     return X
 
 
-def train_als_wr(ratings: COOMatrix, config: ALSConfig | None = None) -> ALSModel:
+def train_als_wr(
+    ratings: COOMatrix | CSRMatrix, config: ALSConfig | None = None
+) -> ALSModel:
     """Train with weighted-λ regularization; same driver shape as ALS."""
     config = config or ALSConfig()
-    coo = ratings.deduplicate()
-    R_rows = CSRMatrix.from_coo(coo)
-    R_cols = CSCMatrix.from_csr(R_rows).transpose_as_csr()
-    m, n = R_rows.shape
-    X, Y = init_factors(m, n, config.k, seed=config.seed, scale=config.init_scale)
-    model = ALSModel(X=X, Y=Y, config=config)
-    for it in range(1, config.iterations + 1):
-        X = weighted_half_sweep(R_rows, Y, config.lam, X_prev=X)
-        Y = weighted_half_sweep(R_cols, X, config.lam, X_prev=Y)
-        if config.track_loss:
-            # The WR objective differs from Eq. 2; RMSE is the comparable
-            # metric, so loss tracking records the (unweighted) fit term.
-            err_rmse = rmse(coo, X, Y)
-            model.history.append(
-                IterationStats(
-                    iteration=it, loss=err_rmse**2 * coo.nnz, train_rmse=err_rmse
-                )
+    coo, R_rows = ratings_views(ratings)
+    with span(
+        "als.train",
+        algorithm="als-wr",
+        k=config.k,
+        iterations=config.iterations,
+        nnz=coo.nnz,
+    ):
+        with span("als.build_views"):
+            R_cols = CSCMatrix.from_csr(R_rows).transpose_as_csr()
+            m, n = R_rows.shape
+            X, Y = init_factors(
+                m, n, config.k, seed=config.seed, scale=config.init_scale
             )
-    model.X, model.Y = X, Y
+        model = ALSModel(X=X, Y=Y, config=config)
+        for it in range(1, config.iterations + 1):
+            with span("als.iteration", iteration=it):
+                obs_metrics.inc("als.iterations")
+                with span("als.half_sweep", side="X", iteration=it):
+                    X = weighted_half_sweep(R_rows, Y, config.lam, X_prev=X)
+                with span("als.half_sweep", side="Y", iteration=it):
+                    Y = weighted_half_sweep(R_cols, X, config.lam, X_prev=Y)
+                if config.track_loss:
+                    # The WR objective differs from Eq. 2; RMSE is the
+                    # comparable metric, so loss tracking records the
+                    # (unweighted) fit term.
+                    with span("als.loss", iteration=it):
+                        err_rmse = rmse(coo, X, Y)
+                    model.history.append(
+                        IterationStats(
+                            iteration=it,
+                            loss=err_rmse**2 * coo.nnz,
+                            train_rmse=err_rmse,
+                        )
+                    )
+        model.X, model.Y = X, Y
     return model

@@ -153,7 +153,7 @@ EXTRA_DATASETS: tuple[DatasetSpec, ...] = (MOVIELENS1M,)
 _BY_NAME = {spec.abbr.lower(): spec for spec in TABLE_I + EXTRA_DATASETS}
 _BY_NAME.update({spec.name.lower(): spec for spec in TABLE_I + EXTRA_DATASETS})
 _BY_NAME.update(
-    {"movielens": MOVIELENS10M, "netflix": NETFLIX, "yahoo-r1": YAHOO_R1, "yahoo-r4": YAHOO_R4}
+    {"movielens": MOVIELENS10M, "ml10m": MOVIELENS10M, "netflix": NETFLIX, "yahoo-r1": YAHOO_R1, "yahoo-r4": YAHOO_R4}
 )
 
 

@@ -17,6 +17,8 @@ from repro.clsim.memory import Buffer
 from repro.clsim.ndrange import NDRange
 from repro.kernels.baseline import flat_update_kernel
 from repro.kernels.batched import make_s1_kernel, make_s2_kernel, make_s3_kernel
+from repro.obs import metrics as obs_metrics
+from repro.obs.spans import span
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.csr import CSRMatrix
 
@@ -101,8 +103,10 @@ def interpreted_half_sweep(
         if groups <= 0:
             raise ValueError("n_groups must be positive")
         ndrange = NDRange(global_size=groups * ws, local_size=ws)
-        for kernel in select_kernels(flags, tile):
-            execute_ndrange(kernel, ndrange, args)
+        for stage, kernel in zip(("S1", "S2", "S3"), select_kernels(flags, tile)):
+            with span(f"kernel.{kernel.name}", cat="kernel", stage=stage, ws=ws):
+                obs_metrics.inc("kernel.launches")
+                execute_ndrange(kernel, ndrange, args)
     else:
         value_cm, cm_id = colmajor_permutation(R)
         args = dict(
@@ -118,9 +122,10 @@ def interpreted_half_sweep(
         )
         # One thread per row, padded to a multiple of the group size.
         padded = -(-m // ws) * ws
-        execute_ndrange(
-            flat_update_kernel(), NDRange(global_size=padded, local_size=ws), args
-        )
+        kernel = flat_update_kernel()
+        with span(f"kernel.{kernel.name}", cat="kernel", ws=ws):
+            obs_metrics.inc("kernel.launches")
+            execute_ndrange(kernel, NDRange(global_size=padded, local_size=ws), args)
 
     if count_access:
         counts = {

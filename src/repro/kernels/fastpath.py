@@ -14,6 +14,8 @@ import numpy as np
 from repro.linalg.cholesky import batched_cholesky_solve
 from repro.linalg.gaussian import batched_gaussian_solve
 from repro.linalg.normal_equations import batched_normal_equations
+from repro.obs import metrics as obs_metrics
+from repro.obs.spans import is_enabled, span
 from repro.sparse.csr import CSRMatrix
 
 __all__ = ["fast_half_sweep", "fast_iteration"]
@@ -43,9 +45,15 @@ def fast_half_sweep(
         if X_prev.shape != (m, k):
             raise ValueError(f"X_prev must have shape {(m, k)}")
         X[:] = X_prev
+    if is_enabled():
+        obs_metrics.inc("als.sweep.rows", int(occupied.sum()))
+        obs_metrics.inc("sparse.nnz_touched", R.nnz)
     if occupied.any():
+        solver_name = "cholesky" if cholesky else "gaussian"
         solver = batched_cholesky_solve if cholesky else batched_gaussian_solve
-        X[occupied] = solver(A[occupied], b[occupied])
+        with span("als.s3.solve", stage="S3", solver=solver_name, k=k):
+            obs_metrics.inc(f"solver.{solver_name}.calls")
+            X[occupied] = solver(A[occupied], b[occupied])
     return X
 
 

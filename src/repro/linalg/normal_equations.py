@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.spans import span
 from repro.sparse.csr import CSRMatrix
 
 __all__ = ["assemble_gram", "assemble_rhs", "batched_normal_equations"]
@@ -55,11 +56,17 @@ def batched_normal_equations(
     if Y.shape[0] != R.ncols:
         raise ValueError(f"Y must have {R.ncols} rows, got {Y.shape[0]}")
     rows = R.expanded_rows()
-    gathered = Y[R.col_idx]  # (nnz, k)
-    outer = gathered[:, :, None] * gathered[:, None, :]  # (nnz, k, k)
-    A = np.zeros((m, k, k), dtype=np.float64)
-    np.add.at(A, rows, outer)
-    A += lam * np.eye(k)
-    b = np.zeros((m, k), dtype=np.float64)
-    np.add.at(b, rows, gathered * R.value[:, None].astype(np.float64))
+    # The paper's S1 (smat = Y_ΩᵀY_Ω + λI) and S2 (svec = Y_Ωᵀ r_u) run as
+    # separate kernels; the spans keep that boundary so the measured
+    # hotspot table decomposes the same way as Fig. 8.  The Y gather is
+    # shared by both steps and attributed to S1, which reads it first.
+    with span("als.s1.gram", stage="S1", nnz=R.nnz, k=k):
+        gathered = Y[R.col_idx]  # (nnz, k)
+        outer = gathered[:, :, None] * gathered[:, None, :]  # (nnz, k, k)
+        A = np.zeros((m, k, k), dtype=np.float64)
+        np.add.at(A, rows, outer)
+        A += lam * np.eye(k)
+    with span("als.s2.rhs", stage="S2", nnz=R.nnz, k=k):
+        b = np.zeros((m, k), dtype=np.float64)
+        np.add.at(b, rows, gathered * R.value[:, None].astype(np.float64))
     return A, b

@@ -1,0 +1,92 @@
+"""Observability: spans, metrics and unified Perfetto trace export.
+
+The hotspot-guided companion to the cost model: the same S1/S2/S3
+decomposition the paper derives from device profiles (§V, Fig. 8),
+measured on the real NumPy execution path and exportable — together
+with simulated command-queue timelines — as one Chrome-trace/Perfetto
+JSON.  See ``docs/observability.md``.
+
+* :mod:`repro.obs.spans` — hierarchical wall-clock spans (disabled by
+  default; ~zero-cost no-ops until :func:`enable`/:func:`capture`).
+* :mod:`repro.obs.metrics` — named counters/gauges/histograms.
+* :mod:`repro.obs.export` — Chrome-trace + flat metrics JSON.
+* :mod:`repro.obs.hotspot` — measured S1/S2/S3 tables, top-N spans.
+* :mod:`repro.obs.profiler` — the ``repro-als profile`` runner (import
+  explicitly; it pulls in the training stack).
+"""
+
+from repro.obs.export import (
+    metrics_payload,
+    queue_to_events,
+    spans_to_events,
+    trace_payload,
+    write_metrics,
+    write_trace,
+)
+from repro.obs.hotspot import (
+    render_hotspot_table,
+    render_top_spans,
+    stage_breakdown,
+    sweep_seconds,
+    top_spans,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    inc,
+    observe,
+    set_gauge,
+)
+from repro.obs.spans import (
+    SpanRecord,
+    Tracer,
+    capture,
+    clear,
+    disable,
+    enable,
+    get_tracer,
+    is_enabled,
+    set_clock,
+    span,
+    traced,
+)
+
+__all__ = [
+    # spans
+    "SpanRecord",
+    "Tracer",
+    "span",
+    "traced",
+    "enable",
+    "disable",
+    "is_enabled",
+    "capture",
+    "get_tracer",
+    "set_clock",
+    "clear",
+    # metrics
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "inc",
+    "set_gauge",
+    "observe",
+    # export
+    "spans_to_events",
+    "queue_to_events",
+    "trace_payload",
+    "write_trace",
+    "metrics_payload",
+    "write_metrics",
+    # hotspot
+    "stage_breakdown",
+    "sweep_seconds",
+    "top_spans",
+    "render_hotspot_table",
+    "render_top_spans",
+]

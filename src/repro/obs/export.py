@@ -1,0 +1,186 @@
+"""Serialization of spans + metrics to Chrome-trace / Perfetto JSON.
+
+One trace format for both time domains: measured host spans
+(:mod:`repro.obs.spans`) and simulated device launches
+(:class:`repro.clsim.runtime.CommandQueue`) become ``ph:"X"`` complete
+events on separate process tracks of a single timeline, so Perfetto
+(https://ui.perfetto.dev) shows "what the host actually did" next to
+"what the cost model says the device would do" — the side-by-side the
+paper's hotspot methodology implies.  ``repro.clsim.tracing`` delegates
+its queue export here so there is exactly one serializer.
+
+Track layout:
+
+* pid ``HOST_PID`` (1) — measured spans; one tid per host thread.
+* pid ``SIM_PID_BASE`` (100) + i — the i-th simulated command queue;
+  in-order queue semantics lay launches end to end from t = 0.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; avoids an import cycle
+    from repro.clsim.runtime import CommandQueue
+
+__all__ = [
+    "HOST_PID",
+    "SIM_PID_BASE",
+    "spans_to_events",
+    "queue_to_events",
+    "trace_payload",
+    "write_trace",
+    "metrics_payload",
+    "write_metrics",
+]
+
+HOST_PID = 1
+SIM_PID_BASE = 100
+
+
+def _process_name(pid: int, name: str) -> dict:
+    """Perfetto track label (metadata event)."""
+    return {
+        "name": "process_name",
+        "ph": "M",
+        "pid": pid,
+        "tid": 0,
+        "args": {"name": name},
+    }
+
+
+def spans_to_events(
+    records: Sequence[SpanRecord],
+    pid: int = HOST_PID,
+    base: float | None = None,
+) -> list[dict]:
+    """Span records as Chrome-trace complete events.
+
+    Timestamps are microseconds relative to ``base`` (default: the
+    earliest span start), so traces start at t = 0 regardless of the
+    clock's origin.  Thread idents are remapped to small stable tids in
+    order of first appearance.
+    """
+    if not records:
+        return []
+    if base is None:
+        base = min(r.start for r in records)
+    tids: dict[int, int] = {}
+    events = []
+    for r in sorted(records, key=lambda r: (r.start, r.depth)):
+        tid = tids.setdefault(r.tid, len(tids) + 1)
+        args: dict[str, object] = {"self_us": r.self_duration * 1e6}
+        args.update(r.attrs)
+        events.append(
+            {
+                "name": r.name,
+                "cat": r.cat,
+                "ph": "X",
+                "ts": (r.start - base) * 1e6,
+                "dur": r.duration * 1e6,
+                "pid": pid,
+                "tid": tid,
+                "args": args,
+            }
+        )
+    return events
+
+
+def queue_to_events(
+    queue: "CommandQueue",
+    pid: int = 0,
+    tid: int = 0,
+    base_us: float = 0.0,
+) -> list[dict]:
+    """Simulated queue launches as Chrome-trace complete events.
+
+    In-order queue semantics: each launch starts when the previous one
+    finishes.  Timestamps are microseconds of *simulated* device time.
+    """
+    events = []
+    cursor_us = base_us
+    for event in queue.events:
+        duration_us = event.seconds * 1e6
+        events.append(
+            {
+                "name": event.kernel_name,
+                "cat": "kernel",
+                "ph": "X",
+                "ts": cursor_us,
+                "dur": duration_us,
+                "pid": pid,
+                "tid": tid,
+                "args": {
+                    "compute_s": event.cost.compute_s,
+                    "memory_s": event.cost.memory_s,
+                    "overhead_s": event.cost.overhead_s,
+                    "bound": event.cost.bound,
+                },
+            }
+        )
+        cursor_us += duration_us
+    return events
+
+
+def trace_payload(
+    span_records: Sequence[SpanRecord] = (),
+    queues: Iterable["CommandQueue"] = (),
+    meta: dict | None = None,
+) -> dict:
+    """The merged Chrome-trace document (host + simulated tracks)."""
+    events: list[dict] = []
+    if span_records:
+        events.append(_process_name(HOST_PID, "host (measured)"))
+        events.extend(spans_to_events(span_records))
+    for i, queue in enumerate(queues):
+        pid = SIM_PID_BASE + i
+        events.append(_process_name(pid, f"sim:{queue.device.name}"))
+        events.extend(queue_to_events(queue, pid=pid))
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": meta or {},
+    }
+
+
+def write_trace(
+    path: str | os.PathLike,
+    span_records: Sequence[SpanRecord] = (),
+    queues: Iterable["CommandQueue"] = (),
+    meta: dict | None = None,
+) -> None:
+    """Write the merged timeline as a Perfetto-loadable JSON file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(trace_payload(span_records, queues, meta), fh)
+
+
+def metrics_payload(
+    registry: MetricsRegistry | dict,
+    span_records: Sequence[SpanRecord] = (),
+    meta: dict | None = None,
+) -> dict:
+    """Flat metrics document: registry snapshot + per-span-name totals."""
+    snap = registry.snapshot() if isinstance(registry, MetricsRegistry) else registry
+    by_name: dict[str, dict[str, float]] = {}
+    for r in span_records:
+        agg = by_name.setdefault(r.name, {"calls": 0, "seconds": 0.0, "self_seconds": 0.0})
+        agg["calls"] += 1
+        agg["seconds"] += r.duration
+        agg["self_seconds"] += r.self_duration
+    return {"meta": meta or {}, "metrics": snap, "spans": by_name}
+
+
+def write_metrics(
+    path: str | os.PathLike,
+    registry: MetricsRegistry | dict,
+    span_records: Sequence[SpanRecord] = (),
+    meta: dict | None = None,
+) -> None:
+    """Write the flat metrics JSON (the ``BENCH_*.json`` seed format)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(metrics_payload(registry, span_records, meta), fh, indent=2)

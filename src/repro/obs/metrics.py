@@ -1,0 +1,195 @@
+"""Named counters, gauges and histograms for the real execution path.
+
+The registry is the numeric companion to :mod:`repro.obs.spans`: spans
+say *where* the time went, metrics say *how much work* was done there
+(``als.sweep.rows``, ``solver.cholesky.calls``, ``sparse.nnz_touched``),
+which is what turns a hotspot table into an arithmetic-intensity
+argument (cf. the paper's roofline discussion).
+
+Instrumented code calls the module-level helpers (:func:`inc`,
+:func:`set_gauge`, :func:`observe`), which are gated on the same enable
+flag as spans and early-return when tracing is off.  The registry
+objects themselves always work — tests and exporters use them directly.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator
+
+from repro.obs.spans import is_enabled
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "inc",
+    "set_gauge",
+    "observe",
+    "snapshot",
+    "reset",
+]
+
+
+class Counter:
+    """Monotonically increasing count (calls, rows, bytes...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins value (sizes, configuration, temperatures...)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming summary of observed samples (count/sum/min/max/mean).
+
+    Deliberately bucket-free: the consumers here want summary rows in a
+    metrics JSON, not quantile sketches, and summaries merge trivially.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of named instruments, snapshot-able to JSON."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            try:
+                return self._counters[name]
+            except KeyError:
+                inst = self._counters[name] = Counter(name)
+                return inst
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            try:
+                return self._gauges[name]
+            except KeyError:
+                inst = self._gauges[name] = Gauge(name)
+                return inst
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            try:
+                return self._histograms[name]
+            except KeyError:
+                inst = self._histograms[name] = Histogram(name)
+                return inst
+
+    def __iter__(self) -> Iterator[str]:
+        with self._lock:
+            return iter(
+                sorted({*self._counters, *self._gauges, *self._histograms})
+            )
+
+    def snapshot(self) -> dict[str, dict]:
+        """A plain-dict view, ready for ``json.dump``."""
+        with self._lock:
+            return {
+                "counters": {n: c.value for n, c in sorted(self._counters.items())},
+                "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+                "histograms": {
+                    n: h.summary() for n, h in sorted(self._histograms.items())
+                },
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-global registry the gated helpers write to."""
+    return _REGISTRY
+
+
+def inc(name: str, amount: float = 1.0) -> None:
+    """Bump a counter — no-op while instrumentation is disabled."""
+    if is_enabled():
+        _REGISTRY.counter(name).inc(amount)
+
+
+def set_gauge(name: str, value: float) -> None:
+    """Set a gauge — no-op while instrumentation is disabled."""
+    if is_enabled():
+        _REGISTRY.gauge(name).set(value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram sample — no-op while instrumentation is disabled."""
+    if is_enabled():
+        _REGISTRY.histogram(name).observe(value)
+
+
+def snapshot() -> dict[str, dict]:
+    """Snapshot the global registry."""
+    return _REGISTRY.snapshot()
+
+
+def reset() -> None:
+    """Clear every instrument in the global registry."""
+    _REGISTRY.reset()

@@ -14,7 +14,7 @@ import numpy as np
 from repro.clsim.calibration import Calibration
 from repro.clsim.costmodel import LaunchCost
 from repro.clsim.device import DeviceSpec
-from repro.clsim.runtime import Context
+from repro.clsim.runtime import CommandQueue, Context
 from repro.clsim.transfer import training_transfer_cost
 from repro.core.als import ALSConfig
 from repro.kernels.variants import Variant, recommended_variant
@@ -60,9 +60,13 @@ class PortableALS(BaseSolver):
         k: int = 10,
         iterations: int = 5,
         dataset: str = "?",
+        queue: CommandQueue | None = None,
     ) -> SimulatedRun:
+        """Simulate a training run; pass ``queue`` to keep the per-launch
+        profiling events (e.g. for the merged trace export)."""
         cm = self.context.cost_model
-        queue = self.context.create_queue()
+        if queue is None:
+            queue = self.context.create_queue()
         flags = self.variant.flags
         transfer = training_transfer_cost(
             self.device,

@@ -99,3 +99,74 @@ class TestPersistence:
     def test_save_unfitted_raises(self, tmp_path):
         with pytest.raises(RuntimeError):
             Recommender().save(tmp_path / "x.npz")
+
+    def test_history_survives_roundtrip(self, fitted, tmp_path):
+        path = tmp_path / "model.npz"
+        fitted.save(path)
+        loaded = Recommender.load(path)
+        assert loaded.model.history == fitted.model.history
+        assert len(loaded.model.history) == fitted.config.iterations
+        assert loaded.model.losses() == fitted.model.losses()
+
+    def test_load_tolerates_files_without_history(self, fitted, tmp_path):
+        """Pre-history .npz files (no 'history' key) still load."""
+        import json
+
+        import numpy as np
+
+        path = tmp_path / "legacy.npz"
+        fitted.save(path)
+        with np.load(path) as data:
+            meta = json.loads(bytes(data["meta"].tobytes()).decode())
+            X, Y = data["X"], data["Y"]
+        del meta["history"]
+        np.savez_compressed(
+            path,
+            X=X,
+            Y=Y,
+            meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        )
+        loaded = Recommender.load(path)
+        assert loaded.model.history == []
+        np.testing.assert_array_equal(loaded.model.X, fitted.model.X)
+
+
+class TestSingleConversion:
+    """fit() builds the row-CSR once and shares it with exclude_seen.
+
+    The CSC (column) view is always built from the transpose inside the
+    trainer, so only conversions in the *input* orientation count.
+    """
+
+    @staticmethod
+    def _count_row_conversions(monkeypatch, shape):
+        from repro.sparse.csr import CSRMatrix
+
+        calls = []
+        original = CSRMatrix.from_coo.__func__
+
+        def counting(cls, coo):
+            if coo.shape == shape:
+                calls.append(coo)
+            return original(cls, coo)
+
+        monkeypatch.setattr(CSRMatrix, "from_coo", classmethod(counting))
+        return calls
+
+    def test_fit_converts_coo_to_csr_exactly_once(self, data, monkeypatch):
+        calls = self._count_row_conversions(monkeypatch, data.train.shape)
+        Recommender(k=3, iterations=2).fit(data.train)
+        assert len(calls) == 1
+
+    def test_fit_accepts_prebuilt_csr(self, data):
+        from repro.sparse.csr import CSRMatrix
+
+        csr = CSRMatrix.from_coo(data.train.deduplicate())
+        rec = Recommender(k=3, iterations=2).fit(csr)
+        assert rec._train_csr is csr
+        assert rec.evaluate(data.test)["rmse"] < 1.5
+
+    def test_alswr_fit_converts_once_too(self, data, monkeypatch):
+        calls = self._count_row_conversions(monkeypatch, data.train.shape)
+        Recommender(k=3, iterations=2, algorithm="als-wr").fit(data.train)
+        assert len(calls) == 1

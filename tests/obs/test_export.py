@@ -1,0 +1,113 @@
+"""Chrome-trace schema, merged simulated+real export, metrics JSON."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.clsim import CommandQueue, LaunchCost, NVIDIA_TESLA_K20C
+from repro.obs import export
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import Tracer
+
+
+class StepClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        self.now += 1.0
+        return self.now
+
+
+@pytest.fixture
+def records():
+    tracer = Tracer(clock=StepClock())
+    with tracer.span("als.train", algorithm="als"):
+        with tracer.span("als.half_sweep", side="X"):
+            with tracer.span("als.s1.gram", stage="S1"):
+                pass
+    return tracer.records
+
+
+@pytest.fixture
+def queue():
+    q = CommandQueue(NVIDIA_TESLA_K20C)
+    q.enqueue("s1_update_X", LaunchCost(0.002, 0.001, 0.0005))
+    q.enqueue("s2_update_X", LaunchCost(0.0001, 0.003, 0.0005))
+    return q
+
+
+class TestSpanEvents:
+    def test_complete_event_schema(self, records):
+        events = export.spans_to_events(records)
+        assert len(events) == 3
+        for e in events:
+            assert e["ph"] == "X"
+            assert e["dur"] >= 0
+            assert e["ts"] >= 0
+            assert isinstance(e["pid"], int) and isinstance(e["tid"], int)
+            assert "name" in e and "cat" in e
+
+    def test_ts_monotonic_and_zero_based(self, records):
+        ts = [e["ts"] for e in export.spans_to_events(records)]
+        assert ts[0] == 0.0
+        assert ts == sorted(ts)
+
+    def test_attrs_flow_into_args(self, records):
+        events = export.spans_to_events(records)
+        by_name = {e["name"]: e for e in events}
+        assert by_name["als.s1.gram"]["args"]["stage"] == "S1"
+        assert by_name["als.half_sweep"]["args"]["side"] == "X"
+        assert "self_us" in by_name["als.train"]["args"]
+
+    def test_empty(self):
+        assert export.spans_to_events([]) == []
+
+
+class TestMergedTrace:
+    def test_host_and_sim_tracks(self, records, queue, tmp_path):
+        path = tmp_path / "merged.json"
+        export.write_trace(path, records, [queue], meta={"dataset": "TEST"})
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        pids = {e["pid"] for e in events if e["ph"] == "X"}
+        assert pids == {export.HOST_PID, export.SIM_PID_BASE}
+        labels = {
+            e["pid"]: e["args"]["name"] for e in events if e["ph"] == "M"
+        }
+        assert labels[export.HOST_PID] == "host (measured)"
+        assert labels[export.SIM_PID_BASE] == f"sim:{NVIDIA_TESLA_K20C.name}"
+        assert payload["otherData"] == {"dataset": "TEST"}
+
+    def test_sim_events_laid_end_to_end(self, queue):
+        events = export.queue_to_events(queue, pid=7, tid=3)
+        assert events[0]["ts"] == 0.0
+        assert events[1]["ts"] == pytest.approx(events[0]["dur"])
+        assert all(e["pid"] == 7 and e["tid"] == 3 for e in events)
+        total_us = queue.total_seconds * 1e6
+        assert events[-1]["ts"] + events[-1]["dur"] == pytest.approx(total_us)
+
+    def test_trace_loads_as_valid_json_object(self, records, queue, tmp_path):
+        path = tmp_path / "t.json"
+        export.write_trace(path, records, [queue])
+        payload = json.loads(path.read_text())
+        assert set(payload) == {"traceEvents", "displayTimeUnit", "otherData"}
+
+
+class TestMetricsPayload:
+    def test_snapshot_plus_span_aggregates(self, records):
+        reg = MetricsRegistry()
+        reg.counter("solver.cholesky.calls").inc(6)
+        payload = export.metrics_payload(reg, records, meta={"run": 1})
+        assert payload["meta"] == {"run": 1}
+        assert payload["metrics"]["counters"]["solver.cholesky.calls"] == 6
+        assert payload["spans"]["als.s1.gram"]["calls"] == 1
+        assert payload["spans"]["als.train"]["seconds"] > 0
+
+    def test_write_metrics_roundtrip(self, records, tmp_path):
+        path = tmp_path / "m.json"
+        export.write_metrics(path, MetricsRegistry(), records)
+        payload = json.loads(path.read_text())
+        assert set(payload) == {"meta", "metrics", "spans"}

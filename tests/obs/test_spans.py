@@ -1,0 +1,182 @@
+"""Span nesting, the fake clock, disabled no-op behavior, metrics."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import spans
+from repro.obs.spans import Tracer, capture, span, traced
+
+
+class FakeClock:
+    """Deterministic clock: each call advances by ``step`` seconds."""
+
+    def __init__(self, step: float = 1.0, start: float = 0.0):
+        self.step = step
+        self.now = start
+
+    def __call__(self) -> float:
+        t = self.now
+        self.now += self.step
+        return t
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    """Every test starts disabled, with empty records and real clock."""
+    spans.disable()
+    spans.clear()
+    spans.set_clock(None)
+    obs_metrics.reset()
+    yield
+    spans.disable()
+    spans.clear()
+    spans.set_clock(None)
+    obs_metrics.reset()
+
+
+class TestNesting:
+    def test_parent_child_durations_with_fake_clock(self):
+        tracer = Tracer(clock=FakeClock(step=1.0))
+        with tracer.span("parent"):
+            # clock: parent.start=0; child.start=1; child.end=2; parent.end=3
+            with tracer.span("child"):
+                pass
+        child, parent = tracer.records
+        assert child.name == "child"
+        assert parent.name == "parent"
+        assert child.duration == pytest.approx(1.0)
+        assert parent.duration == pytest.approx(3.0)
+        assert parent.self_duration == pytest.approx(2.0)
+        assert child.parent_id == parent.span_id
+        assert parent.parent_id is None
+        assert (parent.depth, child.depth) == (0, 1)
+
+    def test_sibling_children_accumulate_into_self_time(self):
+        tracer = Tracer(clock=FakeClock(step=1.0))
+        with tracer.span("root"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        root = tracer.records[-1]
+        a, b = tracer.records[:2]
+        assert root.duration == pytest.approx(a.duration + b.duration + root.self_duration)
+
+    def test_attrs_and_late_set(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("s", stage="S1") as s:
+            s.set(rows=42)
+        record = tracer.records[0]
+        assert record.attrs == {"stage": "S1", "rows": 42}
+
+    def test_global_tracer_fake_clock(self):
+        spans.set_clock(FakeClock(step=0.5))
+        spans.enable()
+        with span("x"):
+            pass
+        assert spans.get_tracer().records[0].duration == pytest.approx(0.5)
+
+    def test_records_carry_thread_id(self):
+        spans.enable()
+        with span("main-thread"):
+            pass
+
+        def worker():
+            with span("worker-thread"):
+                pass
+
+        t = threading.Thread(target=worker)
+        t.start()
+        t.join()
+        tids = {r.name: r.tid for r in spans.get_tracer().records}
+        assert tids["main-thread"] != tids["worker-thread"]
+
+
+class TestDisabled:
+    def test_span_is_shared_noop(self):
+        assert span("anything") is span("other")
+        with span("nothing", stage="S1") as s:
+            s.set(more=1)
+        assert spans.get_tracer().records == []
+
+    def test_traced_decorator_passthrough(self):
+        calls = []
+
+        @traced("mytask")
+        def fn(x):
+            calls.append(x)
+            return x * 2
+
+        assert fn(3) == 6
+        assert spans.get_tracer().records == []
+        spans.enable()
+        assert fn(4) == 8
+        assert [r.name for r in spans.get_tracer().records] == ["mytask"]
+        assert calls == [3, 4]
+
+    def test_metric_helpers_gated(self):
+        obs_metrics.inc("c")
+        obs_metrics.set_gauge("g", 5)
+        obs_metrics.observe("h", 1.0)
+        snap = obs_metrics.snapshot()
+        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+        spans.enable()
+        obs_metrics.inc("c", 2)
+        assert obs_metrics.snapshot()["counters"]["c"] == 2
+
+
+class TestCapture:
+    def test_capture_enables_and_restores(self):
+        assert not spans.is_enabled()
+        with capture() as tracer:
+            assert spans.is_enabled()
+            with span("inside"):
+                pass
+        assert not spans.is_enabled()
+        assert [r.name for r in tracer.records] == ["inside"]
+
+    def test_capture_clears_previous_records(self):
+        spans.enable()
+        with span("stale"):
+            pass
+        with capture() as tracer:
+            with span("fresh"):
+                pass
+        assert [r.name for r in tracer.records] == ["fresh"]
+        # capture restores the *previous* state, which was enabled
+        assert spans.is_enabled()
+
+
+class TestMetricsRegistry:
+    def test_counter_monotonic(self):
+        reg = obs_metrics.MetricsRegistry()
+        c = reg.counter("n")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        assert reg.counter("n") is c
+
+    def test_histogram_summary(self):
+        reg = obs_metrics.MetricsRegistry()
+        h = reg.histogram("lat")
+        for v in (1.0, 3.0, 2.0):
+            h.observe(v)
+        s = h.summary()
+        assert s == {"count": 3, "sum": 6.0, "min": 1.0, "max": 3.0, "mean": 2.0}
+        assert reg.histogram("empty").summary()["count"] == 0
+
+    def test_snapshot_and_reset(self):
+        reg = obs_metrics.MetricsRegistry()
+        reg.counter("a").inc()
+        reg.gauge("b").set(9)
+        snap = reg.snapshot()
+        assert snap["counters"] == {"a": 1.0}
+        assert snap["gauges"] == {"b": 9.0}
+        reg.reset()
+        assert reg.snapshot()["counters"] == {}
