@@ -1,0 +1,173 @@
+#!/usr/bin/env python
+"""Before/after benchmark of the S1+S2 normal-equations assembly.
+
+Times the legacy ``np.add.at`` scatter path against the degree-binned,
+tiled path on a synthetic MovieLens-1M-shaped matrix (the paper's
+smallest real corpus) and writes the result to a JSON report —
+``BENCH_2.json`` at the repo root records the committed numbers.
+
+Run directly (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_assembly.py            # full ml-1m, k=64
+    PYTHONPATH=src python benchmarks/bench_assembly.py --quick    # CI perf smoke
+    PYTHONPATH=src python benchmarks/bench_assembly.py --check    # exit 1 on regression
+
+``--check`` makes the script fail when the binned path is not faster
+than the scatter path (the CI perf-smoke gate); the full (non-quick)
+configuration is additionally expected to clear the 3x bar recorded in
+ISSUE 2's acceptance criteria.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+
+from repro.datasets.catalog import MOVIELENS1M
+from repro.datasets.synthetic import generate_ratings
+from repro.linalg.normal_equations import (
+    DEFAULT_TILE_NNZ,
+    binned_normal_equations,
+    scatter_normal_equations,
+)
+from repro.obs import metrics as obs_metrics
+from repro.obs.spans import capture
+from repro.sparse.csr import CSRMatrix
+
+
+def _time_variant(fn, R, Y, lam, repeats):
+    """Min-of-N wall time plus the run's S1/S2 span split and gauges."""
+    best = float("inf")
+    split = {}
+    for _ in range(repeats):
+        obs_metrics.reset()
+        with capture() as tracer:
+            t0 = perf_counter()
+            fn(R, Y, lam)
+            elapsed = perf_counter() - t0
+        if elapsed < best:
+            best = elapsed
+            stage_seconds = {"S1": 0.0, "S2": 0.0}
+            for rec in tracer.records:
+                stage = rec.attrs.get("stage")
+                if stage in stage_seconds:
+                    stage_seconds[stage] += rec.duration
+            split = {
+                "total_seconds": elapsed,
+                "s1_seconds": stage_seconds["S1"],
+                "s2_seconds": stage_seconds["S2"],
+                "gauges": obs_metrics.snapshot()["gauges"],
+            }
+    return split
+
+
+def run_benchmark(
+    scale: float, k: int, repeats: int, tile_nnz: int, seed: int
+) -> dict:
+    spec = MOVIELENS1M.scaled(scale)
+    coo = generate_ratings(spec, seed=seed)
+    R = CSRMatrix.from_coo(coo)
+    rng = np.random.default_rng(seed)
+    Y = rng.standard_normal((R.ncols, k))
+    # Warm the derived-structure caches: a training run reuses one matrix
+    # across every sweep, so steady-state cost is the honest comparison.
+    R.expanded_rows()
+    R.degree_bins()
+
+    print(
+        f"assembly benchmark: {spec.abbr} scale={scale:g} "
+        f"(m={R.nrows}, n={R.ncols}, nnz={R.nnz}), k={k}, "
+        f"tile_nnz={tile_nnz}, repeats={repeats}",
+        flush=True,
+    )
+    binned = _time_variant(
+        lambda R_, Y_, lam: binned_normal_equations(R_, Y_, lam, tile_nnz=tile_nnz),
+        R, Y, 0.1, repeats,
+    )
+    print(f"  binned  : {binned['total_seconds']:8.3f} s "
+          f"(S1 {binned['s1_seconds']:.3f}, S2 {binned['s2_seconds']:.3f})",
+          flush=True)
+    scatter = _time_variant(scatter_normal_equations, R, Y, 0.1, repeats)
+    print(f"  scatter : {scatter['total_seconds']:8.3f} s "
+          f"(S1 {scatter['s1_seconds']:.3f}, S2 {scatter['s2_seconds']:.3f})",
+          flush=True)
+    speedup = scatter["total_seconds"] / binned["total_seconds"]
+    print(f"  speedup : {speedup:8.2f}x", flush=True)
+    return {
+        "benchmark": "s1s2_assembly",
+        "dataset": spec.abbr,
+        "scale": scale,
+        "m": R.nrows,
+        "n": R.ncols,
+        "nnz": R.nnz,
+        "k": k,
+        "tile_nnz": tile_nnz,
+        "repeats": repeats,
+        "seed": seed,
+        "scatter": scatter,
+        "binned": binned,
+        "speedup": speedup,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small configuration for CI (1/16-scale ml-1m, k=32, 1 repeat)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero if the binned path is not faster than scatter "
+        "(>= 3x required for the full configuration)",
+    )
+    parser.add_argument("--k", type=int, default=None, help="latent factor size")
+    parser.add_argument("--scale", type=float, default=None, help="ml-1m scale")
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--tile-nnz", type=int, default=DEFAULT_TILE_NNZ)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the JSON report here (default: BENCH_2.json for full "
+        "runs, no file for --quick)",
+    )
+    ns = parser.parse_args(argv)
+
+    if ns.quick:
+        scale = ns.scale if ns.scale is not None else 1 / 16
+        k = ns.k if ns.k is not None else 32
+        repeats = ns.repeats if ns.repeats is not None else 1
+    else:
+        scale = ns.scale if ns.scale is not None else 1.0
+        k = ns.k if ns.k is not None else 64
+        repeats = ns.repeats if ns.repeats is not None else 2
+
+    result = run_benchmark(scale, k, repeats, ns.tile_nnz, ns.seed)
+
+    out = ns.out
+    if out is None and not ns.quick:
+        out = Path(__file__).resolve().parent.parent / "BENCH_2.json"
+    if out:
+        Path(out).write_text(json.dumps(result, indent=2) + "\n")
+        print(f"report written to {out}", flush=True)
+
+    if ns.check:
+        required = 1.0 if ns.quick else 3.0
+        if result["speedup"] < required:
+            print(
+                f"FAIL: binned speedup {result['speedup']:.2f}x is below the "
+                f"required {required:.1f}x",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"OK: binned speedup {result['speedup']:.2f}x >= {required:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

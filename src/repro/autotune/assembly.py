@@ -1,0 +1,137 @@
+"""Empirical selection between the host-side assembly code variants.
+
+The paper picks device code variants by *measuring* them on the target
+execution context (§III-D) rather than predicting from first principles.
+This module applies the same loop to the two host assembly strategies —
+``scatter`` (legacy ``np.add.at``) vs ``binned`` (degree-binned batched
+GEMM) — by timing both on a small row-prefix sample of the actual rating
+matrix and caching the verdict per (shape, nnz, k) context, so an
+``mode="auto"`` training run pays the measurement once, not per sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+
+import numpy as np
+
+from repro.linalg import normal_equations as ne
+from repro.obs import metrics as obs_metrics
+from repro.obs.spans import is_enabled
+from repro.sparse.csr import CSRMatrix
+
+__all__ = [
+    "AssemblyDecision",
+    "measure_assembly",
+    "select_assembly",
+    "clear_decision_cache",
+    "DEFAULT_SAMPLE_NNZ",
+]
+
+#: Non-zeros in the timing sample (further capped so the scatter probe's
+#: (nnz, k, k) tensor stays under ~64 MB — the probe must never cost more
+#: than the sweep it is trying to speed up).
+DEFAULT_SAMPLE_NNZ = 40_000
+
+_SCATTER_PROBE_BYTES = 64 << 20
+
+_CACHE: dict[tuple[tuple[int, int], int, int], "AssemblyDecision"] = {}
+
+
+@dataclass(frozen=True)
+class AssemblyDecision:
+    """One measured scatter-vs-binned verdict for an execution context."""
+
+    mode: str  # "binned" or "scatter" — the faster of the two
+    binned_seconds: float
+    scatter_seconds: float
+    sample_rows: int
+    sample_nnz: int
+
+    @property
+    def speedup(self) -> float:
+        """How much faster the winner ran (>= 1)."""
+        lo = min(self.binned_seconds, self.scatter_seconds)
+        hi = max(self.binned_seconds, self.scatter_seconds)
+        return hi / lo if lo > 0 else float("inf")
+
+
+def _sample_rows(R: CSRMatrix, sample_nnz: int) -> CSRMatrix:
+    """A row-prefix submatrix with roughly ``sample_nnz`` non-zeros."""
+    if R.nnz <= sample_nnz:
+        return R
+    cut = max(1, int(np.searchsorted(R.row_ptr, sample_nnz, side="left")))
+    end = int(R.row_ptr[cut])
+    return CSRMatrix(
+        (cut, R.ncols),
+        R.value[:end],
+        R.col_idx[:end],
+        R.row_ptr[: cut + 1],
+    )
+
+
+def measure_assembly(
+    R: CSRMatrix,
+    k: int,
+    lam: float = 0.1,
+    sample_nnz: int | None = None,
+    repeats: int = 1,
+    seed: int = 0,
+) -> AssemblyDecision:
+    """Time both assembly variants on a sample of ``R`` and pick a winner.
+
+    The sample's derived structures (degree bins, expanded rows) are
+    built before timing: a real training run reuses one matrix across
+    every iteration, so the steady-state per-sweep cost is what matters.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    if sample_nnz is None:
+        sample_nnz = max(
+            2048, min(DEFAULT_SAMPLE_NNZ, _SCATTER_PROBE_BYTES // max(1, k * k * 8))
+        )
+    S = _sample_rows(R, sample_nnz)
+    rng = np.random.default_rng(seed)
+    Y = rng.standard_normal((S.ncols, k))
+    S.degree_bins(ne.DEFAULT_BIN_GROWTH)
+    S.expanded_rows()
+
+    def best_of(fn) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = perf_counter()
+            fn(S, Y, lam)
+            best = min(best, perf_counter() - t0)
+        return best
+
+    binned_seconds = best_of(ne.binned_normal_equations)
+    scatter_seconds = best_of(ne.scatter_normal_equations)
+    mode = "binned" if binned_seconds <= scatter_seconds else "scatter"
+    return AssemblyDecision(
+        mode=mode,
+        binned_seconds=binned_seconds,
+        scatter_seconds=scatter_seconds,
+        sample_rows=S.nrows,
+        sample_nnz=S.nnz,
+    )
+
+
+def select_assembly(R: CSRMatrix, k: int, lam: float = 0.1) -> str:
+    """The measured-best assembly mode for ``(R, k)``, cached per context."""
+    key = (R.shape, R.nnz, int(k))
+    decision = _CACHE.get(key)
+    if decision is None:
+        decision = measure_assembly(R, k, lam)
+        _CACHE[key] = decision
+        if is_enabled():
+            obs_metrics.inc("assembly.auto.measurements")
+            obs_metrics.inc(f"assembly.auto.chose_{decision.mode}")
+    return decision.mode
+
+
+def clear_decision_cache() -> None:
+    """Forget all cached verdicts (tests and re-tuning)."""
+    _CACHE.clear()

@@ -7,11 +7,17 @@ Usage::
     repro-als fig7 --metrics m.json  # + machine-readable metrics dump
     repro-als all                  # everything, in paper order
     repro-als tune gpu NTFX        # exhaustive variant search (§III-D)
+    repro-als tune-assembly ML1M   # measure scatter vs binned host assembly
     repro-als profile ML10M --device gpu --trace t.json --metrics m.json
                                    # instrumented real training run:
                                    # measured S1/S2/S3 hotspot table, top
                                    # spans, and a merged Perfetto trace of
                                    # host spans + simulated kernels
+
+The host S1/S2 assembly variant is selectable everywhere via
+``--assembly {binned,scatter,auto}``, ``--tile-nnz N`` and
+``--assembly-dtype {float32,float64}`` (or the ``REPRO_ASSEMBLY``,
+``REPRO_TILE_NNZ``, ``REPRO_ASSEMBLY_DTYPE`` environment variables).
 """
 
 from __future__ import annotations
@@ -59,6 +65,34 @@ def _run_tune(device_name: str, dataset_name: str, k: int) -> int:
     return 0
 
 
+def _run_tune_assembly(ns: argparse.Namespace) -> int:
+    if len(ns.args) != 1:
+        print("usage: repro-als tune-assembly <dataset> [--k K] [--scale S]",
+              file=sys.stderr)
+        return 2
+    from repro.autotune.assembly import measure_assembly
+    from repro.sparse.csr import CSRMatrix
+
+    try:
+        spec = dataset_by_name(ns.args[0])
+    except KeyError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    scale = ns.scale if ns.scale is not None else min(1.0, 500_000 / spec.nnz)
+    spec = spec.scaled(scale)
+    from repro.datasets.synthetic import generate_ratings as _gen
+
+    R = CSRMatrix.from_coo(_gen(spec, seed=ns.seed))
+    decision = measure_assembly(R, k=ns.k)
+    print(f"assembly variants on {spec.abbr} (scale={scale:g}, k={ns.k}), "
+          f"measured on a {decision.sample_rows}-row / "
+          f"{decision.sample_nnz}-nnz sample:")
+    print(f"  binned  {decision.binned_seconds * 1e3:9.2f} ms")
+    print(f"  scatter {decision.scatter_seconds * 1e3:9.2f} ms")
+    print(f"best: {decision.mode} ({decision.speedup:.2f}x over the other)")
+    return 0
+
+
 def _run_profile(ns: argparse.Namespace) -> int:
     if len(ns.args) != 1:
         print("usage: repro-als profile <dataset> [--device D] [--trace T.json]"
@@ -97,10 +131,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "command",
         help="experiment id (table1, fig1, fig6..fig10, ksweep), 'all', 'list', "
-        "'summary', 'tune', 'emit-cl' or 'profile'",
+        "'summary', 'tune', 'tune-assembly', 'emit-cl' or 'profile'",
     )
     parser.add_argument(
-        "args", nargs="*", help="for tune: <device> <dataset>; for profile: <dataset>"
+        "args", nargs="*",
+        help="for tune: <device> <dataset>; for profile/tune-assembly: <dataset>",
     )
     parser.add_argument("--k", type=int, default=10, help="latent factor (default 10)")
     parser.add_argument(
@@ -129,7 +164,26 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--top", type=int, default=10, help="profile: top-N spans to print (default 10)"
     )
+    parser.add_argument(
+        "--assembly", default=None, choices=("binned", "scatter", "auto"),
+        help="S1/S2 assembly code variant (default: binned)",
+    )
+    parser.add_argument(
+        "--tile-nnz", type=int, default=None, metavar="N",
+        help="assembly tile budget: max non-zeros gathered per tile",
+    )
+    parser.add_argument(
+        "--assembly-dtype", default=None, choices=("float32", "float64"),
+        help="assembly compute precision (accumulation stays float64)",
+    )
     ns = parser.parse_args(argv)
+
+    if ns.assembly or ns.tile_nnz or ns.assembly_dtype:
+        from repro.linalg.normal_equations import configure_assembly
+
+        configure_assembly(
+            mode=ns.assembly, tile_nnz=ns.tile_nnz, compute_dtype=ns.assembly_dtype
+        )
 
     if ns.command == "summary":
         from repro.bench.summary import render_scorecard
@@ -157,6 +211,8 @@ def main(argv: list[str] | None = None) -> int:
             print("usage: repro-als tune <device> <dataset>", file=sys.stderr)
             return 2
         return _run_tune(ns.args[0], ns.args[1], ns.k)
+    if ns.command == "tune-assembly":
+        return _run_tune_assembly(ns)
     if ns.command == "profile":
         return _run_profile(ns)
     return _run_experiment(ns.command, metrics_path=ns.metrics)

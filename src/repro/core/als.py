@@ -15,6 +15,7 @@ import numpy as np
 from repro.core.init import init_factors
 from repro.core.loss import regularized_loss, rmse
 from repro.kernels.fastpath import fast_half_sweep
+from repro.linalg.normal_equations import ASSEMBLY_MODES
 from repro.obs import metrics as obs_metrics
 from repro.obs.spans import span
 from repro.sparse.coo import COOMatrix
@@ -48,6 +49,11 @@ class ALSConfig:
     cholesky: bool = True  # S3 solver selection (§V-C)
     init_scale: float = 0.1
     track_loss: bool = True  # compute Eq. 2 after every iteration
+    # S1/S2 assembly code variant (§III-D analogue); None defers to the
+    # configured/environment defaults of repro.linalg.normal_equations.
+    assembly: str | None = None  # "binned" | "scatter" | "auto"
+    tile_nnz: int | None = None  # nnz budget per assembly tile
+    assembly_dtype: str | None = None  # "float32" | "float64" compute mode
 
     def __post_init__(self) -> None:
         if self.k <= 0:
@@ -60,6 +66,20 @@ class ALSConfig:
             raise ValueError("tol must be non-negative")
         if self.tol > 0 and not self.track_loss:
             raise ValueError("tol-based stopping requires track_loss")
+        if self.assembly is not None and self.assembly not in ASSEMBLY_MODES:
+            raise ValueError(
+                f"assembly must be one of {ASSEMBLY_MODES}, got {self.assembly!r}"
+            )
+        if self.tile_nnz is not None and self.tile_nnz < 1:
+            raise ValueError("tile_nnz must be >= 1")
+        if self.assembly_dtype is not None and self.assembly_dtype not in (
+            "float32",
+            "float64",
+        ):
+            raise ValueError(
+                f"assembly_dtype must be 'float32' or 'float64', "
+                f"got {self.assembly_dtype!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -142,11 +162,15 @@ def train_als(
                 obs_metrics.inc("als.iterations")
                 with span("als.half_sweep", side="X", iteration=it):
                     X = fast_half_sweep(
-                        R_rows, Y, config.lam, X_prev=X, cholesky=config.cholesky
+                        R_rows, Y, config.lam, X_prev=X, cholesky=config.cholesky,
+                        assembly=config.assembly, tile_nnz=config.tile_nnz,
+                        compute_dtype=config.assembly_dtype,
                     )
                 with span("als.half_sweep", side="Y", iteration=it):
                     Y = fast_half_sweep(
-                        R_cols, X, config.lam, X_prev=Y, cholesky=config.cholesky
+                        R_cols, X, config.lam, X_prev=Y, cholesky=config.cholesky,
+                        assembly=config.assembly, tile_nnz=config.tile_nnz,
+                        compute_dtype=config.assembly_dtype,
                     )
                 if config.track_loss:
                     with span("als.loss", iteration=it):

@@ -25,14 +25,22 @@ __all__ = ["train_als_wr", "weighted_half_sweep"]
 
 
 def weighted_half_sweep(
-    R: CSRMatrix, Y: np.ndarray, lam: float, X_prev: np.ndarray | None = None
+    R: CSRMatrix,
+    Y: np.ndarray,
+    lam: float,
+    X_prev: np.ndarray | None = None,
+    assembly: str | None = None,
+    tile_nnz: int | None = None,
+    compute_dtype: object | None = None,
 ) -> np.ndarray:
     """One ALS-WR half-sweep: ``x_u = (Y_ΩᵀY_Ω + λ·n_u·I)⁻¹ Y_Ωᵀ r_u``."""
     if lam <= 0:
         raise ValueError("lam must be positive")
     k = Y.shape[1]
     # Assemble with λ = 0 and add the per-row weighted ridge afterwards.
-    A, b = batched_normal_equations(R, Y, lam=0.0)
+    A, b = batched_normal_equations(
+        R, Y, lam=0.0, mode=assembly, tile_nnz=tile_nnz, compute_dtype=compute_dtype
+    )
     counts = R.row_lengths().astype(np.float64)
     idx = np.arange(k)
     A[:, idx, idx] += (lam * counts)[:, None]
@@ -74,9 +82,17 @@ def train_als_wr(
             with span("als.iteration", iteration=it):
                 obs_metrics.inc("als.iterations")
                 with span("als.half_sweep", side="X", iteration=it):
-                    X = weighted_half_sweep(R_rows, Y, config.lam, X_prev=X)
+                    X = weighted_half_sweep(
+                        R_rows, Y, config.lam, X_prev=X,
+                        assembly=config.assembly, tile_nnz=config.tile_nnz,
+                        compute_dtype=config.assembly_dtype,
+                    )
                 with span("als.half_sweep", side="Y", iteration=it):
-                    Y = weighted_half_sweep(R_cols, X, config.lam, X_prev=Y)
+                    Y = weighted_half_sweep(
+                        R_cols, X, config.lam, X_prev=Y,
+                        assembly=config.assembly, tile_nnz=config.tile_nnz,
+                        compute_dtype=config.assembly_dtype,
+                    )
                 if config.track_loss:
                     # The WR objective differs from Eq. 2; RMSE is the
                     # comparable metric, so loss tracking records the

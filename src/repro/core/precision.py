@@ -29,12 +29,13 @@ def float32_half_sweep(
 ) -> np.ndarray:
     """One ALS half-sweep with float32 intermediates (device arithmetic).
 
-    The normal equations are assembled and solved in float64 internally
-    (NumPy's batched paths), then every stage boundary truncates to
-    float32 — the precision that crosses kernel boundaries on the device.
+    The assembly runs in the float32 compute mode (the gathers and GEMMs
+    the device kernels perform in ``float``), the solve in float64, and
+    every stage boundary truncates to float32 — the precision that
+    crosses kernel boundaries on the device.
     """
     Y32 = np.ascontiguousarray(Y, dtype=np.float32)
-    A, b = batched_normal_equations(R, Y32, lam)
+    A, b = batched_normal_equations(R, Y32, lam, compute_dtype="float32")
     A = A.astype(np.float32).astype(np.float64)  # smat stored as float
     b = b.astype(np.float32).astype(np.float64)  # svec stored as float
     occupied = R.row_lengths() > 0

@@ -27,19 +27,31 @@ def fast_half_sweep(
     lam: float,
     X_prev: np.ndarray | None = None,
     cholesky: bool = True,
+    assembly: str | None = None,
+    tile_nnz: int | None = None,
+    compute_dtype: object | None = None,
 ) -> np.ndarray:
     """Update all rows: ``x_u = (Y_ΩᵀY_Ω + λI)⁻¹ Y_Ωᵀ r_u`` (Eq. 4).
 
     Rows with no observed ratings are skipped, exactly as Algorithm 2's
     ``omegaSize > 0`` guard does: they keep their previous value
     (``X_prev``), or zero when no previous factors are given.
+
+    ``assembly``/``tile_nnz``/``compute_dtype`` select the S1/S2 code
+    variant (see :func:`batched_normal_equations`); ``None`` defers to
+    the configured/environment defaults.
     """
     if lam <= 0:
         raise ValueError("lam must be positive (λI keeps smat SPD)")
     m = R.nrows
     k = Y.shape[1]
-    A, b = batched_normal_equations(R, Y, lam)
+    # One walk of the row structure serves the whole sweep: row_lengths
+    # is cached on the matrix, so the assembly's degree bins, this
+    # occupancy mask and the S3 guard all share a single occupancy scan.
     occupied = R.row_lengths() > 0
+    A, b = batched_normal_equations(
+        R, Y, lam, mode=assembly, tile_nnz=tile_nnz, compute_dtype=compute_dtype
+    )
     X = np.zeros((m, k), dtype=np.float64)
     if X_prev is not None:
         if X_prev.shape != (m, k):
@@ -64,12 +76,21 @@ def fast_iteration(
     Y: np.ndarray,
     lam: float,
     cholesky: bool = True,
+    assembly: str | None = None,
+    tile_nnz: int | None = None,
+    compute_dtype: object | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """One ALS iteration (Algorithm 1 lines 4–9).
 
     ``R_cols`` is the transpose of ``R_rows`` in CSR form — i.e. the CSC
     view the paper uses for the Y update (§III-A).
     """
-    X_new = fast_half_sweep(R_rows, Y, lam, X_prev=X, cholesky=cholesky)
-    Y_new = fast_half_sweep(R_cols, X_new, lam, X_prev=Y, cholesky=cholesky)
+    X_new = fast_half_sweep(
+        R_rows, Y, lam, X_prev=X, cholesky=cholesky,
+        assembly=assembly, tile_nnz=tile_nnz, compute_dtype=compute_dtype,
+    )
+    Y_new = fast_half_sweep(
+        R_cols, X_new, lam, X_prev=Y, cholesky=cholesky,
+        assembly=assembly, tile_nnz=tile_nnz, compute_dtype=compute_dtype,
+    )
     return X_new, Y_new

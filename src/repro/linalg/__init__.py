@@ -21,7 +21,12 @@ from repro.linalg.gaussian import gaussian_solve, batched_gaussian_solve
 from repro.linalg.normal_equations import (
     assemble_gram,
     assemble_rhs,
+    assembly_defaults,
     batched_normal_equations,
+    binned_normal_equations,
+    configure_assembly,
+    scatter_normal_equations,
+    tile_bytes_bound,
 )
 
 __all__ = [
@@ -36,5 +41,10 @@ __all__ = [
     "batched_gaussian_solve",
     "assemble_gram",
     "assemble_rhs",
+    "assembly_defaults",
     "batched_normal_equations",
+    "binned_normal_equations",
+    "configure_assembly",
+    "scatter_normal_equations",
+    "tile_bytes_bound",
 ]

@@ -6,36 +6,386 @@ For each row ``u`` with rated item set Ω_u, ALS solves
 
 (paper Eq. 4).  Algorithm 2 computes the Gram matrix over *only* the rated
 rows of ``Y`` — note line 6's loop bound ``omegaSize``: the Gram sum runs
-over the non-zeros of row ``u``, not over all of ``Y``.  These helpers form
-the vectorized reference that every kernel variant is validated against.
+over the non-zeros of row ``u``, not over all of ``Y``.
+
+Two batched assembly strategies are provided, mirroring the paper's code
+variants:
+
+* ``scatter`` — the historical vectorized reference: materialize every
+  per-rating outer product ``y_i y_iᵀ`` as an ``(nnz, k, k)`` tensor and
+  scatter-add it row-wise with ``np.add.at``.  Simple, but the
+  intermediate grows with ``nnz · k²`` and ``np.add.at`` pays per-element
+  dispatch — the Python analogue of the divergent one-thread-per-row
+  kernel the paper starts from (SAC15 baseline).
+* ``binned`` — the analogue of the paper's *thread batching*: rows are
+  grouped by degree (:meth:`CSRMatrix.degree_bins`), each bin gathers a
+  dense ``(rows, width, k)`` block of ``Y`` and reduces it with one
+  batched GEMM (``Gᵀ G``), tiled so peak scratch never exceeds an
+  nnz budget — the tile budget plays the role of the paper's bounded
+  local-memory working set.  S2 runs as a ``bincount`` segment-sum
+  (:meth:`CSRMatrix.matmat`).  An optional float32 compute mode mirrors
+  the paper's single-precision kernels (§IV); accumulation into the
+  returned ``A``/``b`` stays float64.
+
+``batched_normal_equations`` dispatches between them (explicit argument >
+:func:`configure_assembly` > ``REPRO_ASSEMBLY``-style env vars >
+built-ins); ``mode="auto"`` defers to the empirical selector in
+:mod:`repro.autotune.assembly`, the same measure-then-pick loop the paper
+uses to choose code variants.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
-from repro.obs.spans import span
+from repro.obs import metrics as obs_metrics
+from repro.obs.spans import is_enabled, span
 from repro.sparse.csr import CSRMatrix
 
-__all__ = ["assemble_gram", "assemble_rhs", "batched_normal_equations"]
+__all__ = [
+    "assemble_gram",
+    "assemble_rhs",
+    "batched_normal_equations",
+    "binned_normal_equations",
+    "scatter_normal_equations",
+    "configure_assembly",
+    "assembly_defaults",
+    "tile_bytes_bound",
+    "DEFAULT_TILE_NNZ",
+    "DEFAULT_BIN_GROWTH",
+    "ASSEMBLY_MODES",
+]
+
+#: Default cap on non-zeros gathered per tile (~256 MB of float64 scratch
+#: at k = 64; proportionally less for smaller k or float32 compute).
+DEFAULT_TILE_NNZ = 1 << 19
+
+#: Default degree-bin growth factor: rows whose degrees differ by less
+#: than 25% share a (padded) bin, bounding both padding waste and the
+#: number of bins (geometric in the max degree).
+DEFAULT_BIN_GROWTH = 1.25
+
+ASSEMBLY_MODES = ("binned", "scatter", "auto")
+
+_ENV_MODE = "REPRO_ASSEMBLY"
+_ENV_TILE = "REPRO_TILE_NNZ"
+_ENV_DTYPE = "REPRO_ASSEMBLY_DTYPE"
+
+_COMPUTE_DTYPES = {"float32": np.float32, "float64": np.float64}
+
+# Process-wide defaults installed by configure_assembly (CLI flags land
+# here).  ``None`` falls through to the environment, then the built-ins.
+_CONFIGURED: dict[str, object | None] = {
+    "mode": None,
+    "tile_nnz": None,
+    "compute_dtype": None,
+}
+
+# Cached per-k diagonal index — hoists the per-call ``lam * np.eye(k)``
+# allocation: the ridge becomes an in-place diagonal add.
+_DIAG_CACHE: dict[int, np.ndarray] = {}
+
+
+def _diag(k: int) -> np.ndarray:
+    idx = _DIAG_CACHE.get(k)
+    if idx is None:
+        idx = np.arange(k)
+        idx.setflags(write=False)
+        _DIAG_CACHE[k] = idx
+    return idx
+
+
+def _as_float(Y: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    """``Y`` as C-contiguous ``dtype``, copying only when it isn't already."""
+    arr = np.asarray(Y)
+    if arr.dtype == dtype and arr.flags.c_contiguous:
+        return arr
+    return np.ascontiguousarray(arr, dtype=dtype)
+
+
+def _validate_mode(mode: str) -> str:
+    if mode not in ASSEMBLY_MODES:
+        raise ValueError(f"assembly mode must be one of {ASSEMBLY_MODES}, got {mode!r}")
+    return mode
+
+
+def _validate_tile(tile_nnz: int) -> int:
+    tile_nnz = int(tile_nnz)
+    if tile_nnz < 1:
+        raise ValueError("tile_nnz must be >= 1")
+    return tile_nnz
+
+
+def _validate_dtype(compute_dtype: object) -> np.dtype:
+    if isinstance(compute_dtype, str):
+        try:
+            return np.dtype(_COMPUTE_DTYPES[compute_dtype])
+        except KeyError:
+            raise ValueError(
+                f"compute dtype must be one of {tuple(_COMPUTE_DTYPES)}, "
+                f"got {compute_dtype!r}"
+            ) from None
+    dt = np.dtype(compute_dtype)
+    if dt not in (np.dtype(np.float32), np.dtype(np.float64)):
+        raise ValueError(f"compute dtype must be float32 or float64, got {dt}")
+    return dt
+
+
+def configure_assembly(
+    mode: str | None = None,
+    tile_nnz: int | None = None,
+    compute_dtype: object | None = None,
+) -> None:
+    """Install process-wide assembly defaults (the CLI flags land here).
+
+    Every call sets all three knobs; ``None`` resets a knob to "fall back
+    to the environment / built-in default", so ``configure_assembly()``
+    restores the out-of-the-box behavior.
+    """
+    _CONFIGURED["mode"] = None if mode is None else _validate_mode(mode)
+    _CONFIGURED["tile_nnz"] = None if tile_nnz is None else _validate_tile(tile_nnz)
+    _CONFIGURED["compute_dtype"] = (
+        None if compute_dtype is None else _validate_dtype(compute_dtype)
+    )
+
+
+def _resolve_mode(mode: str | None) -> str:
+    if mode is not None:
+        return _validate_mode(mode)
+    if _CONFIGURED["mode"] is not None:
+        return _CONFIGURED["mode"]  # type: ignore[return-value]
+    env = os.environ.get(_ENV_MODE)
+    if env:
+        return _validate_mode(env)
+    return "binned"
+
+
+def _resolve_tile(tile_nnz: int | None) -> int:
+    if tile_nnz is not None:
+        return _validate_tile(tile_nnz)
+    if _CONFIGURED["tile_nnz"] is not None:
+        return _CONFIGURED["tile_nnz"]  # type: ignore[return-value]
+    env = os.environ.get(_ENV_TILE)
+    if env:
+        try:
+            return _validate_tile(int(env))
+        except ValueError as exc:
+            raise ValueError(f"{_ENV_TILE}={env!r}: {exc}") from None
+    return DEFAULT_TILE_NNZ
+
+
+def _resolve_dtype(compute_dtype: object | None) -> np.dtype:
+    if compute_dtype is not None:
+        return _validate_dtype(compute_dtype)
+    if _CONFIGURED["compute_dtype"] is not None:
+        return _CONFIGURED["compute_dtype"]  # type: ignore[return-value]
+    env = os.environ.get(_ENV_DTYPE)
+    if env:
+        return _validate_dtype(env)
+    return np.dtype(np.float64)
+
+
+def assembly_defaults() -> dict[str, object]:
+    """The currently resolved (mode, tile_nnz, compute_dtype) defaults."""
+    return {
+        "mode": _resolve_mode(None),
+        "tile_nnz": _resolve_tile(None),
+        "compute_dtype": _resolve_dtype(None).name,
+    }
+
+
+def tile_bytes_bound(tile_nnz: int, k: int, compute_dtype: object = np.float64) -> int:
+    """Upper bound on the binned path's peak per-tile scratch, in bytes.
+
+    A tile holds at most ``tile_nnz`` gathered non-zeros and at most
+    ``tile_nnz / max(k, width)`` rows, so the dominant terms are the
+    ``(rows, width, k)`` gather and the ``(rows, k, k)`` GEMM output,
+    both bounded by ``tile_nnz · k`` elements; index/mask arrays add
+    ``tile_nnz`` int64/int64/bool/compute entries.  Tests assert the
+    measured ``assembly.peak_tile_bytes`` gauge against this formula.
+    """
+    tile_nnz = _validate_tile(tile_nnz)
+    cs = _validate_dtype(compute_dtype).itemsize
+    gather = tile_nnz * k * cs  # G
+    gemm_out = tile_nnz * k * cs  # (rows, k, k) with rows <= tile_nnz / k
+    indices = tile_nnz * 16  # position + column gather, int64 each
+    mask = tile_nnz * (1 + cs)  # bool validity + its compute-dtype cast
+    return gather + gemm_out + indices + mask
 
 
 def assemble_gram(Y: np.ndarray, cols: np.ndarray, lam: float) -> np.ndarray:
     """``Y_Ωᵀ Y_Ω + λI`` for one row's rated column set (the paper's smat)."""
-    Y = np.asarray(Y, dtype=np.float64)
+    Y = _as_float(Y, np.float64)
     sub = Y[cols]
-    k = Y.shape[1]
-    return sub.T @ sub + lam * np.eye(k)
+    G = sub.T @ sub
+    d = _diag(Y.shape[1])
+    G[d, d] += lam
+    return G
 
 
 def assemble_rhs(Y: np.ndarray, cols: np.ndarray, ratings: np.ndarray) -> np.ndarray:
     """``Y_Ωᵀ r_u`` for one row (the paper's svec)."""
-    Y = np.asarray(Y, dtype=np.float64)
+    Y = _as_float(Y, np.float64)
     return Y[cols].T @ np.asarray(ratings, dtype=np.float64)
 
 
-def batched_normal_equations(
+def _check_shapes(R: CSRMatrix, Y: np.ndarray) -> None:
+    if Y.ndim != 2:
+        raise ValueError(f"Y must be 2-D, got shape {Y.shape}")
+    if Y.shape[0] != R.ncols:
+        raise ValueError(f"Y must have {R.ncols} rows, got {Y.shape[0]}")
+
+
+def scatter_normal_equations(
     R: CSRMatrix, Y: np.ndarray, lam: float
+) -> tuple[np.ndarray, np.ndarray]:
+    """The legacy ``np.add.at`` assembly, kept as baseline and fallback.
+
+    Materializes the full ``(nnz, k, k)`` outer-product tensor and
+    scatter-adds it — memory and time both scale with ``nnz · k²``, which
+    is exactly the pathology the binned path removes (and what
+    ``benchmarks/bench_assembly.py`` measures it against).
+    """
+    Y = _as_float(Y, np.float64)
+    m = R.nrows
+    k = Y.shape[1]
+    _check_shapes(R, Y)
+    rows = R.expanded_rows()
+    # The paper's S1 (smat = Y_ΩᵀY_Ω + λI) and S2 (svec = Y_Ωᵀ r_u) run as
+    # separate kernels; the spans keep that boundary so the measured
+    # hotspot table decomposes the same way as Fig. 8.  The Y gather is
+    # shared by both steps and attributed to S1, which reads it first.
+    with span("als.s1.gram", stage="S1", nnz=R.nnz, k=k, mode="scatter"):
+        gathered = Y[R.col_idx]  # (nnz, k)
+        outer = gathered[:, :, None] * gathered[:, None, :]  # (nnz, k, k)
+        A = np.zeros((m, k, k), dtype=np.float64)
+        np.add.at(A, rows, outer)
+        d = _diag(k)
+        A[:, d, d] += lam
+    with span("als.s2.rhs", stage="S2", nnz=R.nnz, k=k, mode="scatter"):
+        b = np.zeros((m, k), dtype=np.float64)
+        np.add.at(b, rows, gathered * R.value[:, None].astype(np.float64))
+    if is_enabled():
+        obs_metrics.inc("assembly.scatter.calls")
+    return A, b
+
+
+def binned_normal_equations(
+    R: CSRMatrix,
+    Y: np.ndarray,
+    lam: float,
+    *,
+    tile_nnz: int | None = None,
+    compute_dtype: object | None = None,
+    growth: float | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Degree-binned, nnz-tiled assembly of ``(smat, svec)`` for all rows.
+
+    The Python analogue of the paper's thread batching: rows of equal
+    (within ``growth``) degree form one bin, whose ratings gather into a
+    dense ``(rows, width, k)`` block that a single batched GEMM reduces
+    to per-row Gram matrices — no ``(nnz, k, k)`` intermediate, no
+    ``np.add.at``.  Bins are split into tiles of at most ``tile_nnz``
+    gathered non-zeros (rows per tile additionally capped by ``k`` so the
+    GEMM output obeys the same budget), which bounds peak scratch the way
+    the paper's local-memory blocking bounds a work-group's footprint.
+
+    ``compute_dtype=float32`` runs the gathers and GEMMs in single
+    precision (the paper's device arithmetic); the returned ``A``/``b``
+    accumulate in float64 either way.
+    """
+    tile = _resolve_tile(tile_nnz)
+    cdtype = _resolve_dtype(compute_dtype)
+    growth = DEFAULT_BIN_GROWTH if growth is None else float(growth)
+    Yc = _as_float(Y, cdtype)
+    _check_shapes(R, Yc)
+    m = R.nrows
+    k = Yc.shape[1]
+    enabled = is_enabled()
+    peak_tile_bytes = 0
+    tiles = 0
+    with span("als.s1.gram", stage="S1", nnz=R.nnz, k=k, mode="binned") as s1:
+        # Bin building and the output allocation belong to S1's measured
+        # cost (the bins are cached on R, so sweeps after the first get
+        # them for free).
+        bins = R.degree_bins(growth)
+        s1.set(bins=len(bins))
+        A = np.zeros((m, k, k), dtype=np.float64)
+        for b_ in bins:
+            width = b_.width
+            rows_per_tile = max(1, tile // max(width, k))
+            seg = min(width, tile)  # long-tail rows reduce in segments
+            # No stage= attr here: the enclosing als.s1.gram span owns the
+            # S1 attribution; bin spans only decompose it.
+            with span(
+                "als.s1.bin",
+                width=width,
+                rows=int(b_.rows.size),
+                nnz=b_.nnz,
+            ):
+                for r0 in range(0, b_.rows.size, rows_per_tile):
+                    r1 = min(r0 + rows_per_tile, b_.rows.size)
+                    rows_t = b_.rows[r0:r1]
+                    starts_t = b_.starts[r0:r1]
+                    len_t = b_.lengths[r0:r1]
+                    acc = None
+                    for w0 in range(0, width, seg):
+                        w1 = min(w0 + seg, width)
+                        offs = np.arange(w0, w1, dtype=np.int64)
+                        idx = starts_t[:, None] + offs[None, :]
+                        tile_bytes = idx.nbytes
+                        # Rows shorter than this segment's end need their
+                        # padding masked out of the gather (degrees are
+                        # ascending, so the first row is the shortest).
+                        if w1 > int(len_t[0]):
+                            valid = offs[None, :] < len_t[:, None]
+                            idx = np.where(valid, idx, starts_t[:, None])
+                            vmask = valid.astype(cdtype)
+                            tile_bytes += valid.nbytes + vmask.nbytes
+                        else:
+                            vmask = None
+                        cols = R.col_idx[idx]
+                        G = Yc[cols]
+                        if vmask is not None:
+                            G *= vmask[:, :, None]
+                        contrib = G.transpose(0, 2, 1) @ G
+                        tile_bytes += cols.nbytes + G.nbytes + contrib.nbytes
+                        if acc is None:
+                            # Cross-segment accumulation (width > seg, so
+                            # one row per tile) happens in float64 even in
+                            # float32 compute mode; single-segment tiles
+                            # upcast once on assignment into A below.
+                            acc = contrib if width <= seg else contrib.astype(np.float64)
+                        else:
+                            acc += contrib
+                        tiles += 1
+                        if tile_bytes > peak_tile_bytes:
+                            peak_tile_bytes = tile_bytes
+                    A[rows_t] = acc
+        d = _diag(k)
+        A[:, d, d] += lam
+    with span("als.s2.rhs", stage="S2", nnz=R.nnz, k=k, mode="binned"):
+        # S2 is exactly the sparse product R @ Y; matmat's bincount
+        # segment-sum does it in k C-speed passes with O(nnz) scratch.
+        b = R.matmat(Yc)
+    if enabled:
+        obs_metrics.set_gauge("assembly.bins", len(bins))
+        obs_metrics.set_gauge("assembly.peak_tile_bytes", peak_tile_bytes)
+        obs_metrics.inc("assembly.tiles", tiles)
+        obs_metrics.inc("assembly.binned.calls")
+    return A, b
+
+
+def batched_normal_equations(
+    R: CSRMatrix,
+    Y: np.ndarray,
+    lam: float,
+    *,
+    mode: str | None = None,
+    tile_nnz: int | None = None,
+    compute_dtype: object | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Assemble ``(smat, svec)`` for every row of ``R`` at once.
 
@@ -44,29 +394,18 @@ def batched_normal_equations(
     stay regular; the ALS driver leaves such rows at zero, matching
     Algorithm 2's ``omegaSize > 0`` guard.
 
-    The assembly is a segment-sum over the non-zeros: for each stored
-    rating (u, i, r) accumulate ``y_i y_iᵀ`` into ``A[u]`` and ``r · y_i``
-    into ``b[u]``.  ``np.add.at`` performs the scatter with duplicate
-    accumulation — the vectorized analogue of the per-row loops the kernels
-    run on-device.
+    ``mode`` picks the code variant (``binned``/``scatter``/``auto``);
+    unset knobs fall back to :func:`configure_assembly`, then the
+    ``REPRO_ASSEMBLY``/``REPRO_TILE_NNZ``/``REPRO_ASSEMBLY_DTYPE``
+    environment, then the built-in defaults.
     """
-    Y = np.asarray(Y, dtype=np.float64)
-    m = R.nrows
-    k = Y.shape[1]
-    if Y.shape[0] != R.ncols:
-        raise ValueError(f"Y must have {R.ncols} rows, got {Y.shape[0]}")
-    rows = R.expanded_rows()
-    # The paper's S1 (smat = Y_ΩᵀY_Ω + λI) and S2 (svec = Y_Ωᵀ r_u) run as
-    # separate kernels; the spans keep that boundary so the measured
-    # hotspot table decomposes the same way as Fig. 8.  The Y gather is
-    # shared by both steps and attributed to S1, which reads it first.
-    with span("als.s1.gram", stage="S1", nnz=R.nnz, k=k):
-        gathered = Y[R.col_idx]  # (nnz, k)
-        outer = gathered[:, :, None] * gathered[:, None, :]  # (nnz, k, k)
-        A = np.zeros((m, k, k), dtype=np.float64)
-        np.add.at(A, rows, outer)
-        A += lam * np.eye(k)
-    with span("als.s2.rhs", stage="S2", nnz=R.nnz, k=k):
-        b = np.zeros((m, k), dtype=np.float64)
-        np.add.at(b, rows, gathered * R.value[:, None].astype(np.float64))
-    return A, b
+    resolved = _resolve_mode(mode)
+    if resolved == "auto":
+        from repro.autotune.assembly import select_assembly
+
+        resolved = select_assembly(R, int(np.asarray(Y).shape[-1]))
+    if resolved == "scatter":
+        return scatter_normal_equations(R, Y, lam)
+    return binned_normal_equations(
+        R, Y, lam, tile_nnz=tile_nnz, compute_dtype=compute_dtype
+    )

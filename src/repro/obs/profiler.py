@@ -31,8 +31,9 @@ from repro.sparse.csr import CSRMatrix
 __all__ = ["MAX_PROFILE_NNZ", "ProfileReport", "profile_training", "render_report"]
 
 #: Auto-scale ceiling: datasets are shrunk until their training non-zeros
-#: fit under this, keeping the vectorized assembly's (nnz, k, k) scratch
-#: in the hundreds of MB and a 5-iteration profile run in seconds.
+#: fit under this, keeping a 5-iteration profile run in seconds.  (Memory
+#: is no longer the binding constraint: the degree-binned assembly caps
+#: its scratch at the tile budget regardless of dataset size.)
 MAX_PROFILE_NNZ = 150_000
 
 _TRAINERS = {"als": train_als, "als-wr": train_als_wr}
@@ -67,6 +68,8 @@ class ProfileReport:
         export.write_metrics(path, self.metrics, self.records, meta=self._meta())
 
     def _meta(self) -> dict:
+        from repro.linalg.normal_equations import assembly_defaults
+
         meta = {
             "dataset": self.spec.abbr,
             "scale": self.scale,
@@ -74,6 +77,7 @@ class ProfileReport:
             "k": self.config.k,
             "lam": self.config.lam,
             "iterations": self.config.iterations,
+            "assembly": self.config.assembly or assembly_defaults()["mode"],
         }
         if self.device is not None:
             meta["device"] = self.device.name

@@ -7,7 +7,7 @@ degree statistics the performance model consumes.
 """
 
 from repro.sparse.coo import COOMatrix
-from repro.sparse.csr import CSRMatrix
+from repro.sparse.csr import CSRMatrix, DegreeBin
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.stats import (
     DegreeStats,
@@ -25,6 +25,7 @@ __all__ = [
     "COOMatrix",
     "CSRMatrix",
     "CSCMatrix",
+    "DegreeBin",
     "DegreeStats",
     "degree_stats",
     "gini_coefficient",

@@ -7,11 +7,39 @@ ratings row-major, ``col_idx`` the column index of each non-zero, and
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.sparse.coo import COOMatrix
 
-__all__ = ["CSRMatrix"]
+__all__ = ["CSRMatrix", "DegreeBin"]
+
+
+@dataclass(frozen=True)
+class DegreeBin:
+    """One group of rows with (near-)equal non-zero counts.
+
+    The Python analogue of the paper's thread batching: rows in a bin all
+    gather the same padded width, so a whole bin reduces with one batched
+    GEMM instead of per-row loops.  ``lengths`` is ascending and every
+    length satisfies ``width / growth <= length <= width``, bounding the
+    padding waste of a masked gather by the bin ``growth`` factor.
+    """
+
+    rows: np.ndarray  # (B,) row indices, ascending by degree
+    starts: np.ndarray  # (B,) row_ptr[rows] — first nnz of each row
+    lengths: np.ndarray  # (B,) nnz count per row, ascending
+    width: int  # max degree in the bin (the padded gather width)
+
+    @property
+    def nnz(self) -> int:
+        return int(self.lengths.sum())
+
+    @property
+    def is_uniform(self) -> bool:
+        """True when no padding is needed (all rows share the width)."""
+        return bool(self.lengths.size) and int(self.lengths[0]) == self.width
 
 
 class CSRMatrix:
@@ -22,7 +50,15 @@ class CSRMatrix:
     the factor matrix ``Y`` that participate in updating ``x_u``.
     """
 
-    __slots__ = ("shape", "value", "col_idx", "row_ptr")
+    __slots__ = (
+        "shape",
+        "value",
+        "col_idx",
+        "row_ptr",
+        "_row_lengths",
+        "_expanded_rows",
+        "_degree_bins",
+    )
 
     def __init__(
         self,
@@ -51,6 +87,13 @@ class CSRMatrix:
         self.value = value
         self.col_idx = col_idx
         self.row_ptr = row_ptr
+        # Derived-structure caches.  The matrix is immutable (the three
+        # arrays are never reassigned and the caches are handed out
+        # read-only), so nothing here can go stale — "invalidation" is
+        # the read-only flag that forbids the mutation that would need it.
+        self._row_lengths: np.ndarray | None = None
+        self._expanded_rows: np.ndarray | None = None
+        self._degree_bins: dict[float, tuple[DegreeBin, ...]] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -86,8 +129,17 @@ class CSRMatrix:
         return self.shape[1]
 
     def row_lengths(self) -> np.ndarray:
-        """nnz per row — the ``omegaSize`` sequence of Algorithm 2."""
-        return np.diff(self.row_ptr)
+        """nnz per row — the ``omegaSize`` sequence of Algorithm 2.
+
+        Computed once and cached (read-only): every half-sweep consults
+        it for the occupancy guard and the assembly walks it for binning,
+        so rebuilding per call would re-walk the structure each sweep.
+        """
+        if self._row_lengths is None:
+            lengths = np.diff(self.row_ptr)
+            lengths.setflags(write=False)
+            self._row_lengths = lengths
+        return self._row_lengths
 
     # ------------------------------------------------------------------
     # element access
@@ -114,8 +166,63 @@ class CSRMatrix:
         return COOMatrix(self.shape, rows, self.col_idx.copy(), self.value.copy())
 
     def expanded_rows(self) -> np.ndarray:
-        """Row index of every stored non-zero (length nnz)."""
-        return np.repeat(np.arange(self.nrows, dtype=np.int64), self.row_lengths())
+        """Row index of every stored non-zero (length nnz).
+
+        Cached (read-only): the scatter assembly and the segment-summed
+        products all key on it, and at MovieLens scale the repeat is an
+        O(nnz) allocation per half-sweep worth skipping.
+        """
+        if self._expanded_rows is None:
+            rows = np.repeat(np.arange(self.nrows, dtype=np.int64), self.row_lengths())
+            rows.setflags(write=False)
+            self._expanded_rows = rows
+        return self._expanded_rows
+
+    def degree_bins(self, growth: float = 1.25) -> tuple[DegreeBin, ...]:
+        """Group occupied rows by non-zero count (cached per ``growth``).
+
+        Rows are sorted by degree and split into bins whose max/min degree
+        ratio stays below ``growth``; each bin can then be gathered as one
+        dense ``(rows, width, k)`` block with at most ``growth - 1``
+        padding waste.  ``growth = 1`` gives exact-degree bins.  This is
+        the host-side counterpart of the paper's thread batching: equal
+        work per lane, no divergence, bounded bin count (geometric in the
+        max degree).
+        """
+        if growth < 1.0:
+            raise ValueError("growth must be >= 1")
+        key = float(growth)
+        cached = self._degree_bins.get(key)
+        if cached is not None:
+            return cached
+        lengths = self.row_lengths()
+        occupied = np.nonzero(lengths > 0)[0]
+        order = np.argsort(lengths[occupied], kind="stable")
+        rows = occupied[order]
+        degs = lengths[occupied][order]
+        bins: list[DegreeBin] = []
+        i = 0
+        while i < rows.size:
+            d0 = int(degs[i])
+            hi = max(d0, int(d0 * growth))
+            j = int(np.searchsorted(degs, hi, side="right"))
+            bin_rows = rows[i:j]
+            bin_lengths = degs[i:j]
+            starts = self.row_ptr[bin_rows]
+            for arr in (bin_rows, bin_lengths, starts):
+                arr.setflags(write=False)
+            bins.append(
+                DegreeBin(
+                    rows=bin_rows,
+                    starts=starts,
+                    lengths=bin_lengths,
+                    width=int(bin_lengths[-1]),
+                )
+            )
+            i = j
+        result = tuple(bins)
+        self._degree_bins[key] = result
+        return result
 
     # ------------------------------------------------------------------
     # arithmetic
@@ -126,18 +233,27 @@ class CSRMatrix:
         if x.shape != (self.ncols,):
             raise ValueError(f"vector of length {self.ncols} expected")
         prods = self.value.astype(np.float64) * x[self.col_idx]
-        out = np.zeros(self.nrows, dtype=np.float64)
-        np.add.at(out, self.expanded_rows(), prods)
-        return out
+        # bincount is NumPy's fast segment-sum: a single C pass over the
+        # non-zeros, where np.add.at pays per-element dispatch.
+        return np.bincount(self.expanded_rows(), weights=prods, minlength=self.nrows)
 
     def matmat(self, B: np.ndarray) -> np.ndarray:
-        """Sparse matrix–dense matrix product ``R @ B``."""
+        """Sparse matrix–dense matrix product ``R @ B``.
+
+        One bincount segment-sum per output column: peak scratch is two
+        length-nnz vectors regardless of ``B``'s width, versus the
+        ``(nnz, width)`` gather the previous ``np.add.at`` path built.
+        """
         B = np.asarray(B, dtype=np.float64)
         if B.ndim != 2 or B.shape[0] != self.ncols:
             raise ValueError(f"dense operand must have {self.ncols} rows")
-        gathered = B[self.col_idx] * self.value[:, None].astype(np.float64)
-        out = np.zeros((self.nrows, B.shape[1]), dtype=np.float64)
-        np.add.at(out, self.expanded_rows(), gathered)
+        rows = self.expanded_rows()
+        w = self.value.astype(np.float64)
+        out = np.empty((self.nrows, B.shape[1]), dtype=np.float64)
+        for j in range(B.shape[1]):
+            out[:, j] = np.bincount(
+                rows, weights=w * B[self.col_idx, j], minlength=self.nrows
+            )
         return out
 
     def transpose_to_csr(self) -> "CSRMatrix":

@@ -138,6 +138,36 @@ class TestLossDefinition:
         assert rmse(COOMatrix.empty((3, 3)), np.zeros((3, 2)), np.zeros((3, 2))) == 0.0
 
 
+class TestAssemblyConfig:
+    def test_invalid_assembly_rejected(self):
+        with pytest.raises(ValueError, match="assembly"):
+            ALSConfig(assembly="magic")
+
+    def test_invalid_tile_nnz_rejected(self):
+        with pytest.raises(ValueError, match="tile_nnz"):
+            ALSConfig(tile_nnz=0)
+
+    def test_invalid_assembly_dtype_rejected(self):
+        with pytest.raises(ValueError, match="assembly_dtype"):
+            ALSConfig(assembly_dtype="float16")
+
+    def test_scatter_and_binned_train_identically(self, planted):
+        """The assembly variant is a hardware mapping, not an algorithm
+        change: both must produce the same factors bit-for-bit-close."""
+        base = dict(k=4, lam=0.1, iterations=2, seed=1)
+        binned = train_als(planted.ratings, ALSConfig(assembly="binned", **base))
+        scatter = train_als(planted.ratings, ALSConfig(assembly="scatter", **base))
+        np.testing.assert_allclose(binned.X, scatter.X, atol=1e-9)
+        np.testing.assert_allclose(binned.Y, scatter.Y, atol=1e-9)
+
+    def test_tile_budget_and_dtype_pass_through(self, planted):
+        model = train_als(
+            planted.ratings,
+            ALSConfig(k=3, iterations=1, tile_nnz=64, assembly_dtype="float32"),
+        )
+        assert np.isfinite(model.losses()[-1])
+
+
 @settings(max_examples=10, deadline=None)
 @given(
     seed=st.integers(0, 2**31),

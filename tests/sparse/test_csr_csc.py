@@ -111,6 +111,90 @@ class TestCSROperations:
         assert csr.to_dense()[0, 1] == 9.0
 
 
+class TestDerivedStructureCaches:
+    """row_lengths/expanded_rows are computed once and can never go stale:
+    the matrix is immutable and the caches are handed out read-only."""
+
+    def test_row_lengths_cached(self, small_ratings):
+        first = small_ratings.row_lengths()
+        assert small_ratings.row_lengths() is first
+
+    def test_expanded_rows_cached(self, small_ratings):
+        first = small_ratings.expanded_rows()
+        assert small_ratings.expanded_rows() is first
+
+    def test_caches_are_read_only(self, small_ratings):
+        with pytest.raises(ValueError):
+            small_ratings.row_lengths()[0] = 99
+        with pytest.raises(ValueError):
+            small_ratings.expanded_rows()[0] = 99
+
+    def test_cached_values_correct(self, small_ratings):
+        np.testing.assert_array_equal(
+            small_ratings.row_lengths(), np.diff(small_ratings.row_ptr)
+        )
+        np.testing.assert_array_equal(
+            small_ratings.expanded_rows(),
+            np.repeat(
+                np.arange(small_ratings.nrows), np.diff(small_ratings.row_ptr)
+            ),
+        )
+
+    def test_to_coo_arrays_stay_writable(self, small_ratings):
+        """Conversions must hand out fresh arrays, not the frozen caches."""
+        coo = small_ratings.to_coo()
+        coo.row[0] = coo.row[0]  # would raise on a read-only view
+
+
+class TestDegreeBins:
+    def test_bins_partition_occupied_rows(self, small_ratings):
+        bins = small_ratings.degree_bins()
+        all_rows = np.concatenate([b.rows for b in bins]) if bins else np.array([])
+        occupied = np.nonzero(small_ratings.row_lengths() > 0)[0]
+        assert sorted(all_rows.tolist()) == sorted(occupied.tolist())
+
+    def test_bin_invariants(self, small_ratings):
+        growth = 1.25
+        lengths = small_ratings.row_lengths()
+        for b in small_ratings.degree_bins(growth):
+            assert np.all(np.diff(b.lengths) >= 0)  # ascending degrees
+            assert int(b.lengths[-1]) == b.width
+            assert b.width <= max(int(b.lengths[0]), int(b.lengths[0] * growth))
+            np.testing.assert_array_equal(b.lengths, lengths[b.rows])
+            np.testing.assert_array_equal(b.starts, small_ratings.row_ptr[b.rows])
+            assert b.nnz == int(b.lengths.sum())
+
+    def test_exact_bins_with_growth_one(self, small_ratings):
+        for b in small_ratings.degree_bins(growth=1.0):
+            assert b.is_uniform
+            assert np.all(b.lengths == b.width)
+
+    def test_bins_cached_per_growth(self, small_ratings):
+        assert small_ratings.degree_bins(1.25) is small_ratings.degree_bins(1.25)
+        assert small_ratings.degree_bins(1.0) is not small_ratings.degree_bins(1.25)
+
+    def test_empty_rows_excluded(self):
+        dense = np.zeros((4, 3), dtype=np.float32)
+        dense[1, 0] = 1.0
+        dense[3, :] = 2.0
+        csr = CSRMatrix.from_dense(dense)
+        bins = csr.degree_bins()
+        assert {int(r) for b in bins for r in b.rows} == {1, 3}
+
+    def test_empty_matrix_has_no_bins(self):
+        csr = CSRMatrix(
+            (3, 2),
+            np.array([], dtype=np.float32),
+            np.array([], dtype=np.int64),
+            np.zeros(4, dtype=np.int64),
+        )
+        assert csr.degree_bins() == ()
+
+    def test_bad_growth_rejected(self, small_ratings):
+        with pytest.raises(ValueError):
+            small_ratings.degree_bins(growth=0.5)
+
+
 class TestCSC:
     def test_paper_example_arrays(self, paper_fig2_matrix):
         csc = CSCMatrix.from_coo(paper_fig2_matrix)
