@@ -18,8 +18,20 @@ from repro.autotune.assembly import (
     select_assembly,
     clear_decision_cache,
 )
+from repro.autotune.solver import (
+    SolverDecision,
+    measure_solvers,
+    select_solver,
+    cached_solver_decisions,
+    clear_solver_cache,
+)
 
 __all__ = [
+    "SolverDecision",
+    "measure_solvers",
+    "select_solver",
+    "cached_solver_decisions",
+    "clear_solver_cache",
     "SearchResult",
     "exhaustive_search",
     "WS_CANDIDATES",

@@ -8,6 +8,7 @@ Usage::
     repro-als all                  # everything, in paper order
     repro-als tune gpu NTFX        # exhaustive variant search (§III-D)
     repro-als tune-assembly ML1M   # measure scatter vs binned host assembly
+    repro-als tune-solver ML1M     # measure the S3 solver variants
     repro-als profile ML10M --device gpu --trace t.json --metrics m.json
                                    # instrumented real training run:
                                    # measured S1/S2/S3 hotspot table, top
@@ -18,6 +19,9 @@ The host S1/S2 assembly variant is selectable everywhere via
 ``--assembly {binned,scatter,auto}``, ``--tile-nnz N`` and
 ``--assembly-dtype {float32,float64}`` (or the ``REPRO_ASSEMBLY``,
 ``REPRO_TILE_NNZ``, ``REPRO_ASSEMBLY_DTYPE`` environment variables).
+The S3 solve and the half-sweep parallelism are selectable the same
+way: ``--solver {cholesky,gaussian,lapack,auto}`` (``REPRO_SOLVER``)
+and ``--workers {auto,N}`` (``REPRO_WORKERS``).
 """
 
 from __future__ import annotations
@@ -93,6 +97,38 @@ def _run_tune_assembly(ns: argparse.Namespace) -> int:
     return 0
 
 
+def _run_tune_solver(ns: argparse.Namespace) -> int:
+    if len(ns.args) > 1:
+        print("usage: repro-als tune-solver [<dataset>] [--k K] [--batch N]",
+              file=sys.stderr)
+        return 2
+    from repro.autotune.solver import measure_solvers
+
+    batch = ns.batch
+    label = f"batch={batch}" if batch is not None else None
+    if ns.args:
+        try:
+            spec = dataset_by_name(ns.args[0])
+        except KeyError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        if batch is None:
+            batch = spec.m  # one system per (occupied) row of the sweep
+        label = f"{spec.abbr} (m={spec.m}, batch={batch})"
+    elif batch is None:
+        batch = 4096
+        label = f"batch={batch}"
+    decision = measure_solvers(k=ns.k, batch=batch, seed=ns.seed)
+    print(f"S3 solver variants for {label}, k={ns.k}, "
+          f"measured on a {decision.probe_batch}-system probe:")
+    for name, seconds in sorted(decision.seconds.items(), key=lambda kv: kv[1]):
+        per = seconds / decision.probe_batch * 1e6
+        print(f"  {name:9s} {seconds * 1e3:9.2f} ms  ({per:8.2f} us/system)")
+    print(f"best: {decision.solver} ({decision.speedup:.2f}x over the slowest); "
+          f"cached for (k={decision.k}, batch<={decision.batch_bucket})")
+    return 0
+
+
 def _run_profile(ns: argparse.Namespace) -> int:
     if len(ns.args) != 1:
         print("usage: repro-als profile <dataset> [--device D] [--trace T.json]"
@@ -109,6 +145,8 @@ def _run_profile(ns: argparse.Namespace) -> int:
             scale=ns.scale,
             seed=ns.seed,
             algorithm=ns.algorithm,
+            solver=ns.solver,
+            workers=ns.workers,
         )
     except (KeyError, ValueError) as exc:
         print(str(exc), file=sys.stderr)
@@ -131,11 +169,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "command",
         help="experiment id (table1, fig1, fig6..fig10, ksweep), 'all', 'list', "
-        "'summary', 'tune', 'tune-assembly', 'emit-cl' or 'profile'",
+        "'summary', 'tune', 'tune-assembly', 'tune-solver', 'emit-cl' or "
+        "'profile'",
     )
     parser.add_argument(
         "args", nargs="*",
-        help="for tune: <device> <dataset>; for profile/tune-assembly: <dataset>",
+        help="for tune: <device> <dataset>; for profile/tune-assembly/"
+        "tune-solver: <dataset>",
     )
     parser.add_argument("--k", type=int, default=10, help="latent factor (default 10)")
     parser.add_argument(
@@ -176,6 +216,19 @@ def main(argv: list[str] | None = None) -> int:
         "--assembly-dtype", default=None, choices=("float32", "float64"),
         help="assembly compute precision (accumulation stays float64)",
     )
+    parser.add_argument(
+        "--solver", default=None, choices=("cholesky", "gaussian", "lapack", "auto"),
+        help="S3 batched-solve code variant (default: cholesky reference)",
+    )
+    parser.add_argument(
+        "--workers", default=None, metavar="N",
+        help="half-sweep parallelism: 'auto' = one worker per core, or a "
+        "thread count (default: serial)",
+    )
+    parser.add_argument(
+        "--batch", type=int, default=None,
+        help="tune-solver: systems per batched solve (default: dataset rows)",
+    )
     ns = parser.parse_args(argv)
 
     if ns.assembly or ns.tile_nnz or ns.assembly_dtype:
@@ -184,6 +237,18 @@ def main(argv: list[str] | None = None) -> int:
         configure_assembly(
             mode=ns.assembly, tile_nnz=ns.tile_nnz, compute_dtype=ns.assembly_dtype
         )
+    if ns.solver:
+        from repro.linalg.solvers import configure_solver
+
+        configure_solver(ns.solver)
+    if ns.workers:
+        from repro.parallel import configure_workers
+
+        try:
+            configure_workers(ns.workers)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
 
     if ns.command == "summary":
         from repro.bench.summary import render_scorecard
@@ -213,6 +278,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_tune(ns.args[0], ns.args[1], ns.k)
     if ns.command == "tune-assembly":
         return _run_tune_assembly(ns)
+    if ns.command == "tune-solver":
+        return _run_tune_solver(ns)
     if ns.command == "profile":
         return _run_profile(ns)
     return _run_experiment(ns.command, metrics_path=ns.metrics)

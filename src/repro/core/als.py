@@ -14,8 +14,9 @@ import numpy as np
 
 from repro.core.init import init_factors
 from repro.core.loss import regularized_loss, rmse
-from repro.kernels.fastpath import fast_half_sweep
 from repro.linalg.normal_equations import ASSEMBLY_MODES
+from repro.linalg.solvers import SOLVER_MODES
+from repro.parallel.executor import SweepExecutor, _parse_workers
 from repro.obs import metrics as obs_metrics
 from repro.obs.spans import span
 from repro.sparse.coo import COOMatrix
@@ -46,7 +47,7 @@ class ALSConfig:
     iterations: int = 5  # sweeps (paper's benchmark setting)
     tol: float = 0.0  # relative-improvement stopping threshold
     seed: int = 0
-    cholesky: bool = True  # S3 solver selection (§V-C)
+    cholesky: bool = True  # legacy S3 toggle (§V-C); `solver` wins when set
     init_scale: float = 0.1
     track_loss: bool = True  # compute Eq. 2 after every iteration
     # S1/S2 assembly code variant (§III-D analogue); None defers to the
@@ -54,6 +55,12 @@ class ALSConfig:
     assembly: str | None = None  # "binned" | "scatter" | "auto"
     tile_nnz: int | None = None  # nnz budget per assembly tile
     assembly_dtype: str | None = None  # "float32" | "float64" compute mode
+    # S3 solver code variant; None defers to configure_solver /
+    # REPRO_SOLVER, then the legacy `cholesky` boolean above.
+    solver: str | None = None  # "cholesky" | "gaussian" | "lapack" | "auto"
+    # Half-sweep parallelism: "auto" = one worker per core, N = exactly N
+    # threads; None defers to configure_workers / REPRO_WORKERS (serial).
+    workers: int | str | None = None
 
     def __post_init__(self) -> None:
         if self.k <= 0:
@@ -80,6 +87,12 @@ class ALSConfig:
                 f"assembly_dtype must be 'float32' or 'float64', "
                 f"got {self.assembly_dtype!r}"
             )
+        if self.solver is not None and self.solver not in SOLVER_MODES:
+            raise ValueError(
+                f"solver must be one of {SOLVER_MODES}, got {self.solver!r}"
+            )
+        if self.workers is not None:
+            _parse_workers(self.workers)  # raises on bad specs
 
 
 @dataclass(frozen=True)
@@ -157,39 +170,41 @@ def train_als(
             )
 
         model = ALSModel(X=X, Y=Y, config=config)
-        for it in range(1, config.iterations + 1):
-            with span("als.iteration", iteration=it):
-                obs_metrics.inc("als.iterations")
-                with span("als.half_sweep", side="X", iteration=it):
-                    X = fast_half_sweep(
-                        R_rows, Y, config.lam, X_prev=X, cholesky=config.cholesky,
-                        assembly=config.assembly, tile_nnz=config.tile_nnz,
-                        compute_dtype=config.assembly_dtype,
-                    )
-                with span("als.half_sweep", side="Y", iteration=it):
-                    Y = fast_half_sweep(
-                        R_cols, X, config.lam, X_prev=Y, cholesky=config.cholesky,
-                        assembly=config.assembly, tile_nnz=config.tile_nnz,
-                        compute_dtype=config.assembly_dtype,
-                    )
-                if config.track_loss:
-                    with span("als.loss", iteration=it):
-                        model.history.append(
-                            IterationStats(
-                                iteration=it,
-                                loss=regularized_loss(coo, X, Y, config.lam),
-                                train_rmse=rmse(coo, X, Y),
-                                validation_rmse=(
-                                    rmse(validation, X, Y)
-                                    if validation is not None
-                                    else None
-                                ),
-                            )
+        sweep_kw = dict(
+            solver=config.solver, cholesky=config.cholesky,
+            assembly=config.assembly, tile_nnz=config.tile_nnz,
+            compute_dtype=config.assembly_dtype,
+        )
+        with SweepExecutor(config.workers) as executor:
+            for it in range(1, config.iterations + 1):
+                with span("als.iteration", iteration=it):
+                    obs_metrics.inc("als.iterations")
+                    with span("als.half_sweep", side="X", iteration=it):
+                        X = executor.half_sweep(
+                            R_rows, Y, config.lam, X_prev=X, **sweep_kw
                         )
-            if config.track_loss and config.tol > 0 and len(model.history) >= 2:
-                prev = model.history[-2].loss
-                cur = model.history[-1].loss
-                if prev > 0 and (prev - cur) / prev < config.tol:
-                    break
+                    with span("als.half_sweep", side="Y", iteration=it):
+                        Y = executor.half_sweep(
+                            R_cols, X, config.lam, X_prev=Y, **sweep_kw
+                        )
+                    if config.track_loss:
+                        with span("als.loss", iteration=it):
+                            model.history.append(
+                                IterationStats(
+                                    iteration=it,
+                                    loss=regularized_loss(coo, X, Y, config.lam),
+                                    train_rmse=rmse(coo, X, Y),
+                                    validation_rmse=(
+                                        rmse(validation, X, Y)
+                                        if validation is not None
+                                        else None
+                                    ),
+                                )
+                            )
+                if config.track_loss and config.tol > 0 and len(model.history) >= 2:
+                    prev = model.history[-2].loss
+                    cur = model.history[-1].loss
+                    if prev > 0 and (prev - cur) / prev < config.tol:
+                        break
         model.X, model.Y = X, Y
     return model

@@ -4,6 +4,10 @@ Identical to plain ALS except the regularizer scales with each entity's
 rating count: row u is solved with ``λ · n_u · I`` where ``n_u = |Ω_u|``.
 This is the variant that won Netflix-Prize-era practice because the
 effective shrinkage stays comparable between heavy and light raters.
+
+The sweep itself is the shared ``sweep_occupied`` kernel with
+``weighted=True``, which is what lets the multicore executor
+(:mod:`repro.parallel`) shard ALS-WR exactly like plain ALS.
 """
 
 from __future__ import annotations
@@ -13,10 +17,10 @@ import numpy as np
 from repro.core.als import ALSConfig, ALSModel, IterationStats, ratings_views
 from repro.core.init import init_factors
 from repro.core.loss import rmse
-from repro.linalg.cholesky import batched_cholesky_solve
-from repro.linalg.normal_equations import batched_normal_equations
+from repro.kernels.fastpath import sweep_occupied
 from repro.obs import metrics as obs_metrics
-from repro.obs.spans import is_enabled, span
+from repro.obs.spans import span
+from repro.parallel.executor import SweepExecutor
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.csr import CSRMatrix
@@ -29,6 +33,7 @@ def weighted_half_sweep(
     Y: np.ndarray,
     lam: float,
     X_prev: np.ndarray | None = None,
+    solver: str | None = None,
     assembly: str | None = None,
     tile_nnz: int | None = None,
     compute_dtype: object | None = None,
@@ -37,24 +42,14 @@ def weighted_half_sweep(
     if lam <= 0:
         raise ValueError("lam must be positive")
     k = Y.shape[1]
-    # Assemble with λ = 0 and add the per-row weighted ridge afterwards.
-    A, b = batched_normal_equations(
-        R, Y, lam=0.0, mode=assembly, tile_nnz=tile_nnz, compute_dtype=compute_dtype
-    )
-    counts = R.row_lengths().astype(np.float64)
-    idx = np.arange(k)
-    A[:, idx, idx] += (lam * counts)[:, None]
-    occupied = counts > 0
     X = np.zeros((R.nrows, k), dtype=np.float64)
     if X_prev is not None:
         X[:] = X_prev
-    if is_enabled():
-        obs_metrics.inc("als.sweep.rows", int(occupied.sum()))
-        obs_metrics.inc("sparse.nnz_touched", R.nnz)
-    if occupied.any():
-        with span("als.s3.solve", stage="S3", solver="cholesky", k=k):
-            obs_metrics.inc("solver.cholesky.calls")
-            X[occupied] = batched_cholesky_solve(A[occupied], b[occupied])
+    rows, X_rows = sweep_occupied(
+        R, Y, lam, weighted=True, solver=solver,
+        assembly=assembly, tile_nnz=tile_nnz, compute_dtype=compute_dtype,
+    )
+    X[rows] = X_rows
     return X
 
 
@@ -78,33 +73,35 @@ def train_als_wr(
                 m, n, config.k, seed=config.seed, scale=config.init_scale
             )
         model = ALSModel(X=X, Y=Y, config=config)
-        for it in range(1, config.iterations + 1):
-            with span("als.iteration", iteration=it):
-                obs_metrics.inc("als.iterations")
-                with span("als.half_sweep", side="X", iteration=it):
-                    X = weighted_half_sweep(
-                        R_rows, Y, config.lam, X_prev=X,
-                        assembly=config.assembly, tile_nnz=config.tile_nnz,
-                        compute_dtype=config.assembly_dtype,
-                    )
-                with span("als.half_sweep", side="Y", iteration=it):
-                    Y = weighted_half_sweep(
-                        R_cols, X, config.lam, X_prev=Y,
-                        assembly=config.assembly, tile_nnz=config.tile_nnz,
-                        compute_dtype=config.assembly_dtype,
-                    )
-                if config.track_loss:
-                    # The WR objective differs from Eq. 2; RMSE is the
-                    # comparable metric, so loss tracking records the
-                    # (unweighted) fit term.
-                    with span("als.loss", iteration=it):
-                        err_rmse = rmse(coo, X, Y)
-                    model.history.append(
-                        IterationStats(
-                            iteration=it,
-                            loss=err_rmse**2 * coo.nnz,
-                            train_rmse=err_rmse,
+        sweep_kw = dict(
+            weighted=True, solver=config.solver, cholesky=config.cholesky,
+            assembly=config.assembly, tile_nnz=config.tile_nnz,
+            compute_dtype=config.assembly_dtype,
+        )
+        with SweepExecutor(config.workers) as executor:
+            for it in range(1, config.iterations + 1):
+                with span("als.iteration", iteration=it):
+                    obs_metrics.inc("als.iterations")
+                    with span("als.half_sweep", side="X", iteration=it):
+                        X = executor.half_sweep(
+                            R_rows, Y, config.lam, X_prev=X, **sweep_kw
                         )
-                    )
+                    with span("als.half_sweep", side="Y", iteration=it):
+                        Y = executor.half_sweep(
+                            R_cols, X, config.lam, X_prev=Y, **sweep_kw
+                        )
+                    if config.track_loss:
+                        # The WR objective differs from Eq. 2; RMSE is the
+                        # comparable metric, so loss tracking records the
+                        # (unweighted) fit term.
+                        with span("als.loss", iteration=it):
+                            err_rmse = rmse(coo, X, Y)
+                        model.history.append(
+                            IterationStats(
+                                iteration=it,
+                                loss=err_rmse**2 * coo.nnz,
+                                train_rmse=err_rmse,
+                            )
+                        )
         model.X, model.Y = X, Y
     return model

@@ -5,20 +5,83 @@ Every one of the 8 code variants computes the same half-sweep result
 implementation serves them all on large data.  Its equivalence to the
 work-item kernels is asserted by the test suite on small instances
 (tests/kernels/), which is what licenses the solvers to use it.
+
+``sweep_occupied`` is the shard-sized kernel: assembly (S1/S2) plus the
+batched solve (S3) over the *occupied* rows of one CSR matrix.  The
+serial sweeps here wrap it for a whole matrix; the parallel executor
+(:mod:`repro.parallel`) runs it once per nnz-balanced row shard on a
+thread pool — BLAS and LAPACK release the GIL inside the batched GEMMs
+and factorizations, so shards genuinely overlap.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.linalg.cholesky import batched_cholesky_solve
-from repro.linalg.gaussian import batched_gaussian_solve
 from repro.linalg.normal_equations import batched_normal_equations
+from repro.linalg.solvers import resolve_solver, solver_fn
 from repro.obs import metrics as obs_metrics
 from repro.obs.spans import is_enabled, span
 from repro.sparse.csr import CSRMatrix
 
-__all__ = ["fast_half_sweep", "fast_iteration"]
+__all__ = ["fast_half_sweep", "fast_iteration", "sweep_occupied"]
+
+
+def _resolve_auto(solver_name: str, k: int, batch: int) -> str:
+    if solver_name != "auto":
+        return solver_name
+    from repro.autotune.solver import select_solver
+
+    return select_solver(k, batch)
+
+
+def sweep_occupied(
+    R: CSRMatrix,
+    Y: np.ndarray,
+    lam: float,
+    weighted: bool = False,
+    solver: str | None = None,
+    cholesky: bool = True,
+    assembly: str | None = None,
+    tile_nnz: int | None = None,
+    compute_dtype: object | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Assemble and solve the occupied rows of ``R``; empty rows cost nothing.
+
+    Returns ``(rows, X_rows)``: the occupied row indices and their solved
+    factors.  Assembly is restricted to the (cached) occupied submatrix
+    *before* S1, so an all-empty tail — common in the CSC sweep of a
+    cold-start corpus — never allocates normal equations at all.
+
+    ``weighted=True`` applies ALS-WR's per-row ridge ``λ·|Ω_u|·I``
+    instead of the uniform ``λ I``.
+    """
+    if lam <= 0:
+        raise ValueError("lam must be positive (λI keeps smat SPD)")
+    k = Y.shape[1]
+    rows, sub = R.occupied_submatrix()
+    if rows.size == 0:
+        return rows, np.zeros((0, k), dtype=np.float64)
+    A, b = batched_normal_equations(
+        sub,
+        Y,
+        lam=0.0 if weighted else lam,
+        mode=assembly,
+        tile_nnz=tile_nnz,
+        compute_dtype=compute_dtype,
+    )
+    if weighted:
+        counts = sub.row_lengths().astype(np.float64)
+        idx = np.arange(k)
+        A[:, idx, idx] += (lam * counts)[:, None]
+    if is_enabled():
+        obs_metrics.inc("als.sweep.rows", rows.size)
+        obs_metrics.inc("sparse.nnz_touched", R.nnz)
+    solver_name = _resolve_auto(resolve_solver(solver, cholesky), k, rows.size)
+    with span("als.s3.solve", stage="S3", solver=solver_name, k=k, batch=rows.size):
+        obs_metrics.inc(f"solver.{solver_name}.calls")
+        X_rows = solver_fn(solver_name)(A, b)
+    return rows, X_rows
 
 
 def fast_half_sweep(
@@ -27,6 +90,7 @@ def fast_half_sweep(
     lam: float,
     X_prev: np.ndarray | None = None,
     cholesky: bool = True,
+    solver: str | None = None,
     assembly: str | None = None,
     tile_nnz: int | None = None,
     compute_dtype: object | None = None,
@@ -37,35 +101,24 @@ def fast_half_sweep(
     ``omegaSize > 0`` guard does: they keep their previous value
     (``X_prev``), or zero when no previous factors are given.
 
-    ``assembly``/``tile_nnz``/``compute_dtype`` select the S1/S2 code
-    variant (see :func:`batched_normal_equations`); ``None`` defers to
-    the configured/environment defaults.
+    ``solver`` selects the S3 variant (``cholesky``/``gaussian``/
+    ``lapack``/``auto``); the legacy ``cholesky`` boolean is honored when
+    ``solver`` is unset.  ``assembly``/``tile_nnz``/``compute_dtype``
+    select the S1/S2 code variant (see :func:`batched_normal_equations`);
+    ``None`` defers to the configured/environment defaults.
     """
-    if lam <= 0:
-        raise ValueError("lam must be positive (λI keeps smat SPD)")
     m = R.nrows
     k = Y.shape[1]
-    # One walk of the row structure serves the whole sweep: row_lengths
-    # is cached on the matrix, so the assembly's degree bins, this
-    # occupancy mask and the S3 guard all share a single occupancy scan.
-    occupied = R.row_lengths() > 0
-    A, b = batched_normal_equations(
-        R, Y, lam, mode=assembly, tile_nnz=tile_nnz, compute_dtype=compute_dtype
-    )
     X = np.zeros((m, k), dtype=np.float64)
     if X_prev is not None:
         if X_prev.shape != (m, k):
             raise ValueError(f"X_prev must have shape {(m, k)}")
         X[:] = X_prev
-    if is_enabled():
-        obs_metrics.inc("als.sweep.rows", int(occupied.sum()))
-        obs_metrics.inc("sparse.nnz_touched", R.nnz)
-    if occupied.any():
-        solver_name = "cholesky" if cholesky else "gaussian"
-        solver = batched_cholesky_solve if cholesky else batched_gaussian_solve
-        with span("als.s3.solve", stage="S3", solver=solver_name, k=k):
-            obs_metrics.inc(f"solver.{solver_name}.calls")
-            X[occupied] = solver(A[occupied], b[occupied])
+    rows, X_rows = sweep_occupied(
+        R, Y, lam, solver=solver, cholesky=cholesky,
+        assembly=assembly, tile_nnz=tile_nnz, compute_dtype=compute_dtype,
+    )
+    X[rows] = X_rows
     return X
 
 
@@ -76,6 +129,7 @@ def fast_iteration(
     Y: np.ndarray,
     lam: float,
     cholesky: bool = True,
+    solver: str | None = None,
     assembly: str | None = None,
     tile_nnz: int | None = None,
     compute_dtype: object | None = None,
@@ -86,11 +140,11 @@ def fast_iteration(
     view the paper uses for the Y update (§III-A).
     """
     X_new = fast_half_sweep(
-        R_rows, Y, lam, X_prev=X, cholesky=cholesky,
+        R_rows, Y, lam, X_prev=X, cholesky=cholesky, solver=solver,
         assembly=assembly, tile_nnz=tile_nnz, compute_dtype=compute_dtype,
     )
     Y_new = fast_half_sweep(
-        R_cols, X_new, lam, X_prev=Y, cholesky=cholesky,
+        R_cols, X_new, lam, X_prev=Y, cholesky=cholesky, solver=solver,
         assembly=assembly, tile_nnz=tile_nnz, compute_dtype=compute_dtype,
     )
     return X_new, Y_new

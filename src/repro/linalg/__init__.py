@@ -10,6 +10,7 @@ point for the paper's §V-C Cholesky claim.
 
 from repro.linalg.cholesky import (
     CholeskyError,
+    as_float64_stack,
     cholesky_factor,
     cholesky_solve,
     batched_cholesky_factor,
@@ -18,6 +19,15 @@ from repro.linalg.cholesky import (
     backward_substitution,
 )
 from repro.linalg.gaussian import gaussian_solve, batched_gaussian_solve
+from repro.linalg.solvers import (
+    SOLVER_MODES,
+    SOLVERS,
+    batched_lapack_solve,
+    lapack_cholesky_factor,
+    configure_solver,
+    resolve_solver,
+    solver_fn,
+)
 from repro.linalg.normal_equations import (
     assemble_gram,
     assemble_rhs,
@@ -31,6 +41,14 @@ from repro.linalg.normal_equations import (
 
 __all__ = [
     "CholeskyError",
+    "as_float64_stack",
+    "SOLVER_MODES",
+    "SOLVERS",
+    "batched_lapack_solve",
+    "lapack_cholesky_factor",
+    "configure_solver",
+    "resolve_solver",
+    "solver_fn",
     "cholesky_factor",
     "cholesky_solve",
     "batched_cholesky_factor",

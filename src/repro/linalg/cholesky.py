@@ -16,6 +16,7 @@ import numpy as np
 
 __all__ = [
     "CholeskyError",
+    "as_float64_stack",
     "cholesky_factor",
     "cholesky_solve",
     "forward_substitution",
@@ -27,6 +28,22 @@ __all__ = [
 
 class CholeskyError(ValueError):
     """Raised when a matrix is not (numerically) positive definite."""
+
+
+def as_float64_stack(a: np.ndarray, ndim: int, name: str = "input") -> np.ndarray:
+    """``a`` as C-contiguous float64 with ``ndim`` axes, copying only if needed.
+
+    A half-sweep hands the batched solvers freshly assembled float64
+    contiguous stacks, so the common case must be a pure dtype/layout
+    check that returns the argument unchanged; only genuinely foreign
+    inputs (lists, float32, transposed views) pay a conversion.
+    """
+    arr = np.asarray(a)
+    if arr.ndim != ndim:
+        raise ValueError(f"{name} must be {ndim}-D, got shape {arr.shape}")
+    if arr.dtype != np.float64 or not arr.flags.c_contiguous:
+        arr = np.ascontiguousarray(arr, dtype=np.float64)
+    return arr
 
 
 def cholesky_factor(a: np.ndarray) -> np.ndarray:
@@ -92,8 +109,8 @@ def batched_cholesky_factor(a: np.ndarray) -> np.ndarray:
     batch dimension stays fully vectorized — the structure of a batched GPU
     Cholesky, transliterated to NumPy broadcasting.
     """
-    a = np.asarray(a, dtype=np.float64)
-    if a.ndim != 3 or a.shape[1] != a.shape[2]:
+    a = as_float64_stack(a, 3)
+    if a.shape[1] != a.shape[2]:
         raise ValueError("input must have shape (batch, k, k)")
     batch, k, _ = a.shape
     L = np.zeros_like(a)
@@ -116,9 +133,9 @@ def batched_cholesky_factor(a: np.ndarray) -> np.ndarray:
 
 def batched_cholesky_solve(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     """Solve ``a[i] x[i] = b[i]`` for a stack of SPD systems."""
-    a = np.asarray(a, dtype=np.float64)
-    b = np.asarray(b, dtype=np.float64)
-    if b.ndim != 2 or b.shape[0] != a.shape[0] or b.shape[1] != a.shape[1]:
+    a = as_float64_stack(a, 3)
+    b = as_float64_stack(b, 2, "rhs")
+    if b.shape[0] != a.shape[0] or b.shape[1] != a.shape[1]:
         raise ValueError("rhs must have shape (batch, k)")
     L = batched_cholesky_factor(a)
     batch, k, _ = a.shape

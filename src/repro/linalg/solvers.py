@@ -1,0 +1,225 @@
+"""S3 solver variants: one registry for the batched normal-equation solve.
+
+The paper's S3 is the per-row ``smat x = svec`` solve; §V-C compares a
+Gaussian-elimination kernel against the Cholesky method and keeps the
+latter.  This module is where those code variants live on the host side:
+
+* ``cholesky`` — the from-scratch reference (:mod:`repro.linalg.cholesky`).
+  Loops over the k columns with Python-level einsum dispatches: faithful
+  to the paper's hand-written kernel, but ~3·k interpreter round-trips
+  per half-sweep.
+* ``gaussian`` — from-scratch LU with partial pivoting, the §V-C
+  comparison point (~2× the flops of Cholesky on SPD systems).
+* ``lapack`` — the whole occupied ``(batch, k, k)`` stack factored by
+  NumPy's native batched ``np.linalg.cholesky`` (one gufunc call into
+  LAPACK ``dpotrf``) and solved with two blocked batched triangular
+  substitutions whose k² work rides on O(k/16) GEMMs.  When the batched
+  factorization rejects the stack, the failing systems are isolated
+  per-system (the paper's SPD guarantee makes this a never-in-theory
+  robustness path) and recovered with a least-squares solve, so one
+  indefinite matrix no longer aborts the whole batch.
+* ``auto`` — defer to the empirical selector in
+  :mod:`repro.autotune.solver`, the §III-D measure-then-pick loop
+  applied to S3.
+
+``resolve_solver`` implements the usual precedence: explicit argument >
+:func:`configure_solver` (CLI) > ``REPRO_SOLVER`` environment > the
+legacy ``cholesky`` boolean of the sweep API.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+import numpy as np
+
+from repro.linalg.cholesky import CholeskyError, as_float64_stack
+from repro.linalg.gaussian import batched_gaussian_solve
+from repro.obs import metrics as obs_metrics
+from repro.obs.spans import is_enabled
+
+__all__ = [
+    "SOLVER_MODES",
+    "SOLVERS",
+    "batched_lapack_solve",
+    "lapack_cholesky_factor",
+    "configure_solver",
+    "resolve_solver",
+    "solver_fn",
+]
+
+_ENV_SOLVER = "REPRO_SOLVER"
+
+#: Names accepted by ``ALSConfig.solver`` / ``--solver`` / ``REPRO_SOLVER``.
+SOLVER_MODES = ("cholesky", "gaussian", "lapack", "auto")
+
+# Process-wide default installed by configure_solver (the CLI flag lands
+# here); ``None`` falls through to the environment, then the legacy bool.
+_CONFIGURED: dict[str, str | None] = {"solver": None}
+
+
+def _validate_solver(name: str) -> str:
+    if name not in SOLVER_MODES:
+        raise ValueError(f"solver must be one of {SOLVER_MODES}, got {name!r}")
+    return name
+
+
+def configure_solver(solver: str | None = None) -> None:
+    """Install a process-wide S3 solver default (``None`` resets it)."""
+    _CONFIGURED["solver"] = None if solver is None else _validate_solver(solver)
+
+
+def resolve_solver(solver: str | None = None, cholesky: bool = True) -> str:
+    """The effective solver name for a sweep call.
+
+    Precedence: explicit ``solver`` > :func:`configure_solver` >
+    ``REPRO_SOLVER`` > the legacy ``cholesky`` boolean ("cholesky" when
+    true, "gaussian" when false).
+    """
+    if solver is not None:
+        return _validate_solver(solver)
+    if _CONFIGURED["solver"] is not None:
+        return _CONFIGURED["solver"]
+    env = os.environ.get(_ENV_SOLVER)
+    if env:
+        return _validate_solver(env)
+    return "cholesky" if cholesky else "gaussian"
+
+
+def lapack_cholesky_factor(a: np.ndarray) -> np.ndarray:
+    """Batched lower-Cholesky via LAPACK, with the reference error type.
+
+    Same contract as :func:`repro.linalg.cholesky.batched_cholesky_factor`
+    (raises :class:`CholeskyError` naming the first offending system) but
+    one ``dpotrf`` gufunc call for the whole stack.
+    """
+    a = as_float64_stack(a, 3)
+    if a.shape[1] != a.shape[2]:
+        raise ValueError("input must have shape (batch, k, k)")
+    try:
+        return np.linalg.cholesky(a)
+    except np.linalg.LinAlgError:
+        idx = int(np.nonzero(_indefinite_mask(a))[0][0])
+        raise CholeskyError(f"matrix {idx} not positive definite") from None
+
+
+def _indefinite_mask(a: np.ndarray) -> np.ndarray:
+    """Boolean mask of systems whose individual factorization fails."""
+    bad = np.zeros(a.shape[0], dtype=bool)
+    for i in range(a.shape[0]):
+        try:
+            np.linalg.cholesky(a[i])
+        except np.linalg.LinAlgError:
+            bad[i] = True
+    if not bad.any():
+        # The batched gufunc rejected the stack but every system factors
+        # alone — should not happen; flag everything rather than loop.
+        bad[:] = True
+    return bad
+
+
+#: Panel width of the blocked substitution: within a panel the rows are
+#: eliminated one vectorized step at a time, and the trailing update is
+#: a single batched GEMM — O(k/block) matmuls carry the k² work instead
+#: of k dot products, and (unlike ``np.linalg.solve`` on the factor) no
+#: LU of an already-triangular matrix is paid.
+_TRSM_BLOCK = 16
+
+
+def _triangular_solve(L: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``x`` with ``L Lᵀ x = b`` via two blocked batched substitutions."""
+    k = b.shape[1]
+    block = _TRSM_BLOCK
+    # Forward: L z = b, by lower panels.
+    z = b.copy()
+    for s in range(0, k, block):
+        e = min(s + block, k)
+        for i in range(s, e):
+            if i > s:
+                z[:, i] -= np.einsum("bj,bj->b", L[:, i, s:i], z[:, s:i])
+            z[:, i] /= L[:, i, i]
+        if e < k:
+            z[:, e:] -= np.matmul(L[:, e:, s:e], z[:, s:e, None])[:, :, 0]
+    # Backward: Lᵀ x = z, by upper panels (indexing L column-wise keeps
+    # the factor in place — no (batch, k, k) transposed copy).
+    x = z
+    for e in range(k, 0, -block):
+        s = max(e - block, 0)
+        for i in range(e - 1, s - 1, -1):
+            if i < e - 1:
+                x[:, i] -= np.einsum("bj,bj->b", L[:, i + 1:e, i], x[:, i + 1:e])
+            x[:, i] /= L[:, i, i]
+        if s > 0:
+            x[:, :s] -= np.matmul(
+                L[:, s:e, :s].transpose(0, 2, 1), x[:, s:e, None]
+            )[:, :, 0]
+    return x
+
+
+def batched_lapack_solve(
+    a: np.ndarray, b: np.ndarray, fallback: bool = True
+) -> np.ndarray:
+    """Solve a stack of SPD systems with LAPACK-class batched kernels.
+
+    ``fallback=True`` (the sweep default) degrades gracefully when the
+    batched factorization rejects the stack: PD systems are still solved
+    through their Cholesky factors, and the indefinite ones fall back to
+    a per-system least-squares solve (counted in the
+    ``solver.lapack.fallback_systems`` metric).  ``fallback=False``
+    raises :class:`CholeskyError` like the reference implementation.
+    """
+    a = as_float64_stack(a, 3)
+    b = as_float64_stack(b, 2, "rhs")
+    if a.shape[1] != a.shape[2]:
+        raise ValueError("input must have shape (batch, k, k)")
+    if b.shape[0] != a.shape[0] or b.shape[1] != a.shape[1]:
+        raise ValueError("rhs must have shape (batch, k)")
+    try:
+        L = np.linalg.cholesky(a)
+    except np.linalg.LinAlgError:
+        if not fallback:
+            idx = int(np.nonzero(_indefinite_mask(a))[0][0])
+            raise CholeskyError(f"matrix {idx} not positive definite") from None
+        return _solve_with_fallback(a, b)
+    return _triangular_solve(L, b)
+
+
+def _solve_with_fallback(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    bad = _indefinite_mask(a)
+    good = ~bad
+    x = np.empty_like(b)
+    if good.any():
+        x[good] = _triangular_solve(np.linalg.cholesky(a[good]), b[good])
+    for i in np.nonzero(bad)[0]:
+        x[i] = np.linalg.lstsq(a[i], b[i], rcond=None)[0]
+    if is_enabled():
+        obs_metrics.inc("solver.lapack.fallback_systems", int(bad.sum()))
+    return x
+
+
+def _reference_cholesky(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    # Imported lazily at registry-build time below to avoid a cycle with
+    # repro.linalg.cholesky's own import of this module (there is none
+    # today; the indirection just keeps the table flat).
+    from repro.linalg.cholesky import batched_cholesky_solve
+
+    return batched_cholesky_solve(a, b)
+
+
+#: name -> batched solve ``(A, b) -> x`` over ``(batch, k, k)`` stacks.
+SOLVERS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "cholesky": _reference_cholesky,
+    "gaussian": batched_gaussian_solve,
+    "lapack": batched_lapack_solve,
+}
+
+
+def solver_fn(name: str) -> Callable[[np.ndarray, np.ndarray], np.ndarray]:
+    """The batched solve for a concrete (non-``auto``) solver name."""
+    try:
+        return SOLVERS[name]
+    except KeyError:
+        raise ValueError(
+            f"solver must be one of {tuple(SOLVERS)}, got {name!r}"
+        ) from None

@@ -69,6 +69,8 @@ class ProfileReport:
 
     def _meta(self) -> dict:
         from repro.linalg.normal_equations import assembly_defaults
+        from repro.linalg.solvers import resolve_solver
+        from repro.parallel.executor import resolve_workers
 
         meta = {
             "dataset": self.spec.abbr,
@@ -78,6 +80,8 @@ class ProfileReport:
             "lam": self.config.lam,
             "iterations": self.config.iterations,
             "assembly": self.config.assembly or assembly_defaults()["mode"],
+            "solver": resolve_solver(self.config.solver, self.config.cholesky),
+            "workers": resolve_workers(self.config.workers),
         }
         if self.device is not None:
             meta["device"] = self.device.name
@@ -93,6 +97,8 @@ def profile_training(
     scale: float | None = None,
     seed: int = 7,
     algorithm: str = "als",
+    solver: str | None = None,
+    workers: int | str | None = None,
 ) -> ProfileReport:
     """Run one instrumented training and (optionally) its simulation.
 
@@ -110,7 +116,10 @@ def profile_training(
         scale = min(1.0, MAX_PROFILE_NNZ / full.nnz)
     spec = full.scaled(scale)
     ratings = generate_ratings(spec, seed=seed)
-    config = ALSConfig(k=k, lam=lam, iterations=iterations, seed=seed)
+    config = ALSConfig(
+        k=k, lam=lam, iterations=iterations, seed=seed,
+        solver=solver, workers=workers,
+    )
 
     obs_metrics.reset()
     with capture() as tracer:
@@ -176,4 +185,15 @@ def render_report(report: ProfileReport, top: int = 10) -> str:
         lines.append("")
         lines.append("counters:")
         lines.extend(f"  {name} = {value:g}" for name, value in counters.items())
+    from repro.autotune.solver import cached_solver_decisions
+
+    decisions = cached_solver_decisions()
+    if decisions:
+        lines.append("")
+        lines.append("solver autotune (cached S3 verdicts):")
+        lines.extend(
+            f"  k={d.k:<4d} batch<={d.batch_bucket:<8d} -> {d.solver} "
+            f"({d.speedup:.2f}x over the slowest)"
+            for d in decisions
+        )
     return "\n".join(lines)

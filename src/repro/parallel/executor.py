@@ -1,0 +1,206 @@
+"""The multicore half-sweep executor.
+
+ALS's half-sweep is embarrassingly parallel across rows — the paper's
+devices exploit that with work-groups; a NumPy host exploits it with a
+thread pool, because every heavy kernel a shard runs (batched GEMM
+assembly, LAPACK factorization, triangular solves) drops the GIL.
+
+``SweepExecutor`` shards the occupied rows of a matrix with the
+nnz-balanced partitioner (:meth:`CSRMatrix.row_shards`, greedy LPT — the
+same scheduling idea as the paper's OpenMP dynamic baseline), runs
+``sweep_occupied`` per shard on a shared ``ThreadPoolExecutor``, and
+scatters the per-shard factors into the output. Shard results depend
+only on each row's own non-zeros, so the parallel sweep is bit-identical
+to the serial one (asserted by tests/parallel/).
+
+Worker-count resolution mirrors the assembly knobs: explicit argument >
+:func:`configure_workers` (CLI) > ``REPRO_WORKERS`` environment > serial.
+``"auto"`` means one worker per available core.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from time import perf_counter
+
+import numpy as np
+
+from repro.kernels.fastpath import sweep_occupied
+from repro.obs import metrics as obs_metrics
+from repro.obs.spans import is_enabled, span
+from repro.sparse.csr import CSRMatrix, RowShard
+
+__all__ = ["SweepExecutor", "configure_workers", "resolve_workers", "WORKERS_ENV"]
+
+WORKERS_ENV = "REPRO_WORKERS"
+
+# Process-wide default installed by configure_workers (the CLI flag
+# lands here); ``None`` falls through to the environment, then serial.
+_CONFIGURED: dict[str, int | None] = {"workers": None}
+
+
+def _parse_workers(value: int | str) -> int:
+    """Normalize a workers spec (``"auto"``, ``"4"``, ``4``) to a count."""
+    if isinstance(value, str):
+        if value.strip().lower() == "auto":
+            return max(1, os.cpu_count() or 1)
+        try:
+            value = int(value)
+        except ValueError:
+            raise ValueError(
+                f"workers must be 'auto' or a positive integer, got {value!r}"
+            ) from None
+    workers = int(value)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def configure_workers(workers: int | str | None = None) -> None:
+    """Install a process-wide worker-count default (``None`` resets it)."""
+    _CONFIGURED["workers"] = None if workers is None else _parse_workers(workers)
+
+
+def resolve_workers(workers: int | str | None = None) -> int:
+    """The effective worker count for a sweep.
+
+    Precedence: explicit ``workers`` > :func:`configure_workers` >
+    ``REPRO_WORKERS`` > 1 (serial — the seed behavior).
+    """
+    if workers is not None:
+        return _parse_workers(workers)
+    if _CONFIGURED["workers"] is not None:
+        return _CONFIGURED["workers"]
+    env = os.environ.get(WORKERS_ENV)
+    if env:
+        try:
+            return _parse_workers(env)
+        except ValueError as exc:
+            raise ValueError(f"{WORKERS_ENV}={env!r}: {exc}") from None
+    return 1
+
+
+class SweepExecutor:
+    """Runs half-sweeps, sharded across a reusable thread pool.
+
+    One executor serves a whole training run: the pool is created lazily
+    on the first parallel sweep and reused for every iteration (shard
+    structures are cached on the matrices themselves, so per-iteration
+    overhead is submit/collect only).  Use as a context manager or call
+    :meth:`close` to release the pool.
+    """
+
+    def __init__(self, workers: int | str | None = None):
+        self.workers = resolve_workers(workers)
+        self._pool: ThreadPoolExecutor | None = None
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "SweepExecutor":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def _pool_for(self, nshards: int) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="repro-sweep"
+            )
+        return self._pool
+
+    # -- the sweep -----------------------------------------------------
+    def half_sweep(
+        self,
+        R: CSRMatrix,
+        Y: np.ndarray,
+        lam: float,
+        X_prev: np.ndarray | None = None,
+        weighted: bool = False,
+        solver: str | None = None,
+        cholesky: bool = True,
+        assembly: str | None = None,
+        tile_nnz: int | None = None,
+        compute_dtype: object | None = None,
+    ) -> np.ndarray:
+        """Update all rows of ``R`` (Eq. 4), sharded across the pool.
+
+        With one worker this is exactly the serial fast path — same code,
+        same result, no pool; with N workers the occupied rows are split
+        into N nnz-balanced shards solved concurrently.  Either way rows
+        without ratings keep their previous value (or zero).
+        """
+        if lam <= 0:
+            raise ValueError("lam must be positive (λI keeps smat SPD)")
+        m = R.nrows
+        k = Y.shape[1]
+        X = np.zeros((m, k), dtype=np.float64)
+        if X_prev is not None:
+            if X_prev.shape != (m, k):
+                raise ValueError(f"X_prev must have shape {(m, k)}")
+            X[:] = X_prev
+
+        kernel_kw = dict(
+            weighted=weighted, solver=solver, cholesky=cholesky,
+            assembly=assembly, tile_nnz=tile_nnz, compute_dtype=compute_dtype,
+        )
+        if self.workers <= 1:
+            rows, X_rows = sweep_occupied(R, Y, lam, **kernel_kw)
+            X[rows] = X_rows
+            return X
+
+        shards = R.row_shards(self.workers)
+        if len(shards) <= 1:
+            rows, X_rows = sweep_occupied(R, Y, lam, **kernel_kw)
+            X[rows] = X_rows
+            return X
+
+        enabled = is_enabled()
+        with span(
+            "als.sweep.parallel", workers=self.workers, shards=len(shards), k=k
+        ):
+            pool = self._pool_for(len(shards))
+            futures = [
+                pool.submit(self._run_shard, i, shard, Y, lam, kernel_kw)
+                for i, shard in enumerate(shards)
+            ]
+            shard_seconds = []
+            for shard, fut in zip(shards, futures):
+                rows, X_rows, seconds = fut.result()
+                X[shard.rows[rows]] = X_rows
+                shard_seconds.append(seconds)
+        if enabled:
+            planned = np.array([s.nnz for s in shards], dtype=np.float64)
+            measured = np.array(shard_seconds)
+            obs_metrics.set_gauge("sweep.workers", self.workers)
+            obs_metrics.set_gauge("sweep.shards", len(shards))
+            obs_metrics.set_gauge(
+                "sweep.imbalance.planned", float(planned.max() / planned.mean())
+            )
+            if measured.mean() > 0:
+                obs_metrics.set_gauge(
+                    "sweep.imbalance.measured",
+                    float(measured.max() / measured.mean()),
+                )
+            for s in shard_seconds:
+                obs_metrics.observe("sweep.shard_seconds", s)
+        return X
+
+    @staticmethod
+    def _run_shard(
+        index: int, shard: RowShard, Y: np.ndarray, lam: float, kernel_kw: dict
+    ) -> tuple[np.ndarray, np.ndarray, float]:
+        t0 = perf_counter()
+        with span(
+            "als.shard",
+            shard=index,
+            rows=int(shard.rows.size),
+            nnz=shard.nnz,
+        ):
+            rows, X_rows = sweep_occupied(shard.matrix, Y, lam, **kernel_kw)
+        return rows, X_rows, perf_counter() - t0

@@ -7,7 +7,7 @@ degree statistics the performance model consumes.
 """
 
 from repro.sparse.coo import COOMatrix
-from repro.sparse.csr import CSRMatrix, DegreeBin
+from repro.sparse.csr import CSRMatrix, DegreeBin, RowShard
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.stats import (
     DegreeStats,
@@ -26,6 +26,7 @@ __all__ = [
     "CSRMatrix",
     "CSCMatrix",
     "DegreeBin",
+    "RowShard",
     "DegreeStats",
     "degree_stats",
     "gini_coefficient",

@@ -13,7 +13,25 @@ import numpy as np
 
 from repro.sparse.coo import COOMatrix
 
-__all__ = ["CSRMatrix", "DegreeBin"]
+__all__ = ["CSRMatrix", "DegreeBin", "RowShard"]
+
+
+@dataclass(frozen=True)
+class RowShard:
+    """One worker's slice of a half-sweep: a row subset as its own CSR.
+
+    ``rows`` maps the shard-local row index back to the parent matrix
+    (``matrix`` row ``i`` is parent row ``rows[i]``); every shard row is
+    occupied, so a shard's sweep result scatters straight into
+    ``X[rows]``.
+    """
+
+    rows: np.ndarray  # (B,) parent row indices, ascending
+    matrix: "CSRMatrix"  # the shard's own CSR view (B rows)
+
+    @property
+    def nnz(self) -> int:
+        return self.matrix.nnz
 
 
 @dataclass(frozen=True)
@@ -25,12 +43,18 @@ class DegreeBin:
     GEMM instead of per-row loops.  ``lengths`` is ascending and every
     length satisfies ``width / growth <= length <= width``, bounding the
     padding waste of a masked gather by the bin ``growth`` factor.
+
+    ``width`` comes from a fixed geometric grid keyed only on ``growth``,
+    so it is a pure function of a row's own degree — never of which other
+    rows happen to share the matrix.  That is what makes assembly over
+    any row subset (an executor shard, the occupied submatrix) bit-
+    identical to assembly over the full matrix.
     """
 
     rows: np.ndarray  # (B,) row indices, ascending by degree
     starts: np.ndarray  # (B,) row_ptr[rows] — first nnz of each row
     lengths: np.ndarray  # (B,) nnz count per row, ascending
-    width: int  # max degree in the bin (the padded gather width)
+    width: int  # the grid bin's upper degree edge (padded gather width)
 
     @property
     def nnz(self) -> int:
@@ -40,6 +64,26 @@ class DegreeBin:
     def is_uniform(self) -> bool:
         """True when no padding is needed (all rows share the width)."""
         return bool(self.lengths.size) and int(self.lengths[0]) == self.width
+
+
+def _grid_bin_edges(degree: int, growth: float) -> tuple[int, int]:
+    """The ``[lo, hi]`` degree range of the grid bin containing ``degree``.
+
+    The grid is anchored at degree 1 and depends only on ``growth``:
+    degrees below ``1/(growth-1)`` get singleton bins (a geometric step
+    would advance by less than one), then edges grow multiplicatively
+    (``hi = int(lo * growth)``).  Population-independent by construction.
+    """
+    if growth <= 1.0 or degree * growth < degree + 1:
+        return degree, degree
+    lo = 1
+    while int(lo * growth) <= lo:  # singleton prefix, <= 1/(growth-1) steps
+        lo += 1
+    while True:
+        hi = int(lo * growth)
+        if degree <= hi:
+            return lo, hi
+        lo = hi + 1
 
 
 class CSRMatrix:
@@ -58,6 +102,8 @@ class CSRMatrix:
         "_row_lengths",
         "_expanded_rows",
         "_degree_bins",
+        "_occupied_sub",
+        "_row_shards",
     )
 
     def __init__(
@@ -94,6 +140,8 @@ class CSRMatrix:
         self._row_lengths: np.ndarray | None = None
         self._expanded_rows: np.ndarray | None = None
         self._degree_bins: dict[float, tuple[DegreeBin, ...]] = {}
+        self._occupied_sub: tuple[np.ndarray, "CSRMatrix"] | None = None
+        self._row_shards: dict[int, tuple[RowShard, ...]] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -181,13 +229,18 @@ class CSRMatrix:
     def degree_bins(self, growth: float = 1.25) -> tuple[DegreeBin, ...]:
         """Group occupied rows by non-zero count (cached per ``growth``).
 
-        Rows are sorted by degree and split into bins whose max/min degree
-        ratio stays below ``growth``; each bin can then be gathered as one
-        dense ``(rows, width, k)`` block with at most ``growth - 1``
-        padding waste.  ``growth = 1`` gives exact-degree bins.  This is
-        the host-side counterpart of the paper's thread batching: equal
-        work per lane, no divergence, bounded bin count (geometric in the
-        max degree).
+        Rows are sorted by degree and split along a fixed geometric grid
+        whose max/min degree ratio stays below ``growth``; each bin can
+        then be gathered as one dense ``(rows, width, k)`` block with at
+        most ``growth - 1`` padding waste.  ``growth = 1`` gives
+        exact-degree bins.  This is the host-side counterpart of the
+        paper's thread batching: equal work per lane, no divergence,
+        bounded bin count (geometric in the max degree).
+
+        Because the grid (and hence every row's padded width) depends
+        only on ``growth``, binning any row subset yields the same
+        per-row widths as binning the full matrix — the invariant the
+        parallel sweep executor relies on for bitwise determinism.
         """
         if growth < 1.0:
             raise ValueError("growth must be >= 1")
@@ -203,8 +256,7 @@ class CSRMatrix:
         bins: list[DegreeBin] = []
         i = 0
         while i < rows.size:
-            d0 = int(degs[i])
-            hi = max(d0, int(d0 * growth))
+            _, hi = _grid_bin_edges(int(degs[i]), growth)
             j = int(np.searchsorted(degs, hi, side="right"))
             bin_rows = rows[i:j]
             bin_lengths = degs[i:j]
@@ -216,12 +268,96 @@ class CSRMatrix:
                     rows=bin_rows,
                     starts=starts,
                     lengths=bin_lengths,
-                    width=int(bin_lengths[-1]),
+                    width=hi,
                 )
             )
             i = j
         result = tuple(bins)
         self._degree_bins[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # row subsets (the sweep executor's sharding substrate)
+    # ------------------------------------------------------------------
+    def take_rows(self, rows: np.ndarray) -> "CSRMatrix":
+        """A new CSR holding the given rows (in the given order).
+
+        Column space is preserved, so the subset participates in the same
+        normal equations as the parent; each selected row's non-zeros keep
+        their storage order, which is what makes per-shard assembly
+        reproduce the full-matrix assembly bit for bit.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.ndim != 1:
+            raise ValueError("rows must be 1-D")
+        if rows.size and (rows.min() < 0 or rows.max() >= self.nrows):
+            raise IndexError("row index out of range")
+        lengths = self.row_lengths()[rows]
+        row_ptr = np.zeros(rows.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=row_ptr[1:])
+        total = int(row_ptr[-1])
+        # Gather source positions: each row's contiguous slice, laid out
+        # back to back — starts repeated per-entry plus the within-row
+        # offset recovers every source index without a Python loop.
+        starts = np.repeat(self.row_ptr[rows], lengths)
+        offs = np.arange(total, dtype=np.int64) - np.repeat(row_ptr[:-1], lengths)
+        src = starts + offs
+        return CSRMatrix(
+            (rows.size, self.ncols), self.value[src], self.col_idx[src], row_ptr
+        )
+
+    def occupied_submatrix(self) -> tuple[np.ndarray, "CSRMatrix"]:
+        """``(rows, sub)`` with only the occupied rows of this matrix.
+
+        Cached: the half-sweep consults it every iteration to skip
+        assembling normal equations for empty rows (Algorithm 2's
+        ``omegaSize > 0`` guard, applied *before* S1 rather than only
+        before S3).  When every row is occupied the matrix itself is
+        returned, so the common dense-rows case costs one cached check.
+        """
+        if self._occupied_sub is None:
+            lengths = self.row_lengths()
+            rows = np.nonzero(lengths > 0)[0]
+            if rows.size == self.nrows:
+                sub = self
+            else:
+                sub = self.take_rows(rows)
+            rows.setflags(write=False)
+            self._occupied_sub = (rows, sub)
+        return self._occupied_sub
+
+    def row_shards(self, nparts: int) -> tuple[RowShard, ...]:
+        """Occupied rows split into ``nparts`` nnz-balanced CSR shards.
+
+        Uses the greedy LPT / snake partitioner
+        (:func:`repro.sparse.partition.partition_rows_balanced`) over the
+        occupied rows' non-zero counts, then materializes each part as
+        its own CSR via :meth:`take_rows`.  Cached per ``nparts``: a
+        training run re-sweeps the same matrix every iteration, so the
+        executor pays the partition + gather once.  Empty parts (more
+        workers than occupied rows) are dropped.
+        """
+        nparts = int(nparts)
+        if nparts <= 0:
+            raise ValueError("nparts must be positive")
+        cached = self._row_shards.get(nparts)
+        if cached is not None:
+            return cached
+        from repro.sparse.partition import partition_rows_balanced
+
+        occ_rows, _ = self.occupied_submatrix()
+        lengths = self.row_lengths()[occ_rows]
+        part = partition_rows_balanced(lengths, min(nparts, max(1, occ_rows.size)))
+        shards: list[RowShard] = []
+        for p in range(part.nparts):
+            local = part.rows_of(p)
+            if local.size == 0:
+                continue
+            rows = occ_rows[local]  # ascending: rows_of returns sorted indices
+            rows.setflags(write=False)
+            shards.append(RowShard(rows=rows, matrix=self.take_rows(rows)))
+        result = tuple(shards)
+        self._row_shards[nparts] = result
         return result
 
     # ------------------------------------------------------------------

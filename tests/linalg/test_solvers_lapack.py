@@ -1,0 +1,218 @@
+"""Tests for the S3 solver registry and the LAPACK-class batched solve."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import (
+    CholeskyError,
+    SOLVER_MODES,
+    SOLVERS,
+    as_float64_stack,
+    batched_cholesky_solve,
+    batched_gaussian_solve,
+    batched_lapack_solve,
+    configure_solver,
+    lapack_cholesky_factor,
+    resolve_solver,
+    solver_fn,
+)
+from repro.obs import metrics as obs_metrics
+from repro.obs.spans import capture
+
+
+def spd_stack(
+    rng: np.random.Generator, batch: int, k: int, lam: float = 0.1
+) -> tuple[np.ndarray, np.ndarray]:
+    """An ALS-shaped stack of normal equations ``WᵀW + λI``, with RHS."""
+    W = rng.standard_normal((batch, k + 3, k))
+    A = W.transpose(0, 2, 1) @ W
+    idx = np.arange(k)
+    A[:, idx, idx] += lam
+    return A, rng.standard_normal((batch, k))
+
+
+@pytest.fixture(autouse=True)
+def _reset_configured_solver():
+    yield
+    configure_solver(None)
+
+
+class TestVariantAgreement:
+    """The three variants are code variants of ONE solve: same answer."""
+
+    @pytest.mark.parametrize("k", [1, 10, 64])
+    def test_all_variants_agree(self, rng, k):
+        A, b = spd_stack(rng, 17, k)
+        x_ref = batched_cholesky_solve(A, b)
+        np.testing.assert_allclose(
+            batched_lapack_solve(A, b), x_ref, rtol=1e-10, atol=1e-10
+        )
+        np.testing.assert_allclose(
+            batched_gaussian_solve(A, b), x_ref, rtol=1e-10, atol=1e-10
+        )
+
+    @pytest.mark.parametrize("batch", [1, 2, 7, 257])
+    def test_skewed_batch_sizes(self, rng, batch):
+        A, b = spd_stack(rng, batch, 11)
+        np.testing.assert_allclose(
+            batched_lapack_solve(A, b),
+            batched_cholesky_solve(A, b),
+            rtol=1e-10,
+            atol=1e-10,
+        )
+
+    def test_near_singular_systems(self, rng):
+        # λ barely above machine noise: conditioning is poor but all
+        # variants must still agree on the (well-defined) solution.
+        A, b = spd_stack(rng, 9, 8, lam=1e-8)
+        x_ref = batched_cholesky_solve(A, b)
+        x_lap = batched_lapack_solve(A, b)
+        residual_ref = np.einsum("bij,bj->bi", A, x_ref) - b
+        residual_lap = np.einsum("bij,bj->bi", A, x_lap) - b
+        np.testing.assert_allclose(residual_lap, residual_ref, atol=1e-5)
+
+    def test_solves_the_system(self, rng):
+        A, b = spd_stack(rng, 13, 20)
+        x = batched_lapack_solve(A, b)
+        np.testing.assert_allclose(
+            np.einsum("bij,bj->bi", A, x), b, rtol=1e-8, atol=1e-8
+        )
+
+
+class TestLapackFactor:
+    def test_matches_numpy(self, rng):
+        A, _ = spd_stack(rng, 6, 9)
+        np.testing.assert_allclose(
+            lapack_cholesky_factor(A), np.linalg.cholesky(A), rtol=1e-12
+        )
+
+    def test_indefinite_member_reported_by_index(self, rng):
+        A, _ = spd_stack(rng, 4, 3)
+        A[2] = -np.eye(3)
+        with pytest.raises(CholeskyError, match="matrix 2"):
+            lapack_cholesky_factor(A)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="batch, k, k"):
+            lapack_cholesky_factor(np.ones((2, 3, 4)))
+
+
+class TestFallback:
+    def test_one_bad_system_does_not_abort_the_batch(self, rng):
+        A, b = spd_stack(rng, 5, 4)
+        A[3] = -np.eye(4)  # indefinite: the batched dpotrf rejects the stack
+        x = batched_lapack_solve(A, b)
+        good = [0, 1, 2, 4]
+        np.testing.assert_allclose(
+            x[good],
+            batched_cholesky_solve(A[good], b[good]),
+            rtol=1e-10,
+            atol=1e-10,
+        )
+        # the bad system got the least-squares answer, not garbage
+        np.testing.assert_allclose(
+            x[3], np.linalg.lstsq(A[3], b[3], rcond=None)[0], rtol=1e-10
+        )
+
+    def test_fallback_counted_in_metrics(self, rng):
+        A, b = spd_stack(rng, 4, 3)
+        A[1] = -np.eye(3)
+        obs_metrics.reset()
+        with capture():
+            batched_lapack_solve(A, b)
+        counters = obs_metrics.snapshot()["counters"]
+        assert counters["solver.lapack.fallback_systems"] == 1.0
+
+    def test_fallback_disabled_raises_like_reference(self, rng):
+        A, b = spd_stack(rng, 4, 3)
+        A[1] = -np.eye(3)
+        with pytest.raises(CholeskyError, match="matrix 1"):
+            batched_lapack_solve(A, b, fallback=False)
+
+    def test_shape_validation(self, rng):
+        A, b = spd_stack(rng, 3, 4)
+        with pytest.raises(ValueError, match="rhs"):
+            batched_lapack_solve(A, b[:, :3])
+        with pytest.raises(ValueError, match="batch, k, k"):
+            batched_lapack_solve(np.ones((2, 3, 4)), np.ones((2, 3)))
+
+
+class TestAsFloat64Stack:
+    """Satellite of PR 3: validation must not copy already-conforming input."""
+
+    def test_float64_contiguous_returned_unchanged(self, rng):
+        a = rng.standard_normal((4, 3, 3))
+        assert as_float64_stack(a, 3) is a
+
+    def test_float32_converted(self, rng):
+        a = rng.standard_normal((4, 3, 3)).astype(np.float32)
+        out = as_float64_stack(a, 3)
+        assert out.dtype == np.float64
+        np.testing.assert_allclose(out, a)
+
+    def test_fortran_order_made_contiguous(self, rng):
+        a = np.asfortranarray(rng.standard_normal((4, 3, 3)))
+        out = as_float64_stack(a, 3)
+        assert out.flags["C_CONTIGUOUS"]
+        np.testing.assert_array_equal(out, a)
+
+    def test_wrong_ndim_rejected(self):
+        with pytest.raises(ValueError, match="3-D"):
+            as_float64_stack(np.ones((2, 2)), 3)
+
+
+class TestRegistryAndResolution:
+    def test_registry_covers_concrete_modes(self):
+        assert set(SOLVERS) == set(SOLVER_MODES) - {"auto"}
+
+    def test_solver_fn_unknown_name(self):
+        with pytest.raises(ValueError, match="newton"):
+            solver_fn("newton")
+
+    def test_resolve_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SOLVER", "gaussian")
+        configure_solver("cholesky")
+        assert resolve_solver("lapack") == "lapack"
+
+    def test_resolve_configured_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SOLVER", "gaussian")
+        configure_solver("lapack")
+        assert resolve_solver() == "lapack"
+
+    def test_resolve_env_beats_legacy_bool(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SOLVER", "lapack")
+        assert resolve_solver(cholesky=False) == "lapack"
+
+    def test_resolve_legacy_bool_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SOLVER", raising=False)
+        assert resolve_solver() == "cholesky"
+        assert resolve_solver(cholesky=False) == "gaussian"
+
+    def test_invalid_names_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_solver("qr")
+        with pytest.raises(ValueError):
+            configure_solver("qr")
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    batch=st.integers(min_value=1, max_value=12),
+    k=st.integers(min_value=1, max_value=10),
+    seed=st.integers(min_value=0, max_value=2**31),
+    lam=st.floats(min_value=1e-4, max_value=10.0),
+)
+def test_property_lapack_matches_reference(batch, k, seed, lam):
+    """For any ALS-shaped stack, lapack and the reference agree to 1e-10."""
+    rng = np.random.default_rng(seed)
+    A, b = spd_stack(rng, batch, k, lam)
+    np.testing.assert_allclose(
+        batched_lapack_solve(A, b),
+        batched_cholesky_solve(A, b),
+        rtol=1e-10,
+        atol=1e-10,
+    )
