@@ -70,6 +70,7 @@ from repro.kernels import Variant, all_variants, recommended_variant
 from repro.solvers import PortableALS, Sac15Baseline, CuMF, SimulatedRun
 from repro.autotune import exhaustive_search, VariantSelector, train_default_selector
 from repro.extensions import SGDConfig, train_sgd, CCDConfig, train_ccd
+from repro.serving import TopNEngine, TopNResult, configure_serving
 from repro import obs
 
 __version__ = "1.0.0"
@@ -137,6 +138,10 @@ __all__ = [
     "train_sgd",
     "CCDConfig",
     "train_ccd",
+    # serving
+    "TopNEngine",
+    "TopNResult",
+    "configure_serving",
     # observability
     "obs",
     "__version__",

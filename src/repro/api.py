@@ -18,6 +18,7 @@ from repro.core.alswr import train_als_wr
 from repro.core.loss import mae, rmse
 from repro.core.predict import predict_entries, recommend_top_n
 from repro.obs.spans import span
+from repro.serving.engine import TopNEngine, TopNResult
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
 
@@ -51,6 +52,7 @@ class Recommender:
         self.algorithm = algorithm
         self._model: ALSModel | None = None
         self._train_csr: CSRMatrix | None = None
+        self._engine: TopNEngine | None = None
 
     # ------------------------------------------------------------------
     # training
@@ -65,6 +67,7 @@ class Recommender:
             _, csr = ratings_views(ratings)
             self._model = _ALGORITHMS[self.algorithm](csr, self.config)
             self._train_csr = csr
+            self._engine = None  # factors changed; rebuild lazily
         return self
 
     @property
@@ -85,13 +88,60 @@ class Recommender:
         with span("recommender.predict"):
             return predict_entries(self.model, np.asarray(users), np.asarray(items))
 
+    def engine(self, **kwargs) -> TopNEngine:
+        """The tiled top-N serving engine over the trained factors.
+
+        Built lazily on first query and reused (item factors are cast to
+        the scoring dtype once); pass knobs (``tile_bytes``, ``dtype``,
+        ``user_block``, ``workers``) to rebuild with a new configuration.
+        """
+        if kwargs or self._engine is None:
+            self._engine = TopNEngine.from_model(self.model, **kwargs)
+        return self._engine
+
     def recommend(
         self, user: int, n_items: int = 10, exclude_seen: bool = True
     ) -> list[tuple[int, float]]:
-        """Top-N items for a user, excluding training items by default."""
+        """Top-N items for a user, excluding training items by default.
+
+        Truncated when the user has fewer than ``n_items`` unseen items
+        (see :mod:`repro.core.predict` for the contract).
+        """
         with span("recommender.recommend", n_items=n_items):
             exclude = self._train_csr if exclude_seen else None
-            return recommend_top_n(self.model, user, n_items=n_items, exclude=exclude)
+            return recommend_top_n(
+                self.model, user, n_items=n_items, exclude=exclude,
+                engine=self.engine(),
+            )
+
+    def recommend_batch(
+        self, users, n_items: int = 10, exclude_seen: bool = True
+    ) -> TopNResult:
+        """Top-N for many users at once, through the tiled engine.
+
+        Returns a :class:`~repro.serving.engine.TopNResult` whose rows
+        are padded with ``-1`` for users with fewer than ``n_items``
+        unseen items.
+        """
+        with span("recommender.recommend_batch", n_items=n_items):
+            exclude = self._train_csr if exclude_seen else None
+            return self.engine().query(
+                np.asarray(users), n=n_items, exclude=exclude
+            )
+
+    def evaluate_ranking(self, test: COOMatrix, n: int = 10):
+        """Top-N ranking quality against a held-out split (engine-backed)."""
+        from repro.core.ranking import evaluate_ranking
+
+        if self._train_csr is None:
+            raise RuntimeError(
+                "ranking evaluation needs the training matrix; fit() this "
+                "recommender rather than loading a persisted model"
+            )
+        with span("recommender.evaluate_ranking", n=n):
+            return evaluate_ranking(
+                self.model, self._train_csr, test, n=n, engine=self.engine()
+            )
 
     def evaluate(self, ratings: COOMatrix) -> dict[str, float]:
         """RMSE/MAE on a rating set (e.g. the held-out split)."""

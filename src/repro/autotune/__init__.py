@@ -6,7 +6,8 @@ work-group size on the target execution context and keep the fastest.
 as future work: learn the best configuration from (device, dataset)
 features so new contexts don't need an exhaustive sweep.
 ``assembly`` applies the measure-then-pick loop to the *host* assembly
-variants (scatter vs degree-binned normal equations).
+variants (scatter vs degree-binned normal equations); ``serving``
+applies it to the query path (top-N tile size and scoring precision).
 """
 
 from repro.autotune.search import SearchResult, exhaustive_search, WS_CANDIDATES
@@ -25,8 +26,20 @@ from repro.autotune.solver import (
     cached_solver_decisions,
     clear_solver_cache,
 )
+from repro.autotune.serving import (
+    ServingDecision,
+    measure_serving,
+    select_serving,
+    cached_serving_decisions,
+    clear_serving_cache,
+)
 
 __all__ = [
+    "ServingDecision",
+    "measure_serving",
+    "select_serving",
+    "cached_serving_decisions",
+    "clear_serving_cache",
     "SolverDecision",
     "measure_solvers",
     "select_solver",

@@ -9,6 +9,10 @@ Usage::
     repro-als tune gpu NTFX        # exhaustive variant search (§III-D)
     repro-als tune-assembly ML1M   # measure scatter vs binned host assembly
     repro-als tune-solver ML1M     # measure the S3 solver variants
+    repro-als tune-serving ML1M    # measure serving tile size x dtype
+    repro-als recommend ML1M --n 10 --tile-bytes 8388608
+                                   # train on a synthetic ML1M sample and
+                                   # serve top-N through the tiled engine
     repro-als profile ML10M --device gpu --trace t.json --metrics m.json
                                    # instrumented real training run:
                                    # measured S1/S2/S3 hotspot table, top
@@ -21,7 +25,10 @@ The host S1/S2 assembly variant is selectable everywhere via
 ``REPRO_TILE_NNZ``, ``REPRO_ASSEMBLY_DTYPE`` environment variables).
 The S3 solve and the half-sweep parallelism are selectable the same
 way: ``--solver {cholesky,gaussian,lapack,auto}`` (``REPRO_SOLVER``)
-and ``--workers {auto,N}`` (``REPRO_WORKERS``).
+and ``--workers {auto,N}`` (``REPRO_WORKERS``).  The serving engine's
+tile budget and score precision follow the same pattern:
+``--tile-bytes {B,auto}`` (``REPRO_SERVE_TILE_BYTES``) and
+``--serve-dtype {float32,float64,auto}`` (``REPRO_SERVE_DTYPE``).
 """
 
 from __future__ import annotations
@@ -129,6 +136,76 @@ def _run_tune_solver(ns: argparse.Namespace) -> int:
     return 0
 
 
+def _run_tune_serving(ns: argparse.Namespace) -> int:
+    if len(ns.args) > 1:
+        print("usage: repro-als tune-serving [<dataset>] [--k K]", file=sys.stderr)
+        return 2
+    from repro.autotune.serving import measure_serving
+
+    if ns.args:
+        try:
+            spec = dataset_by_name(ns.args[0])
+        except KeyError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        n_items, label = spec.n, f"{spec.abbr} (n={spec.n})"
+    else:
+        n_items, label = 4096, "n=4096"
+    decision = measure_serving(n_items, ns.k, top_n=ns.n, seed=ns.seed)
+    print(f"serving engine candidates for {label}, k={ns.k}, top-{ns.n}:")
+    ranked = sorted(
+        decision.users_per_sec.items(), key=lambda kv: kv[1], reverse=True
+    )
+    for (tile_bytes, dtype), ups in ranked:
+        print(f"  tile={tile_bytes >> 20:3d} MB  {dtype:8s} {ups:12.0f} users/s")
+    print(
+        f"best: tile={decision.tile_bytes} bytes, {decision.dtype} "
+        f"({decision.speedup:.2f}x over the slowest); cached for "
+        f"(k={decision.k}, n<={decision.n_bucket})"
+    )
+    return 0
+
+
+def _run_recommend(ns: argparse.Namespace) -> int:
+    if len(ns.args) != 1:
+        print("usage: repro-als recommend <dataset> [--n N] [--users U] [--k K]"
+              " [--tile-bytes B] [--serve-dtype D] [--scale S] [--iterations I]",
+              file=sys.stderr)
+        return 2
+    from time import perf_counter
+
+    from repro.api import Recommender
+    from repro.datasets.synthetic import generate_ratings
+
+    try:
+        spec = dataset_by_name(ns.args[0])
+    except KeyError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    scale = ns.scale if ns.scale is not None else min(1.0, 500_000 / spec.nnz)
+    spec = spec.scaled(scale)
+    ratings = generate_ratings(spec, seed=ns.seed)
+    rec = Recommender(k=ns.k, iterations=ns.iterations, seed=ns.seed).fit(ratings)
+    engine = rec.engine()
+    users = list(range(min(ns.users, spec.m)))
+    t0 = perf_counter()
+    result = rec.recommend_batch(users, n_items=ns.n)
+    seconds = perf_counter() - t0
+    print(
+        f"top-{ns.n} on {spec.abbr} scale={scale:g} (m={spec.m}, n={spec.n}), "
+        f"k={ns.k}: tile={engine.tile_items()} items "
+        f"({engine.tile_bytes} B budget, {engine.dtype_name})"
+    )
+    for pos, user in enumerate(users):
+        row = ", ".join(f"{i}:{s:.2f}" for i, s in result.row(pos)[: ns.n])
+        print(f"  user {user:>6d}: {row}")
+    if seconds > 0:
+        print(f"{len(users)} users in {seconds * 1e3:.1f} ms "
+              f"({len(users) / seconds:,.0f} users/s, "
+              f"peak tile {engine.peak_tile_bytes} B)")
+    return 0
+
+
 def _run_profile(ns: argparse.Namespace) -> int:
     if len(ns.args) != 1:
         print("usage: repro-als profile <dataset> [--device D] [--trace T.json]"
@@ -169,13 +246,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "command",
         help="experiment id (table1, fig1, fig6..fig10, ksweep), 'all', 'list', "
-        "'summary', 'tune', 'tune-assembly', 'tune-solver', 'emit-cl' or "
-        "'profile'",
+        "'summary', 'tune', 'tune-assembly', 'tune-solver', 'tune-serving', "
+        "'recommend', 'emit-cl' or 'profile'",
     )
     parser.add_argument(
         "args", nargs="*",
         help="for tune: <device> <dataset>; for profile/tune-assembly/"
-        "tune-solver: <dataset>",
+        "tune-solver/tune-serving/recommend: <dataset>",
     )
     parser.add_argument("--k", type=int, default=10, help="latent factor (default 10)")
     parser.add_argument(
@@ -229,6 +306,23 @@ def main(argv: list[str] | None = None) -> int:
         "--batch", type=int, default=None,
         help="tune-solver: systems per batched solve (default: dataset rows)",
     )
+    parser.add_argument(
+        "--n", type=int, default=10,
+        help="recommend/tune-serving: recommendations per user (default 10)",
+    )
+    parser.add_argument(
+        "--users", type=int, default=5,
+        help="recommend: how many users to print (default 5)",
+    )
+    parser.add_argument(
+        "--tile-bytes", default=None, metavar="B",
+        help="serving tile budget: bytes of score buffer per user block "
+        "('auto' = measure; default 8 MB)",
+    )
+    parser.add_argument(
+        "--serve-dtype", default=None, choices=("float32", "float64", "auto"),
+        help="serving score precision (default: float64; 'auto' = measure)",
+    )
     ns = parser.parse_args(argv)
 
     if ns.assembly or ns.tile_nnz or ns.assembly_dtype:
@@ -241,6 +335,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.linalg.solvers import configure_solver
 
         configure_solver(ns.solver)
+    if ns.tile_bytes or ns.serve_dtype:
+        from repro.serving import configure_serving
+
+        try:
+            configure_serving(tile_bytes=ns.tile_bytes, dtype=ns.serve_dtype)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
     if ns.workers:
         from repro.parallel import configure_workers
 
@@ -280,6 +382,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_tune_assembly(ns)
     if ns.command == "tune-solver":
         return _run_tune_solver(ns)
+    if ns.command == "tune-serving":
+        return _run_tune_serving(ns)
+    if ns.command == "recommend":
+        return _run_recommend(ns)
     if ns.command == "profile":
         return _run_profile(ns)
     return _run_experiment(ns.command, metrics_path=ns.metrics)

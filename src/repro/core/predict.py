@@ -1,10 +1,30 @@
-"""Prediction and recommendation on trained factors (Eq. 1)."""
+"""Prediction and recommendation on trained factors (Eq. 1).
+
+The top-N paths are thin compatibility wrappers over the tiled serving
+engine (:mod:`repro.serving.engine`): scoring runs in byte-budgeted item
+tiles with vectorized CSR exclusion instead of a dense ``(U, n)`` score
+matrix and a per-user Python masking loop.
+
+Short-candidate contract (unified across both top-N entry points):
+``n_items`` is clamped to the catalog size, and a user with fewer than
+``n_items`` recommendable (unseen) items is *not* an error —
+
+* :func:`recommend_top_n` returns a **truncated** list holding only the
+  recommendable items;
+* :func:`recommend_top_n_batch` returns fixed-width rows **padded** with
+  :data:`repro.serving.PAD_ITEM` (``-1``) past each user's last
+  recommendable item.
+
+Rows are ordered by ``(score desc, item id asc)`` — a total order, so
+results are deterministic under exact score ties.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
 from repro.core.als import ALSModel
+from repro.serving.engine import TopNEngine
 from repro.sparse.csr import CSRMatrix
 
 __all__ = ["predict_rating", "predict_entries", "recommend_top_n", "recommend_top_n_batch"]
@@ -36,26 +56,24 @@ def recommend_top_n(
     user: int,
     n_items: int = 10,
     exclude: CSRMatrix | None = None,
+    engine: TopNEngine | None = None,
 ) -> list[tuple[int, float]]:
     """The user's top-N unseen items by predicted rating.
 
     ``exclude`` is typically the training matrix: items the user already
-    rated are never recommended back.
+    rated are never recommended back.  Returns at most ``n_items``
+    ``(item, score)`` pairs, truncated when the user has fewer
+    recommendable items (see the module contract).
     """
     m, _ = model.shape
     if not 0 <= user < m:
         raise IndexError(f"user {user} out of range for {m} users")
     if n_items <= 0:
         raise ValueError("n_items must be positive")
-    scores = model.Y @ model.X[user]
-    if exclude is not None:
-        seen, _ = exclude.row_slice(user)
-        scores = scores.copy()
-        scores[seen] = -np.inf
-    n_items = min(n_items, scores.size)
-    top = np.argpartition(scores, -n_items)[-n_items:]
-    top = top[np.argsort(scores[top])[::-1]]
-    return [(int(i), float(scores[i])) for i in top if np.isfinite(scores[i])]
+    if engine is None:
+        engine = TopNEngine.from_model(model)
+    result = engine.query(np.array([user]), n=n_items, exclude=exclude)
+    return result.row(0)
 
 
 def recommend_top_n_batch(
@@ -63,34 +81,20 @@ def recommend_top_n_batch(
     users: np.ndarray,
     n_items: int = 10,
     exclude: CSRMatrix | None = None,
+    engine: TopNEngine | None = None,
 ) -> np.ndarray:
-    """Top-N item ids for many users at once (vectorized scoring).
+    """Top-N item ids for many users at once (tiled scoring).
 
-    Returns an ``(len(users), n_items)`` int array, each row sorted by
-    descending predicted rating; excluded (seen) items are replaced by
-    the next-best candidates.  ``n_items`` must not exceed the number of
-    recommendable items for any requested user.
+    Returns a ``(len(users), min(n_items, catalog))`` int array, each
+    row sorted by descending predicted rating with ties broken by item
+    id; a user with fewer recommendable items than the row width gets
+    ``-1`` padding past the last one (see the module contract).
     """
     users = np.asarray(users)
     if users.ndim != 1:
         raise ValueError("users must be a 1-D index array")
     if n_items <= 0:
         raise ValueError("n_items must be positive")
-    scores = model.X[users] @ model.Y.T  # (U, n)
-    if exclude is not None:
-        for pos, user in enumerate(users):
-            seen, _ = exclude.row_slice(int(user))
-            scores[pos, seen] = -np.inf
-    if n_items > scores.shape[1]:
-        raise ValueError("n_items exceeds the item catalog")
-    top = np.argpartition(scores, -n_items, axis=1)[:, -n_items:]
-    row_scores = np.take_along_axis(scores, top, axis=1)
-    order = np.argsort(row_scores, axis=1)[:, ::-1]
-    ranked = np.take_along_axis(top, order, axis=1)
-    if exclude is not None and not np.isfinite(
-        np.take_along_axis(scores, ranked, axis=1)
-    ).all():
-        raise ValueError(
-            "a requested user has fewer than n_items unseen items"
-        )
-    return ranked
+    if engine is None:
+        engine = TopNEngine.from_model(model)
+    return engine.query(users, n=n_items, exclude=exclude).items

@@ -114,6 +114,23 @@ class SweepExecutor:
             )
         return self._pool
 
+    # -- generic fan-out ----------------------------------------------
+    def map(self, fn, items) -> list:
+        """Run ``fn`` over ``items`` on the pool, preserving order.
+
+        The generic fan-out primitive under both the training sweep and
+        the serving engine's user-block sharding: any independent
+        NumPy-heavy work items (their kernels drop the GIL) can ride the
+        same reusable pool.  With one worker this degrades to a plain
+        loop — same code path, no pool, no threads.
+        """
+        items = list(items)
+        if self.workers <= 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+        pool = self._pool_for(len(items))
+        futures = [pool.submit(fn, item) for item in items]
+        return [fut.result() for fut in futures]
+
     # -- the sweep -----------------------------------------------------
     def half_sweep(
         self,

@@ -1,0 +1,32 @@
+"""Query-time serving: tiled, memory-bounded batched top-N.
+
+The serving counterpart of the training-side working-set discipline
+(degree-binned assembly tiles, LAPACK batch solves): score user blocks
+against the item catalog in byte-budgeted item tiles, carry a running
+per-user top-N across tiles, and mask seen items vectorized from the
+CSR structure.  See :mod:`repro.serving.engine` and ``docs/serving.md``.
+"""
+
+from repro.serving.engine import (
+    DEFAULT_TILE_BYTES,
+    DEFAULT_USER_BLOCK,
+    PAD_ITEM,
+    SERVE_DTYPES,
+    TopNEngine,
+    TopNResult,
+    configure_serving,
+    serving_defaults,
+    topn_from_scores,
+)
+
+__all__ = [
+    "DEFAULT_TILE_BYTES",
+    "DEFAULT_USER_BLOCK",
+    "PAD_ITEM",
+    "SERVE_DTYPES",
+    "TopNEngine",
+    "TopNResult",
+    "topn_from_scores",
+    "configure_serving",
+    "serving_defaults",
+]

@@ -106,5 +106,106 @@ class TestBatchRecommend:
             recommend_top_n_batch(model, np.zeros((2, 2), dtype=int))
         with pytest.raises(ValueError):
             recommend_top_n_batch(model, np.array([0]), n_items=0)
-        with pytest.raises(ValueError):
-            recommend_top_n_batch(model, np.array([0]), n_items=10_000)
+
+    def test_n_larger_than_catalog_clamps(self, setup):
+        """Both entry points clamp n to the catalog instead of raising."""
+        model, _, _ = setup
+        n_catalog = model.Y.shape[0]
+        batch = recommend_top_n_batch(model, np.array([0]), n_items=10_000)
+        assert batch.shape == (1, n_catalog)
+        single = recommend_top_n(model, 0, n_items=10_000)
+        assert [i for i, _ in single] == batch[0].tolist()
+
+
+class TestShortCandidateContract:
+    """A user with fewer than N unseen items: batch pads, single truncates."""
+
+    @pytest.fixture(scope="class")
+    def nearly_saturated(self):
+        # User 0 has seen all but 2 of the 6 items; user 1 has seen none.
+        dense = np.zeros((2, 6), dtype=np.float32)
+        dense[0, [0, 1, 2, 3]] = 1.0
+        train = CSRMatrix.from_dense(dense)
+        from repro.core.als import ALSConfig, ALSModel
+
+        X = np.array([[1.0, 0.0], [0.0, 1.0]])
+        Y = np.arange(12, dtype=np.float64).reshape(6, 2)
+        model = ALSModel(X=X, Y=Y, config=ALSConfig(k=2), history=[])
+        return model, train
+
+    def test_batch_pads_with_sentinel(self, nearly_saturated):
+        model, train = nearly_saturated
+        batch = recommend_top_n_batch(model, np.array([0, 1]), n_items=4, exclude=train)
+        assert batch.shape == (2, 4)
+        # user 0: only items 4, 5 are unseen -> two real ids, two pads
+        assert set(batch[0, :2].tolist()) == {4, 5}
+        assert batch[0, 2:].tolist() == [-1, -1]
+        # user 1 saw nothing: full row, no padding
+        assert (batch[1] >= 0).all()
+
+    def test_single_truncates_consistently(self, nearly_saturated):
+        model, train = nearly_saturated
+        single = recommend_top_n(model, 0, n_items=4, exclude=train)
+        batch = recommend_top_n_batch(model, np.array([0]), n_items=4, exclude=train)
+        valid = [int(i) for i in batch[0] if i >= 0]
+        assert [i for i, _ in single] == valid
+        assert len(single) == 2
+
+
+class TestEvaluateRankingParity:
+    """The engine-based rewrite reproduces the pre-rewrite metrics."""
+
+    @staticmethod
+    def _reference(score_matrix_fn, train, test, n=10):
+        """The pre-rewrite per-user loop, kept verbatim as the oracle."""
+        held_out = {}
+        for u, i in zip(test.row, test.col):
+            held_out.setdefault(int(u), set()).add(int(i))
+
+        def dcg(rel):
+            if rel.size == 0:
+                return 0.0
+            discounts = 1.0 / np.log2(np.arange(2, rel.size + 2))
+            return float(rel @ discounts)
+
+        hits = total_held = 0
+        precisions, recalls, ndcgs = [], [], []
+        for user, items in held_out.items():
+            scores = np.asarray(score_matrix_fn(user), dtype=np.float64).copy()
+            seen, _ = train.row_slice(user)
+            scores[seen] = -np.inf
+            top_n = min(n, scores.size)
+            top = np.argpartition(scores, -top_n)[-top_n:]
+            top = top[np.argsort(scores[top])[::-1]]
+            rel = np.array([1.0 if int(i) in items else 0.0 for i in top])
+            got = int(rel.sum())
+            hits += got
+            total_held += len(items)
+            precisions.append(got / n)
+            recalls.append(got / len(items))
+            ideal = dcg(np.ones(min(len(items), n)))
+            ndcgs.append(dcg(rel) / ideal if ideal else 0.0)
+        return {
+            "users": len(held_out),
+            "hit_rate": hits / total_held,
+            "precision": float(np.mean(precisions)),
+            "recall": float(np.mean(recalls)),
+            "ndcg": float(np.mean(ndcgs)),
+        }
+
+    def test_model_path_matches_reference(self, setup):
+        model, train, test = setup
+        ref = self._reference(lambda u: model.X[u] @ model.Y.T, train, test, n=10)
+        got = evaluate_ranking(model, train, test, n=10)
+        assert got.users == ref["users"]
+        for name in ("hit_rate", "precision", "recall", "ndcg"):
+            assert getattr(got, name) == pytest.approx(ref[name], abs=1e-12)
+
+    def test_callable_path_matches_reference(self, setup):
+        model, train, test = setup
+        fn = lambda u: model.Y @ model.X[u]  # noqa: E731
+        ref = self._reference(fn, train, test, n=10)
+        got = evaluate_ranking(fn, train, test, n=10)
+        assert got.users == ref["users"]
+        for name in ("hit_rate", "precision", "recall", "ndcg"):
+            assert getattr(got, name) == pytest.approx(ref[name], abs=1e-12)

@@ -223,3 +223,42 @@ class TestConfigPlumbing:
             )
         counters = obs_metrics.snapshot()["counters"]
         assert counters["solver.lapack.calls"] >= 2.0
+
+
+class TestGenericMap:
+    """SweepExecutor.map — the fan-out primitive under engine sharding."""
+
+    def test_preserves_item_order(self):
+        with SweepExecutor(3) as executor:
+            out = executor.map(lambda x: x * x, range(17))
+        assert out == [x * x for x in range(17)]
+
+    def test_single_worker_is_a_plain_loop(self):
+        import threading
+
+        seen = []
+        with SweepExecutor(1) as executor:
+            executor.map(lambda x: seen.append(threading.current_thread()), [1, 2])
+        assert all(t is threading.main_thread() for t in seen)
+
+    def test_exceptions_propagate(self):
+        def boom(x):
+            raise RuntimeError(f"item {x}")
+
+        with SweepExecutor(2) as executor:
+            with pytest.raises(RuntimeError, match="item"):
+                executor.map(boom, [1, 2, 3])
+
+    def test_side_effect_writes_land(self, rng):
+        # The engine's run_block writes disjoint slices from worker
+        # threads; emulate that contract here.
+        out = np.zeros(24)
+        blocks = [(lo, lo + 4) for lo in range(0, 24, 4)]
+
+        def fill(bounds):
+            lo, hi = bounds
+            out[lo:hi] = np.arange(lo, hi)
+
+        with SweepExecutor(4) as executor:
+            executor.map(fill, blocks)
+        assert np.array_equal(out, np.arange(24.0))
