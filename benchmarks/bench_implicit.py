@@ -1,0 +1,214 @@
+#!/usr/bin/env python
+"""Before/after benchmark of the implicit-feedback half-sweep.
+
+Times the legacy scatter-assembled implicit update (the path that
+materialized an ``(nnz, k, k)`` outer-product tensor — ~32 GB at
+MovieLens-1M with k = 64) against the rebuilt sweep on the degree-binned,
+nnz-tile-budgeted weighted assembly, and writes a JSON report —
+``BENCH_5.json`` at the repo root records the committed numbers.
+
+Run directly (not under pytest)::
+
+    PYTHONPATH=src python benchmarks/bench_implicit.py            # full ml-1m, k=64
+    PYTHONPATH=src python benchmarks/bench_implicit.py --quick    # CI perf smoke
+    PYTHONPATH=src python benchmarks/bench_implicit.py --check    # exit 1 on regression
+
+``--check`` verifies three things: the binned sweep beats the scatter
+reference (>= 3x for the full configuration, per ISSUE 5's acceptance
+criteria), the two variants agree to 1e-10, and the binned sweep's peak
+assembly scratch stays under ``tile_bytes_bound(tile_nnz, k,
+weighted=True)`` — the bounded-memory guarantee that makes paper-scale
+implicit training possible at all.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+
+from repro.core.implicit import implicit_half_sweep
+from repro.datasets.catalog import MOVIELENS1M
+from repro.datasets.synthetic import generate_ratings
+from repro.linalg.normal_equations import DEFAULT_TILE_NNZ, tile_bytes_bound
+from repro.obs import metrics as obs_metrics
+from repro.obs.spans import capture
+from repro.sparse.csr import CSRMatrix
+
+ALPHA = 40.0
+LAM = 0.1
+
+
+def _time_variant(R, Y, assembly, tile_nnz, repeats):
+    """Min-of-N wall time, the S1/S2/S3 span split, gauges and the result."""
+    best = float("inf")
+    split = {}
+    result = None
+    for _ in range(repeats):
+        obs_metrics.reset()
+        with capture() as tracer:
+            t0 = perf_counter()
+            X = implicit_half_sweep(
+                R, Y, LAM, ALPHA,
+                assembly=assembly, tile_nnz=tile_nnz, solver="lapack",
+            )
+            elapsed = perf_counter() - t0
+        result = X
+        if elapsed < best:
+            best = elapsed
+            stage_seconds = {"S1": 0.0, "S2": 0.0, "S3": 0.0}
+            for rec in tracer.records:
+                stage = rec.attrs.get("stage")
+                if stage in stage_seconds:
+                    stage_seconds[stage] += rec.duration
+            split = {
+                "total_seconds": elapsed,
+                "s1_seconds": stage_seconds["S1"],
+                "s2_seconds": stage_seconds["S2"],
+                "s3_seconds": stage_seconds["S3"],
+                "gauges": obs_metrics.snapshot()["gauges"],
+            }
+    return split, result
+
+
+def run_benchmark(
+    scale: float, k: int, repeats: int, scatter_repeats: int,
+    tile_nnz: int, seed: int,
+) -> dict:
+    spec = MOVIELENS1M.scaled(scale)
+    coo = generate_ratings(spec, seed=seed)
+    R = CSRMatrix.from_coo(coo)
+    rng = np.random.default_rng(seed)
+    Y = rng.standard_normal((R.ncols, k))
+    # Warm the derived-structure caches (a training run reuses one matrix
+    # across every sweep) so steady-state cost is what gets compared.
+    R.expanded_rows()
+    R.degree_bins()
+
+    print(
+        f"implicit half-sweep benchmark: {spec.abbr} scale={scale:g} "
+        f"(m={R.nrows}, n={R.ncols}, nnz={R.nnz}), k={k}, alpha={ALPHA:g}, "
+        f"tile_nnz={tile_nnz}, repeats={repeats}",
+        flush=True,
+    )
+    binned, X_binned = _time_variant(R, Y, "binned", tile_nnz, repeats)
+    print(f"  binned  : {binned['total_seconds']:8.3f} s "
+          f"(S1 {binned['s1_seconds']:.3f}, S2 {binned['s2_seconds']:.3f}, "
+          f"S3 {binned['s3_seconds']:.3f})", flush=True)
+    scatter, X_scatter = _time_variant(R, Y, "scatter", tile_nnz, scatter_repeats)
+    print(f"  scatter : {scatter['total_seconds']:8.3f} s "
+          f"(S1 {scatter['s1_seconds']:.3f}, S2 {scatter['s2_seconds']:.3f}, "
+          f"S3 {scatter['s3_seconds']:.3f})", flush=True)
+
+    max_abs_diff = float(np.abs(X_binned - X_scatter).max())
+    speedup = scatter["total_seconds"] / binned["total_seconds"]
+    peak = binned["gauges"].get("assembly.implicit.peak_tile_bytes", 0.0)
+    bound = tile_bytes_bound(tile_nnz, k, weighted=True)
+    print(f"  speedup : {speedup:8.2f}x", flush=True)
+    print(f"  max |binned - scatter| = {max_abs_diff:.3e}", flush=True)
+    print(f"  peak tile bytes: {peak:,.0f} (bound {bound:,})", flush=True)
+    return {
+        "benchmark": "implicit_half_sweep",
+        "dataset": spec.abbr,
+        "scale": scale,
+        "m": R.nrows,
+        "n": R.ncols,
+        "nnz": R.nnz,
+        "k": k,
+        "alpha": ALPHA,
+        "lam": LAM,
+        "tile_nnz": tile_nnz,
+        "repeats": repeats,
+        "scatter_repeats": scatter_repeats,
+        "seed": seed,
+        "scatter": scatter,
+        "binned": binned,
+        "speedup": speedup,
+        "max_abs_diff": max_abs_diff,
+        "peak_tile_bytes": peak,
+        "peak_tile_bytes_bound": bound,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small configuration for CI (1/16-scale ml-1m, k=32, 1 repeat)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero on regression: speedup below the bar (3x full / "
+        "1x quick), variant mismatch beyond 1e-10, or peak assembly scratch "
+        "above the weighted tile bound",
+    )
+    parser.add_argument("--k", type=int, default=None, help="latent factor size")
+    parser.add_argument("--scale", type=float, default=None, help="ml-1m scale")
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--tile-nnz", type=int, default=DEFAULT_TILE_NNZ)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the JSON report here (default: BENCH_5.json for full "
+        "runs, no file for --quick)",
+    )
+    ns = parser.parse_args(argv)
+
+    if ns.quick:
+        scale = ns.scale if ns.scale is not None else 1 / 16
+        k = ns.k if ns.k is not None else 32
+        repeats = ns.repeats if ns.repeats is not None else 1
+        scatter_repeats = repeats
+    else:
+        scale = ns.scale if ns.scale is not None else 1.0
+        k = ns.k if ns.k is not None else 64
+        repeats = ns.repeats if ns.repeats is not None else 2
+        # The scatter reference takes minutes per pass at full scale (it
+        # exists to be beaten); one pass is plenty at a >100x margin.
+        scatter_repeats = ns.repeats if ns.repeats is not None else 1
+
+    result = run_benchmark(scale, k, repeats, scatter_repeats, ns.tile_nnz, ns.seed)
+
+    out = ns.out
+    if out is None and not ns.quick:
+        out = Path(__file__).resolve().parent.parent / "BENCH_5.json"
+    if out:
+        Path(out).write_text(json.dumps(result, indent=2) + "\n")
+        print(f"report written to {out}", flush=True)
+
+    if ns.check:
+        required = 1.0 if ns.quick else 3.0
+        failures = []
+        if result["speedup"] < required:
+            failures.append(
+                f"binned speedup {result['speedup']:.2f}x is below the "
+                f"required {required:.1f}x"
+            )
+        if result["max_abs_diff"] > 1e-10:
+            failures.append(
+                f"binned and scatter sweeps disagree: max |diff| = "
+                f"{result['max_abs_diff']:.3e} > 1e-10"
+            )
+        if not 0 < result["peak_tile_bytes"] <= result["peak_tile_bytes_bound"]:
+            failures.append(
+                f"peak tile bytes {result['peak_tile_bytes']:,.0f} outside "
+                f"(0, {result['peak_tile_bytes_bound']:,}]"
+            )
+        if failures:
+            for f in failures:
+                print(f"FAIL: {f}", file=sys.stderr)
+            return 1
+        print(
+            f"OK: speedup {result['speedup']:.2f}x >= {required:.1f}x, "
+            f"max diff {result['max_abs_diff']:.1e} <= 1e-10, peak tile "
+            f"{result['peak_tile_bytes']:,.0f} B within bound"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

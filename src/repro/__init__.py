@@ -27,6 +27,7 @@ from repro.core import (
     train_als,
     train_als_wr,
     ImplicitConfig,
+    ImplicitModel,
     train_implicit_als,
     regularized_loss,
     rmse,
@@ -83,6 +84,7 @@ __all__ = [
     "train_als",
     "train_als_wr",
     "ImplicitConfig",
+    "ImplicitModel",
     "train_implicit_als",
     "regularized_loss",
     "rmse",

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.core.als import ALSConfig, ALSModel, IterationStats, ratings_views, train_als
 from repro.core.alswr import train_als_wr
+from repro.core.implicit import ImplicitConfig, ImplicitModel, train_implicit_als
 from repro.core.loss import mae, rmse
 from repro.core.predict import predict_entries, recommend_top_n
 from repro.obs.spans import span
@@ -24,7 +25,7 @@ from repro.sparse.csr import CSRMatrix
 
 __all__ = ["Recommender"]
 
-_ALGORITHMS = {"als": train_als, "als-wr": train_als_wr}
+_ALGORITHMS = {"als": train_als, "als-wr": train_als_wr, "implicit": train_implicit_als}
 
 
 class Recommender:
@@ -44,13 +45,19 @@ class Recommender:
         iterations: int = 5,
         algorithm: str = "als",
         seed: int = 0,
+        alpha: float = 40.0,
     ) -> None:
         if algorithm not in _ALGORITHMS:
             known = ", ".join(sorted(_ALGORITHMS))
             raise ValueError(f"unknown algorithm {algorithm!r}; known: {known}")
-        self.config = ALSConfig(k=k, lam=lam, iterations=iterations, seed=seed)
+        if algorithm == "implicit":
+            self.config: ALSConfig | ImplicitConfig = ImplicitConfig(
+                k=k, lam=lam, iterations=iterations, seed=seed, alpha=alpha
+            )
+        else:
+            self.config = ALSConfig(k=k, lam=lam, iterations=iterations, seed=seed)
         self.algorithm = algorithm
-        self._model: ALSModel | None = None
+        self._model: ALSModel | ImplicitModel | None = None
         self._train_csr: CSRMatrix | None = None
         self._engine: TopNEngine | None = None
 
@@ -75,7 +82,7 @@ class Recommender:
         return self._model is not None
 
     @property
-    def model(self) -> ALSModel:
+    def model(self) -> ALSModel | ImplicitModel:
         if self._model is None:
             raise RuntimeError("call fit() first")
         return self._model
@@ -156,13 +163,25 @@ class Recommender:
     # persistence
     # ------------------------------------------------------------------
     def save(self, path: str | os.PathLike) -> None:
-        """Persist factors, hyper-parameters and the per-iteration
-        training history to one ``.npz`` file."""
+        """Persist factors, hyper-parameters and the training history to
+        one ``.npz`` file.
+
+        Explicit (:class:`ALSModel`) and implicit
+        (:class:`~repro.core.implicit.ImplicitModel`) models share the
+        same envelope: ``X``/``Y`` factor arrays plus a JSON ``meta``
+        buffer whose ``algorithm`` field selects the reconstruction path.
+        Implicit history is the per-iteration weighted loss (floats);
+        explicit history is the per-iteration :class:`IterationStats`.
+        """
         model = self.model
+        if isinstance(model, ImplicitModel):
+            history: list = list(model.history)  # weighted loss floats
+        else:
+            history = [asdict(stats) for stats in model.history]
         meta = {
             "algorithm": self.algorithm,
             "config": asdict(self.config),
-            "history": [asdict(stats) for stats in model.history],
+            "history": history,
         }
         np.savez_compressed(
             path,
@@ -174,21 +193,59 @@ class Recommender:
     @classmethod
     def load(cls, path: str | os.PathLike) -> "Recommender":
         """Restore a saved recommender (query-ready; training data is not
-        persisted, so ``recommend`` defaults to no exclusion)."""
+        persisted, so ``recommend`` defaults to no exclusion).
+
+        Raises :class:`ValueError` — not a bare ``KeyError`` — when the
+        file is missing envelope entries, names an unknown algorithm, or
+        holds factors whose shapes disagree with the stored config.
+        """
         with np.load(path) as data:
+            missing = [key for key in ("X", "Y", "meta") if key not in data.files]
+            if missing:
+                raise ValueError(
+                    f"{path}: not a Recommender checkpoint — missing "
+                    f"{', '.join(missing)} (has: {', '.join(data.files) or 'nothing'})"
+                )
             meta = json.loads(bytes(data["meta"].tobytes()).decode())
             X = data["X"]
             Y = data["Y"]
-        cfg = meta["config"]
-        rec = cls(
-            k=cfg["k"],
-            lam=cfg["lam"],
-            iterations=cfg["iterations"],
-            algorithm=meta["algorithm"],
-            seed=cfg["seed"],
-        )
-        # Files written before history persistence lack the key; they
-        # load with an empty history, as before.
-        history = [IterationStats(**stats) for stats in meta.get("history", [])]
-        rec._model = ALSModel(X=X, Y=Y, config=ALSConfig(**cfg), history=history)
+        algorithm = meta.get("algorithm")
+        if algorithm not in _ALGORITHMS:
+            known = ", ".join(sorted(_ALGORITHMS))
+            raise ValueError(
+                f"{path}: unknown algorithm {algorithm!r}; known: {known}"
+            )
+        cfg = meta.get("config")
+        if not isinstance(cfg, dict) or "k" not in cfg:
+            raise ValueError(f"{path}: meta block lacks a config with 'k'")
+        k = cfg["k"]
+        if X.ndim != 2 or Y.ndim != 2 or X.shape[1] != k or Y.shape[1] != k:
+            raise ValueError(
+                f"{path}: factor shapes {X.shape}/{Y.shape} do not match "
+                f"the stored config (k={k})"
+            )
+        history = meta.get("history", [])
+        if algorithm == "implicit":
+            config = ImplicitConfig(**cfg)
+            rec = cls(
+                k=config.k, lam=config.lam, iterations=config.iterations,
+                algorithm=algorithm, seed=config.seed, alpha=config.alpha,
+            )
+            rec.config = config  # keep persisted knobs (assembly, workers, …)
+            rec._model = ImplicitModel(
+                X=X, Y=Y, config=config, history=[float(h) for h in history]
+            )
+        else:
+            config = ALSConfig(**cfg)
+            rec = cls(
+                k=config.k, lam=config.lam, iterations=config.iterations,
+                algorithm=algorithm, seed=config.seed,
+            )
+            rec.config = config
+            # Files written before history persistence lack the key; they
+            # load with an empty history, as before.
+            rec._model = ALSModel(
+                X=X, Y=Y, config=config,
+                history=[IterationStats(**stats) for stats in history],
+            )
         return rec

@@ -36,7 +36,7 @@ DEFAULT_SAMPLE_NNZ = 40_000
 
 _SCATTER_PROBE_BYTES = 64 << 20
 
-_CACHE: dict[tuple[tuple[int, int], int, int], "AssemblyDecision"] = {}
+_CACHE: dict[tuple[tuple[int, int], int, int, bool], "AssemblyDecision"] = {}
 
 
 @dataclass(frozen=True)
@@ -48,6 +48,7 @@ class AssemblyDecision:
     scatter_seconds: float
     sample_rows: int
     sample_nnz: int
+    weighted: bool = False  # measured the confidence-weighted (implicit) kernel
 
     @property
     def speedup(self) -> float:
@@ -78,12 +79,18 @@ def measure_assembly(
     sample_nnz: int | None = None,
     repeats: int = 1,
     seed: int = 0,
+    weighted: bool = False,
 ) -> AssemblyDecision:
     """Time both assembly variants on a sample of ``R`` and pick a winner.
 
     The sample's derived structures (degree bins, expanded rows) are
     built before timing: a real training run reuses one matrix across
     every iteration, so the steady-state per-sweep cost is what matters.
+
+    ``weighted=True`` times the confidence-weighted (implicit) kernels
+    instead — the variants do the same work per non-zero either way, but
+    the verdict is measured, not assumed, exactly like the paper's
+    per-context variant selection.
     """
     if k <= 0:
         raise ValueError("k must be positive")
@@ -98,12 +105,18 @@ def measure_assembly(
     Y = rng.standard_normal((S.ncols, k))
     S.degree_bins(ne.DEFAULT_BIN_GROWTH)
     S.expanded_rows()
+    kw = {}
+    if weighted:
+        # α = 1 probe weights: the kernels' cost does not depend on the
+        # weight values, only on their presence.
+        w = S.value.astype(np.float64)
+        kw = dict(nnz_weight=w, rhs_nnz_value=w + 1.0)
 
     def best_of(fn) -> float:
         best = float("inf")
         for _ in range(repeats):
             t0 = perf_counter()
-            fn(S, Y, lam)
+            fn(S, Y, lam, **kw)
             best = min(best, perf_counter() - t0)
         return best
 
@@ -116,15 +129,22 @@ def measure_assembly(
         scatter_seconds=scatter_seconds,
         sample_rows=S.nrows,
         sample_nnz=S.nnz,
+        weighted=weighted,
     )
 
 
-def select_assembly(R: CSRMatrix, k: int, lam: float = 0.1) -> str:
-    """The measured-best assembly mode for ``(R, k)``, cached per context."""
-    key = (R.shape, R.nnz, int(k))
+def select_assembly(
+    R: CSRMatrix, k: int, lam: float = 0.1, weighted: bool = False
+) -> str:
+    """The measured-best assembly mode for ``(R, k)``, cached per context.
+
+    Weighted (implicit) and unweighted kernels cache separate verdicts —
+    they are different code variants with different constants.
+    """
+    key = (R.shape, R.nnz, int(k), bool(weighted))
     decision = _CACHE.get(key)
     if decision is None:
-        decision = measure_assembly(R, k, lam)
+        decision = measure_assembly(R, k, lam, weighted=weighted)
         _CACHE[key] = decision
         if is_enabled():
             obs_metrics.inc("assembly.auto.measurements")

@@ -13,6 +13,9 @@ Usage::
     repro-als recommend ML1M --n 10 --tile-bytes 8388608
                                    # train on a synthetic ML1M sample and
                                    # serve top-N through the tiled engine
+    repro-als recommend ML1M --algorithm implicit --alpha 40
+                                   # implicit-feedback (Hu-Koren) training
+                                   # on the same binned/tiled substrate
     repro-als profile ML10M --device gpu --trace t.json --metrics m.json
                                    # instrumented real training run:
                                    # measured S1/S2/S3 hotspot table, top
@@ -169,6 +172,7 @@ def _run_tune_serving(ns: argparse.Namespace) -> int:
 def _run_recommend(ns: argparse.Namespace) -> int:
     if len(ns.args) != 1:
         print("usage: repro-als recommend <dataset> [--n N] [--users U] [--k K]"
+              " [--algorithm als|als-wr|implicit] [--alpha A]"
               " [--tile-bytes B] [--serve-dtype D] [--scale S] [--iterations I]",
               file=sys.stderr)
         return 2
@@ -185,7 +189,10 @@ def _run_recommend(ns: argparse.Namespace) -> int:
     scale = ns.scale if ns.scale is not None else min(1.0, 500_000 / spec.nnz)
     spec = spec.scaled(scale)
     ratings = generate_ratings(spec, seed=ns.seed)
-    rec = Recommender(k=ns.k, iterations=ns.iterations, seed=ns.seed).fit(ratings)
+    rec = Recommender(
+        k=ns.k, iterations=ns.iterations, seed=ns.seed,
+        algorithm=ns.algorithm, alpha=ns.alpha,
+    ).fit(ratings)
     engine = rec.engine()
     users = list(range(min(ns.users, spec.m)))
     t0 = perf_counter()
@@ -224,6 +231,7 @@ def _run_profile(ns: argparse.Namespace) -> int:
             algorithm=ns.algorithm,
             solver=ns.solver,
             workers=ns.workers,
+            alpha=ns.alpha,
         )
     except (KeyError, ValueError) as exc:
         print(str(exc), file=sys.stderr)
@@ -274,8 +282,13 @@ def main(argv: list[str] | None = None) -> int:
         "--iterations", type=int, default=5, help="profile: ALS iterations (default 5)"
     )
     parser.add_argument(
-        "--algorithm", default="als", choices=("als", "als-wr"),
-        help="profile: trainer (default als)",
+        "--algorithm", default="als", choices=("als", "als-wr", "implicit"),
+        help="profile/recommend: trainer (default als; 'implicit' = "
+        "confidence-weighted implicit feedback)",
+    )
+    parser.add_argument(
+        "--alpha", type=float, default=40.0,
+        help="implicit: confidence slope c = 1 + alpha*r (default 40)",
     )
     parser.add_argument("--seed", type=int, default=7, help="profile: RNG seed")
     parser.add_argument(

@@ -18,7 +18,12 @@ from repro.core.predict import (
 )
 from repro.core.ranking import RankingMetrics, evaluate_ranking
 from repro.core.alswr import train_als_wr
-from repro.core.implicit import ImplicitConfig, train_implicit_als
+from repro.core.implicit import (
+    ImplicitConfig,
+    ImplicitModel,
+    implicit_half_sweep,
+    train_implicit_als,
+)
 from repro.core.tuning import GridPoint, GridSearchResult, grid_search
 
 __all__ = [
@@ -38,6 +43,8 @@ __all__ = [
     "evaluate_ranking",
     "train_als_wr",
     "ImplicitConfig",
+    "ImplicitModel",
+    "implicit_half_sweep",
     "train_implicit_als",
     "GridPoint",
     "GridSearchResult",

@@ -1,4 +1,4 @@
-"""Implicit-feedback ALS (Hu, Koren & Volinsky).
+"""Implicit-feedback ALS (Hu, Koren & Volinsky) on the optimized substrate.
 
 The paper's introduction credits ALS with being able to "incorporate
 implicit ratings" [1]; this module implements that variant.  Observations
@@ -10,6 +10,28 @@ become binary preferences ``p_ui = 1`` with confidence
 using the classic trick: the dense ``YᵀY`` is computed once per
 half-sweep and only the sparse correction ``Yᵀ(C_u − I)Y`` is assembled
 per row.
+
+Historically that correction was built by materializing every per-rating
+outer product as an ``(nnz, k, k)`` tensor and scatter-adding it — ~32 GB
+at MovieLens-1M with k = 64, an out-of-memory crash on exactly the
+datasets the paper benchmarks.  The sweep now runs on the shared
+machinery the explicit path uses:
+
+* the correction ``Σ α·r · y yᵀ`` and the RHS ``Σ (1 + α·r) · y`` ride
+  the degree-binned, nnz-tile-budgeted assembly of
+  :mod:`repro.linalg.normal_equations` (per-nnz weight vector; the
+  ``(nnz, k, k)`` intermediate is gone and peak scratch is bounded by
+  the ``tile_nnz`` budget / ``REPRO_TILE_NNZ``);
+* S3 goes through the :mod:`repro.linalg.solvers` registry (LAPACK-class
+  batched Cholesky available), with the shared ``YᵀY`` broadcast kept;
+* half-sweeps shard over :class:`repro.parallel.SweepExecutor` with the
+  same bitwise-equal-to-serial guarantee as explicit ALS (weights derive
+  from each shard's own values);
+* instrumented runs emit ``als.implicit.s1``/``s2``/``s3`` spans plus
+  the ``assembly.implicit.peak_tile_bytes`` gauge.
+
+The retained scatter reference is one knob away (``assembly="scatter"``)
+for parity tests and ``benchmarks/bench_implicit.py``.
 """
 
 from __future__ import annotations
@@ -18,8 +40,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.als import ratings_views
 from repro.core.init import init_factors
-from repro.linalg.cholesky import batched_cholesky_solve
+from repro.linalg.normal_equations import ASSEMBLY_MODES
+from repro.linalg.solvers import SOLVER_MODES
+from repro.obs import metrics as obs_metrics
+from repro.obs.spans import span
+from repro.parallel.executor import SweepExecutor, _parse_workers
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.csr import CSRMatrix
@@ -29,7 +56,12 @@ __all__ = ["ImplicitConfig", "ImplicitModel", "implicit_half_sweep", "train_impl
 
 @dataclass(frozen=True)
 class ImplicitConfig:
-    """Hyper-parameters of implicit-feedback ALS."""
+    """Hyper-parameters of implicit-feedback ALS.
+
+    The assembly/solver/parallelism knobs mirror :class:`ALSConfig` —
+    ``None`` defers to the configured / environment defaults of the
+    respective subsystem, exactly as the explicit trainer does.
+    """
 
     k: int = 10
     lam: float = 0.1
@@ -37,12 +69,42 @@ class ImplicitConfig:
     iterations: int = 5
     seed: int = 0
     init_scale: float = 0.1
+    # S1/S2 assembly code variant; None defers to configure_assembly /
+    # REPRO_ASSEMBLY, then the built-in binned default.
+    assembly: str | None = None  # "binned" | "scatter" | "auto"
+    tile_nnz: int | None = None  # nnz budget per assembly tile
+    assembly_dtype: str | None = None  # "float32" | "float64" compute mode
+    # S3 solver code variant; None defers to configure_solver / REPRO_SOLVER.
+    solver: str | None = None  # "cholesky" | "gaussian" | "lapack" | "auto"
+    # Half-sweep parallelism: "auto" = one worker per core, N = exactly N
+    # threads; None defers to configure_workers / REPRO_WORKERS (serial).
+    workers: int | str | None = None
 
     def __post_init__(self) -> None:
         if self.k <= 0 or self.iterations <= 0:
             raise ValueError("k and iterations must be positive")
         if self.lam <= 0 or self.alpha <= 0:
             raise ValueError("lam and alpha must be positive")
+        if self.assembly is not None and self.assembly not in ASSEMBLY_MODES:
+            raise ValueError(
+                f"assembly must be one of {ASSEMBLY_MODES}, got {self.assembly!r}"
+            )
+        if self.tile_nnz is not None and self.tile_nnz < 1:
+            raise ValueError("tile_nnz must be >= 1")
+        if self.assembly_dtype is not None and self.assembly_dtype not in (
+            "float32",
+            "float64",
+        ):
+            raise ValueError(
+                f"assembly_dtype must be 'float32' or 'float64', "
+                f"got {self.assembly_dtype!r}"
+            )
+        if self.solver is not None and self.solver not in SOLVER_MODES:
+            raise ValueError(
+                f"solver must be one of {SOLVER_MODES}, got {self.solver!r}"
+            )
+        if self.workers is not None:
+            _parse_workers(self.workers)  # raises on bad specs
 
 
 @dataclass
@@ -52,33 +114,57 @@ class ImplicitModel:
     config: ImplicitConfig
     history: list[float] = field(default_factory=list)  # weighted loss per iter
 
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.X.shape[0], self.Y.shape[0])
+
+    @property
+    def k(self) -> int:
+        return self.X.shape[1]
+
     def score(self, user: int) -> np.ndarray:
         """Preference scores of one user over all items."""
         return self.Y @ self.X[user]
 
 
 def implicit_half_sweep(
-    R: CSRMatrix, Y: np.ndarray, lam: float, alpha: float
+    R: CSRMatrix,
+    Y: np.ndarray,
+    lam: float,
+    alpha: float,
+    *,
+    solver: str | None = None,
+    assembly: str | None = None,
+    tile_nnz: int | None = None,
+    compute_dtype: object | None = None,
+    executor: SweepExecutor | None = None,
+    workers: int | str | None = None,
 ) -> np.ndarray:
-    """Update all user factors for implicit feedback.
+    """Update all row factors of ``R`` for implicit feedback.
 
     Empty rows resolve to zero (their preference vector is all-zero and
-    the system is ``(YᵀY + λI) x = 0``).
-    """
-    m = R.nrows
-    k = Y.shape[1]
-    YtY = Y.T @ Y  # shared dense part, computed once (the Hu-Koren trick)
-    A = np.broadcast_to(YtY + lam * np.eye(k), (m, k, k)).copy()
-    b = np.zeros((m, k), dtype=np.float64)
+    the system is ``(YᵀY + λI) x = 0``).  The shared dense ``YᵀY`` is
+    computed once here and broadcast onto every occupied row's system
+    (the Hu-Koren trick); the sparse correction assembles through the
+    binned/tiled weighted kernel, so peak scratch is bounded by the
+    ``tile_nnz`` budget instead of growing with ``nnz·k²``.
 
-    rows = R.expanded_rows()
-    gathered = Y[R.col_idx]  # (nnz, k)
-    conf_minus_1 = (alpha * R.value).astype(np.float64)  # c_ui − 1
-    # A_u += Σ (c−1) y yᵀ ;  b_u = Σ c · y   (p_ui = 1 on observed entries)
-    outer = gathered[:, :, None] * gathered[:, None, :] * conf_minus_1[:, None, None]
-    np.add.at(A, rows, outer)
-    np.add.at(b, rows, gathered * (conf_minus_1 + 1.0)[:, None])
-    return batched_cholesky_solve(A, b)
+    Pass an ``executor`` to reuse a training run's thread pool; with
+    ``workers`` (or neither) a transient executor handles this sweep.
+    The parallel result is bitwise-identical to the serial one.
+    """
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    Y = np.ascontiguousarray(Y, dtype=np.float64)
+    YtY = Y.T @ Y  # shared dense part, computed once (the Hu-Koren trick)
+    kw = dict(
+        implicit_alpha=float(alpha), base_gram=YtY, solver=solver,
+        assembly=assembly, tile_nnz=tile_nnz, compute_dtype=compute_dtype,
+    )
+    if executor is not None:
+        return executor.half_sweep(R, Y, lam, **kw)
+    with SweepExecutor(workers) as ex:
+        return ex.half_sweep(R, Y, lam, **kw)
 
 
 def _weighted_loss(
@@ -99,21 +185,54 @@ def _weighted_loss(
 
 
 def train_implicit_als(
-    ratings: COOMatrix, config: ImplicitConfig | None = None
+    ratings: COOMatrix | CSRMatrix, config: ImplicitConfig | None = None
 ) -> ImplicitModel:
-    """Train implicit-feedback factors on interaction counts/strengths."""
+    """Train implicit-feedback factors on interaction counts/strengths.
+
+    Accepts COO (deduplicated and converted once) or a prebuilt CSR
+    matrix, like :func:`train_als`.  Each iteration runs the two
+    half-sweeps through one shared :class:`SweepExecutor`, so the
+    ``workers`` knob shards both sides over a reusable thread pool.
+    """
     config = config or ImplicitConfig()
-    coo = ratings.deduplicate()
+    coo, R_rows = ratings_views(ratings)
     if coo.nnz and coo.value.min() < 0:
         raise ValueError("implicit feedback must be non-negative")
-    R_rows = CSRMatrix.from_coo(coo)
-    R_cols = CSCMatrix.from_csr(R_rows).transpose_as_csr()
-    m, n = R_rows.shape
-    X, Y = init_factors(m, n, config.k, seed=config.seed, scale=config.init_scale)
-    model = ImplicitModel(X=X, Y=Y, config=config)
-    for _ in range(config.iterations):
-        X = implicit_half_sweep(R_rows, Y, config.lam, config.alpha)
-        Y = implicit_half_sweep(R_cols, X, config.lam, config.alpha)
-        model.history.append(_weighted_loss(coo, X, Y, config.lam, config.alpha))
-    model.X, model.Y = X, Y
+    with span(
+        "als.train",
+        algorithm="implicit",
+        k=config.k,
+        iterations=config.iterations,
+        nnz=coo.nnz,
+    ):
+        with span("als.build_views"):
+            R_cols = CSCMatrix.from_csr(R_rows).transpose_as_csr()
+            m, n = R_rows.shape
+            X, Y = init_factors(
+                m, n, config.k, seed=config.seed, scale=config.init_scale
+            )
+        model = ImplicitModel(X=X, Y=Y, config=config)
+        sweep_kw = dict(
+            solver=config.solver, assembly=config.assembly,
+            tile_nnz=config.tile_nnz, compute_dtype=config.assembly_dtype,
+        )
+        with SweepExecutor(config.workers) as executor:
+            for it in range(1, config.iterations + 1):
+                with span("als.iteration", iteration=it):
+                    obs_metrics.inc("als.iterations")
+                    with span("als.half_sweep", side="X", iteration=it):
+                        X = implicit_half_sweep(
+                            R_rows, Y, config.lam, config.alpha,
+                            executor=executor, **sweep_kw,
+                        )
+                    with span("als.half_sweep", side="Y", iteration=it):
+                        Y = implicit_half_sweep(
+                            R_cols, X, config.lam, config.alpha,
+                            executor=executor, **sweep_kw,
+                        )
+                    with span("als.loss", iteration=it):
+                        model.history.append(
+                            _weighted_loss(coo, X, Y, config.lam, config.alpha)
+                        )
+        model.X, model.Y = X, Y
     return model

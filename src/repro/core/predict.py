@@ -30,6 +30,29 @@ from repro.sparse.csr import CSRMatrix
 __all__ = ["predict_rating", "predict_entries", "recommend_top_n", "recommend_top_n_batch"]
 
 
+def _validate_indices(idx: np.ndarray, size: int, kind: str) -> None:
+    """Reject out-of-range indices instead of letting numpy wrap them.
+
+    Negative indices would silently select from the *end* of the factor
+    matrix — in particular the ``-1`` rows :data:`repro.serving.PAD_ITEM`
+    padding produces would score the last item instead of erroring.
+    """
+    if idx.size == 0:
+        return
+    if not np.issubdtype(idx.dtype, np.integer):
+        raise IndexError(f"{kind} indices must be integers, got dtype {idx.dtype}")
+    lo, hi = int(idx.min()), int(idx.max())
+    if lo < 0 or hi >= size:
+        bad = lo if lo < 0 else hi
+        hint = (
+            " (-1 is the PAD_ITEM padding recommend_top_n_batch uses for "
+            "short rows; filter padded entries before predicting)"
+            if bad == -1
+            else ""
+        )
+        raise IndexError(f"{kind} index {bad} out of range for {size} {kind}s{hint}")
+
+
 def predict_rating(model: ALSModel, user: int, item: int) -> float:
     """``r_ui = x_u · y_i`` (Eq. 1)."""
     m, n = model.shape
@@ -43,11 +66,19 @@ def predict_rating(model: ALSModel, user: int, item: int) -> float:
 def predict_entries(
     model: ALSModel, users: np.ndarray, items: np.ndarray
 ) -> np.ndarray:
-    """Vectorized predictions for parallel (user, item) arrays."""
+    """Vectorized predictions for parallel (user, item) arrays.
+
+    Works on any model exposing ``(X, Y)`` factors (explicit
+    :class:`ALSModel` or :class:`~repro.core.implicit.ImplicitModel`).
+    Out-of-range indices — including the negative ones numpy would
+    silently wrap — raise :class:`IndexError`.
+    """
     users = np.asarray(users)
     items = np.asarray(items)
     if users.shape != items.shape:
         raise ValueError("users and items must have the same shape")
+    _validate_indices(users, model.X.shape[0], "user")
+    _validate_indices(items, model.Y.shape[0], "item")
     return np.einsum("ij,ij->i", model.X[users], model.Y[items])
 
 

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.als import ALSModel
+from repro.core.implicit import ImplicitModel
 from repro.serving.engine import TopNEngine, topn_from_scores
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
@@ -82,8 +83,9 @@ def evaluate_ranking(
 ) -> RankingMetrics:
     """Evaluate top-N quality of a scoring model.
 
-    ``scorer`` is either a trained :class:`ALSModel` (scored through the
-    tiled engine — the fast path) or a legacy callable
+    ``scorer`` is either a trained factor model — :class:`ALSModel` or
+    :class:`~repro.core.implicit.ImplicitModel`, scored through the
+    tiled engine (the fast path) — or a legacy callable
     ``score_matrix_fn(user) -> np.ndarray`` returning the user's scores
     over all items (e.g. ``lambda u: model.Y @ model.X[u]``).  Training
     items are masked out of each ranking; every user with held-out items
@@ -97,7 +99,7 @@ def evaluate_ranking(
 
     n_catalog = train.shape[1]
     top_n = min(n, n_catalog)
-    if isinstance(scorer, ALSModel):
+    if isinstance(scorer, (ALSModel, ImplicitModel)):
         if engine is None:
             engine = TopNEngine.from_model(scorer)
         result = engine.query(users, n=top_n, exclude=train)

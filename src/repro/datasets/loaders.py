@@ -47,8 +47,12 @@ def _detect_delimiter(sample_line: str) -> str:
 def load_ratings(path: str | os.PathLike, delimiter: str | None = None) -> RatingFile:
     """Parse a ``<user, item, rating>`` file into a compacted COO matrix.
 
-    Lines that are empty or start with ``#`` are skipped.  Extra fields
-    (e.g. MovieLens timestamps) are ignored.
+    Lines that are empty or start with ``#`` are skipped — including a
+    comment or blank *first* line, so delimiter detection always runs on
+    the first data line.  CRLF line endings are stripped with the rest of
+    the surrounding whitespace, and the space delimiter splits on *runs*
+    of whitespace (aligned columns don't produce empty fields).  Extra
+    fields (e.g. MovieLens timestamps) are ignored.
     """
     users: list[int] = []
     items: list[int] = []
@@ -60,7 +64,9 @@ def load_ratings(path: str | os.PathLike, delimiter: str | None = None) -> Ratin
                 continue
             if delimiter is None:
                 delimiter = _detect_delimiter(line)
-            parts = line.split(delimiter)
+            # None-split collapses runs of blanks (and mixed tabs/spaces)
+            # instead of yielding empty fields between repeated spaces.
+            parts = line.split(None) if delimiter == " " else line.split(delimiter)
             if len(parts) < 3:
                 raise ValueError(
                     f"{path}:{lineno}: expected ≥3 fields separated by "
@@ -89,8 +95,35 @@ def save_ratings(
     path: str | os.PathLike,
     ratings: COOMatrix,
     delimiter: str = "\t",
+    user_ids: np.ndarray | None = None,
+    item_ids: np.ndarray | None = None,
 ) -> None:
-    """Write a COO matrix in the paper's ``<user, item, rating>`` format."""
+    """Write a COO matrix in the paper's ``<user, item, rating>`` format.
+
+    Without ID maps the *compact* 0-based indices are written — fine for
+    matrices built in memory, but a matrix that came from
+    :func:`load_ratings` had its original IDs compacted away.  Pass the
+    :class:`RatingFile` maps (``user_ids``/``item_ids``) to translate the
+    compact indices back, making ``load → save → load`` round-trip the
+    original IDs bit-exactly.
+    """
+    rows, cols = ratings.row, ratings.col
+    if user_ids is not None:
+        user_ids = np.asarray(user_ids)
+        if user_ids.ndim != 1 or user_ids.size != ratings.shape[0]:
+            raise ValueError(
+                f"user_ids must be a 1-D map of length {ratings.shape[0]} "
+                f"(one original ID per compact row), got shape {user_ids.shape}"
+            )
+        rows = user_ids[rows]
+    if item_ids is not None:
+        item_ids = np.asarray(item_ids)
+        if item_ids.ndim != 1 or item_ids.size != ratings.shape[1]:
+            raise ValueError(
+                f"item_ids must be a 1-D map of length {ratings.shape[1]} "
+                f"(one original ID per compact column), got shape {item_ids.shape}"
+            )
+        cols = item_ids[cols]
     with open(path, "w", encoding="utf-8") as fh:
-        for u, i, r in zip(ratings.row, ratings.col, ratings.value):
+        for u, i, r in zip(rows, cols, ratings.value):
             fh.write(f"{int(u)}{delimiter}{int(i)}{delimiter}{float(r):g}\n")

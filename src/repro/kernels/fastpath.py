@@ -45,6 +45,8 @@ def sweep_occupied(
     assembly: str | None = None,
     tile_nnz: int | None = None,
     compute_dtype: object | None = None,
+    implicit_alpha: float | None = None,
+    base_gram: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Assemble and solve the occupied rows of ``R``; empty rows cost nothing.
 
@@ -55,30 +57,58 @@ def sweep_occupied(
 
     ``weighted=True`` applies ALS-WR's per-row ridge ``λ·|Ω_u|·I``
     instead of the uniform ``λ I``.
+
+    ``implicit_alpha`` switches to the implicit-feedback (Hu–Koren)
+    update: the assembly computes the confidence-weighted correction
+    ``Σ α·r · y yᵀ`` and the RHS ``Σ (1 + α·r) · y`` through the same
+    binned/tiled kernels (weights derive from each shard's own values,
+    so executor shards reproduce the serial result bitwise), and
+    ``base_gram`` — the shared dense ``YᵀY`` the caller computes once
+    per half-sweep — is broadcast onto every row's system before S3.
     """
     if lam <= 0:
         raise ValueError("lam must be positive (λI keeps smat SPD)")
+    if implicit_alpha is not None and weighted:
+        raise ValueError("implicit_alpha and weighted (ALS-WR) are exclusive")
     k = Y.shape[1]
     rows, sub = R.occupied_submatrix()
     if rows.size == 0:
         return rows, np.zeros((0, k), dtype=np.float64)
-    A, b = batched_normal_equations(
-        sub,
-        Y,
-        lam=0.0 if weighted else lam,
-        mode=assembly,
-        tile_nnz=tile_nnz,
-        compute_dtype=compute_dtype,
-    )
-    if weighted:
-        counts = sub.row_lengths().astype(np.float64)
-        idx = np.arange(k)
-        A[:, idx, idx] += (lam * counts)[:, None]
+    if implicit_alpha is not None:
+        w = implicit_alpha * sub.value.astype(np.float64)
+        A, b = batched_normal_equations(
+            sub,
+            Y,
+            lam=lam,
+            mode=assembly,
+            tile_nnz=tile_nnz,
+            compute_dtype=compute_dtype,
+            nnz_weight=w,
+            rhs_nnz_value=w + 1.0,
+        )
+        if base_gram is not None:
+            if base_gram.shape != (k, k):
+                raise ValueError(f"base_gram must have shape {(k, k)}")
+            A += base_gram
+    else:
+        A, b = batched_normal_equations(
+            sub,
+            Y,
+            lam=0.0 if weighted else lam,
+            mode=assembly,
+            tile_nnz=tile_nnz,
+            compute_dtype=compute_dtype,
+        )
+        if weighted:
+            counts = sub.row_lengths().astype(np.float64)
+            idx = np.arange(k)
+            A[:, idx, idx] += (lam * counts)[:, None]
     if is_enabled():
         obs_metrics.inc("als.sweep.rows", rows.size)
         obs_metrics.inc("sparse.nnz_touched", R.nnz)
     solver_name = _resolve_auto(resolve_solver(solver, cholesky), k, rows.size)
-    with span("als.s3.solve", stage="S3", solver=solver_name, k=k, batch=rows.size):
+    s3_name = "als.implicit.s3" if implicit_alpha is not None else "als.s3.solve"
+    with span(s3_name, stage="S3", solver=solver_name, k=k, batch=rows.size):
         obs_metrics.inc(f"solver.{solver_name}.calls")
         X_rows = solver_fn(solver_name)(A, b)
     return rows, X_rows

@@ -32,6 +32,17 @@ variants:
 built-ins); ``mode="auto"`` defers to the empirical selector in
 :mod:`repro.autotune.assembly`, the same measure-then-pick loop the paper
 uses to choose code variants.
+
+Both variants additionally accept a per-non-zero **weight vector**
+(``nnz_weight``) turning the Gram sum into ``Σ w_e · y_e y_eᵀ`` and an
+override for the RHS coefficients (``rhs_nnz_value``).  That is exactly
+the confidence-weighted correction ``Yᵀ(C_u − I)Y`` of implicit-feedback
+ALS (Hu–Koren, with ``w = α·r`` and RHS coefficients ``1 + α·r``), so
+the implicit trainer rides the same degree-binned, tile-budgeted
+machinery instead of a private ``(nnz, k, k)`` scatter kernel.  Weighted
+calls report under the ``als.implicit.s1``/``als.implicit.s2`` span
+names (stage attrs unchanged, so the hotspot table folds them into the
+same S1/S2/S3 decomposition).
 """
 
 from __future__ import annotations
@@ -196,15 +207,23 @@ def assembly_defaults() -> dict[str, object]:
     }
 
 
-def tile_bytes_bound(tile_nnz: int, k: int, compute_dtype: object = np.float64) -> int:
+def tile_bytes_bound(
+    tile_nnz: int,
+    k: int,
+    compute_dtype: object = np.float64,
+    weighted: bool = False,
+) -> int:
     """Upper bound on the binned path's peak per-tile scratch, in bytes.
 
     A tile holds at most ``tile_nnz`` gathered non-zeros and at most
     ``tile_nnz / max(k, width)`` rows, so the dominant terms are the
     ``(rows, width, k)`` gather and the ``(rows, k, k)`` GEMM output,
     both bounded by ``tile_nnz · k`` elements; index/mask arrays add
-    ``tile_nnz`` int64/int64/bool/compute entries.  Tests assert the
-    measured ``assembly.peak_tile_bytes`` gauge against this formula.
+    ``tile_nnz`` int64/int64/bool/compute entries.  The weighted
+    (implicit) kernel adds one more ``tile_nnz · k`` operand (the
+    weight-scaled gather) and the gathered weights themselves.  Tests
+    assert the measured ``assembly.peak_tile_bytes`` gauge against this
+    formula.
     """
     tile_nnz = _validate_tile(tile_nnz)
     cs = _validate_dtype(compute_dtype).itemsize
@@ -212,7 +231,11 @@ def tile_bytes_bound(tile_nnz: int, k: int, compute_dtype: object = np.float64) 
     gemm_out = tile_nnz * k * cs  # (rows, k, k) with rows <= tile_nnz / k
     indices = tile_nnz * 16  # position + column gather, int64 each
     mask = tile_nnz * (1 + cs)  # bool validity + its compute-dtype cast
-    return gather + gemm_out + indices + mask
+    bound = gather + gemm_out + indices + mask
+    if weighted:
+        bound += tile_nnz * k * cs  # Gw, the weight-scaled gather
+        bound += 2 * tile_nnz * cs  # gathered weights + their masked copy
+    return bound
 
 
 def assemble_gram(Y: np.ndarray, cols: np.ndarray, lam: float) -> np.ndarray:
@@ -238,35 +261,65 @@ def _check_shapes(R: CSRMatrix, Y: np.ndarray) -> None:
         raise ValueError(f"Y must have {R.ncols} rows, got {Y.shape[0]}")
 
 
+def _check_nnz_vector(v: np.ndarray | None, nnz: int, what: str) -> np.ndarray | None:
+    if v is None:
+        return None
+    v = np.ascontiguousarray(v, dtype=np.float64)
+    if v.shape != (nnz,):
+        raise ValueError(f"{what} must have shape ({nnz},), got {v.shape}")
+    return v
+
+
+def _span_names(weighted: bool) -> tuple[str, str]:
+    """Span names for the two assembly stages (implicit gets its own)."""
+    if weighted:
+        return "als.implicit.s1", "als.implicit.s2"
+    return "als.s1.gram", "als.s2.rhs"
+
+
 def scatter_normal_equations(
-    R: CSRMatrix, Y: np.ndarray, lam: float
+    R: CSRMatrix,
+    Y: np.ndarray,
+    lam: float,
+    *,
+    nnz_weight: np.ndarray | None = None,
+    rhs_nnz_value: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """The legacy ``np.add.at`` assembly, kept as baseline and fallback.
 
     Materializes the full ``(nnz, k, k)`` outer-product tensor and
     scatter-adds it — memory and time both scale with ``nnz · k²``, which
     is exactly the pathology the binned path removes (and what
-    ``benchmarks/bench_assembly.py`` measures it against).
+    ``benchmarks/bench_assembly.py`` measures it against).  With
+    ``nnz_weight`` this is the retained SAC15-style implicit reference
+    the parity tests and ``benchmarks/bench_implicit.py`` compare
+    against.
     """
     Y = _as_float(Y, np.float64)
     m = R.nrows
     k = Y.shape[1]
     _check_shapes(R, Y)
+    w = _check_nnz_vector(nnz_weight, R.nnz, "nnz_weight")
+    rv = _check_nnz_vector(rhs_nnz_value, R.nnz, "rhs_nnz_value")
+    s1_name, s2_name = _span_names(w is not None)
     rows = R.expanded_rows()
     # The paper's S1 (smat = Y_ΩᵀY_Ω + λI) and S2 (svec = Y_Ωᵀ r_u) run as
     # separate kernels; the spans keep that boundary so the measured
     # hotspot table decomposes the same way as Fig. 8.  The Y gather is
     # shared by both steps and attributed to S1, which reads it first.
-    with span("als.s1.gram", stage="S1", nnz=R.nnz, k=k, mode="scatter"):
+    with span(s1_name, stage="S1", nnz=R.nnz, k=k, mode="scatter"):
         gathered = Y[R.col_idx]  # (nnz, k)
         outer = gathered[:, :, None] * gathered[:, None, :]  # (nnz, k, k)
+        if w is not None:
+            outer *= w[:, None, None]
         A = np.zeros((m, k, k), dtype=np.float64)
         np.add.at(A, rows, outer)
         d = _diag(k)
         A[:, d, d] += lam
-    with span("als.s2.rhs", stage="S2", nnz=R.nnz, k=k, mode="scatter"):
+    with span(s2_name, stage="S2", nnz=R.nnz, k=k, mode="scatter"):
+        vals = R.value.astype(np.float64) if rv is None else rv
         b = np.zeros((m, k), dtype=np.float64)
-        np.add.at(b, rows, gathered * R.value[:, None].astype(np.float64))
+        np.add.at(b, rows, gathered * vals[:, None])
     if is_enabled():
         obs_metrics.inc("assembly.scatter.calls")
     return A, b
@@ -280,6 +333,8 @@ def binned_normal_equations(
     tile_nnz: int | None = None,
     compute_dtype: object | None = None,
     growth: float | None = None,
+    nnz_weight: np.ndarray | None = None,
+    rhs_nnz_value: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Degree-binned, nnz-tiled assembly of ``(smat, svec)`` for all rows.
 
@@ -295,6 +350,10 @@ def binned_normal_equations(
     ``compute_dtype=float32`` runs the gathers and GEMMs in single
     precision (the paper's device arithmetic); the returned ``A``/``b``
     accumulate in float64 either way.
+
+    ``nnz_weight`` turns the Gram sum into ``Σ w_e · y_e y_eᵀ`` by
+    scaling one GEMM operand per tile — the padding mask folds into the
+    weights, so the weighted kernel obeys the identical tile budget.
     """
     tile = _resolve_tile(tile_nnz)
     cdtype = _resolve_dtype(compute_dtype)
@@ -303,10 +362,14 @@ def binned_normal_equations(
     _check_shapes(R, Yc)
     m = R.nrows
     k = Yc.shape[1]
+    w_all = _check_nnz_vector(nnz_weight, R.nnz, "nnz_weight")
+    rv = _check_nnz_vector(rhs_nnz_value, R.nnz, "rhs_nnz_value")
+    wc = None if w_all is None else w_all.astype(cdtype)
+    s1_name, s2_name = _span_names(w_all is not None)
     enabled = is_enabled()
     peak_tile_bytes = 0
     tiles = 0
-    with span("als.s1.gram", stage="S1", nnz=R.nnz, k=k, mode="binned") as s1:
+    with span(s1_name, stage="S1", nnz=R.nnz, k=k, mode="binned") as s1:
         # Bin building and the output allocation belong to S1's measured
         # cost (the bins are cached on R, so sweeps after the first get
         # them for free).
@@ -348,10 +411,25 @@ def binned_normal_equations(
                             vmask = None
                         cols = R.col_idx[idx]
                         G = Yc[cols]
-                        if vmask is not None:
-                            G *= vmask[:, :, None]
-                        contrib = G.transpose(0, 2, 1) @ G
-                        tile_bytes += cols.nbytes + G.nbytes + contrib.nbytes
+                        if wc is None:
+                            if vmask is not None:
+                                G *= vmask[:, :, None]
+                            contrib = G.transpose(0, 2, 1) @ G
+                            tile_bytes += cols.nbytes + G.nbytes + contrib.nbytes
+                        else:
+                            # Gᵀ diag(w) G: scale one operand by the tile's
+                            # weights; padding lanes zero out through the
+                            # mask folded into the weights, so the second
+                            # operand can stay unmasked.
+                            wt = wc[idx]
+                            if vmask is not None:
+                                wt = wt * vmask
+                            Gw = G * wt[:, :, None]
+                            contrib = Gw.transpose(0, 2, 1) @ G
+                            tile_bytes += (
+                                cols.nbytes + G.nbytes + Gw.nbytes
+                                + wt.nbytes + contrib.nbytes
+                            )
                         if acc is None:
                             # Cross-segment accumulation (width > seg, so
                             # one row per tile) happens in float64 even in
@@ -366,13 +444,17 @@ def binned_normal_equations(
                     A[rows_t] = acc
         d = _diag(k)
         A[:, d, d] += lam
-    with span("als.s2.rhs", stage="S2", nnz=R.nnz, k=k, mode="binned"):
-        # S2 is exactly the sparse product R @ Y; matmat's bincount
-        # segment-sum does it in k C-speed passes with O(nnz) scratch.
-        b = R.matmat(Yc)
+    with span(s2_name, stage="S2", nnz=R.nnz, k=k, mode="binned"):
+        # S2 is exactly the sparse product R @ Y (with the per-nnz RHS
+        # coefficients substituted for the stored values when given);
+        # matmat's bincount segment-sum does it in k C-speed passes with
+        # O(nnz) scratch.
+        b = R.matmat(Yc, values=rv)
     if enabled:
         obs_metrics.set_gauge("assembly.bins", len(bins))
         obs_metrics.set_gauge("assembly.peak_tile_bytes", peak_tile_bytes)
+        if w_all is not None:
+            obs_metrics.set_gauge("assembly.implicit.peak_tile_bytes", peak_tile_bytes)
         obs_metrics.inc("assembly.tiles", tiles)
         obs_metrics.inc("assembly.binned.calls")
     return A, b
@@ -386,6 +468,8 @@ def batched_normal_equations(
     mode: str | None = None,
     tile_nnz: int | None = None,
     compute_dtype: object | None = None,
+    nnz_weight: np.ndarray | None = None,
+    rhs_nnz_value: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Assemble ``(smat, svec)`` for every row of ``R`` at once.
 
@@ -397,15 +481,22 @@ def batched_normal_equations(
     ``mode`` picks the code variant (``binned``/``scatter``/``auto``);
     unset knobs fall back to :func:`configure_assembly`, then the
     ``REPRO_ASSEMBLY``/``REPRO_TILE_NNZ``/``REPRO_ASSEMBLY_DTYPE``
-    environment, then the built-in defaults.
+    environment, then the built-in defaults.  ``nnz_weight`` /
+    ``rhs_nnz_value`` select the confidence-weighted (implicit) kernel;
+    the ``auto`` selector measures the weighted variants in that case.
     """
     resolved = _resolve_mode(mode)
     if resolved == "auto":
         from repro.autotune.assembly import select_assembly
 
-        resolved = select_assembly(R, int(np.asarray(Y).shape[-1]))
+        resolved = select_assembly(
+            R, int(np.asarray(Y).shape[-1]), weighted=nnz_weight is not None
+        )
     if resolved == "scatter":
-        return scatter_normal_equations(R, Y, lam)
+        return scatter_normal_equations(
+            R, Y, lam, nnz_weight=nnz_weight, rhs_nnz_value=rhs_nnz_value
+        )
     return binned_normal_equations(
-        R, Y, lam, tile_nnz=tile_nnz, compute_dtype=compute_dtype
+        R, Y, lam, tile_nnz=tile_nnz, compute_dtype=compute_dtype,
+        nnz_weight=nnz_weight, rhs_nnz_value=rhs_nnz_value,
     )

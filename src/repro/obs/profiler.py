@@ -19,6 +19,7 @@ from repro.clsim.device import DeviceSpec, device_by_name
 from repro.clsim.runtime import CommandQueue
 from repro.core.als import ALSConfig, ALSModel, train_als
 from repro.core.alswr import train_als_wr
+from repro.core.implicit import ImplicitConfig, ImplicitModel, train_implicit_als
 from repro.datasets.catalog import DatasetSpec, dataset_by_name
 from repro.datasets.synthetic import generate_ratings
 from repro.obs import export, hotspot
@@ -36,7 +37,7 @@ __all__ = ["MAX_PROFILE_NNZ", "ProfileReport", "profile_training", "render_repor
 #: its scratch at the tile budget regardless of dataset size.)
 MAX_PROFILE_NNZ = 150_000
 
-_TRAINERS = {"als": train_als, "als-wr": train_als_wr}
+_TRAINERS = {"als": train_als, "als-wr": train_als_wr, "implicit": train_implicit_als}
 
 
 @dataclass(frozen=True)
@@ -46,8 +47,8 @@ class ProfileReport:
     spec: DatasetSpec  # the (scaled) spec that was actually trained
     scale: float
     algorithm: str
-    config: ALSConfig
-    model: ALSModel
+    config: ALSConfig | ImplicitConfig
+    model: ALSModel | ImplicitModel
     records: tuple[SpanRecord, ...]
     metrics: dict
     device: DeviceSpec | None = None
@@ -80,9 +81,13 @@ class ProfileReport:
             "lam": self.config.lam,
             "iterations": self.config.iterations,
             "assembly": self.config.assembly or assembly_defaults()["mode"],
-            "solver": resolve_solver(self.config.solver, self.config.cholesky),
+            "solver": resolve_solver(
+                self.config.solver, getattr(self.config, "cholesky", True)
+            ),
             "workers": resolve_workers(self.config.workers),
         }
+        if isinstance(self.config, ImplicitConfig):
+            meta["alpha"] = self.config.alpha
         if self.device is not None:
             meta["device"] = self.device.name
         return meta
@@ -99,6 +104,7 @@ def profile_training(
     algorithm: str = "als",
     solver: str | None = None,
     workers: int | str | None = None,
+    alpha: float = 40.0,
 ) -> ProfileReport:
     """Run one instrumented training and (optionally) its simulation.
 
@@ -116,10 +122,16 @@ def profile_training(
         scale = min(1.0, MAX_PROFILE_NNZ / full.nnz)
     spec = full.scaled(scale)
     ratings = generate_ratings(spec, seed=seed)
-    config = ALSConfig(
-        k=k, lam=lam, iterations=iterations, seed=seed,
-        solver=solver, workers=workers,
-    )
+    if algorithm == "implicit":
+        config: ALSConfig | ImplicitConfig = ImplicitConfig(
+            k=k, lam=lam, iterations=iterations, seed=seed,
+            solver=solver, workers=workers, alpha=alpha,
+        )
+    else:
+        config = ALSConfig(
+            k=k, lam=lam, iterations=iterations, seed=seed,
+            solver=solver, workers=workers,
+        )
 
     obs_metrics.reset()
     with capture() as tracer:
@@ -170,7 +182,11 @@ def render_report(report: ProfileReport, top: int = 10) -> str:
         f"measured training wall-clock: {report.train_seconds:.3f} s",
     ]
     if report.model.history:
-        lines.append(f"final train RMSE: {report.model.history[-1].train_rmse:.4f}")
+        last = report.model.history[-1]
+        if hasattr(last, "train_rmse"):
+            lines.append(f"final train RMSE: {last.train_rmse:.4f}")
+        else:  # implicit: history tracks the confidence-weighted loss
+            lines.append(f"final weighted loss: {float(last):.4f}")
     if report.sim_run is not None:
         lines.append(
             f"simulated on {report.device.name}: {report.sim_run.seconds:.3f} s "

@@ -144,6 +144,8 @@ class SweepExecutor:
         assembly: str | None = None,
         tile_nnz: int | None = None,
         compute_dtype: object | None = None,
+        implicit_alpha: float | None = None,
+        base_gram: np.ndarray | None = None,
     ) -> np.ndarray:
         """Update all rows of ``R`` (Eq. 4), sharded across the pool.
 
@@ -151,6 +153,12 @@ class SweepExecutor:
         same result, no pool; with N workers the occupied rows are split
         into N nnz-balanced shards solved concurrently.  Either way rows
         without ratings keep their previous value (or zero).
+
+        ``implicit_alpha``/``base_gram`` select the implicit-feedback
+        kernel (see :func:`repro.kernels.fastpath.sweep_occupied`); both
+        are forwarded verbatim to every shard, and each shard derives its
+        confidence weights from its own values, so the parallel implicit
+        sweep stays bitwise-identical to the serial one.
         """
         if lam <= 0:
             raise ValueError("lam must be positive (λI keeps smat SPD)")
@@ -165,6 +173,7 @@ class SweepExecutor:
         kernel_kw = dict(
             weighted=weighted, solver=solver, cholesky=cholesky,
             assembly=assembly, tile_nnz=tile_nnz, compute_dtype=compute_dtype,
+            implicit_alpha=implicit_alpha, base_gram=base_gram,
         )
         if self.workers <= 1:
             rows, X_rows = sweep_occupied(R, Y, lam, **kernel_kw)

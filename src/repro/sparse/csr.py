@@ -373,18 +373,28 @@ class CSRMatrix:
         # non-zeros, where np.add.at pays per-element dispatch.
         return np.bincount(self.expanded_rows(), weights=prods, minlength=self.nrows)
 
-    def matmat(self, B: np.ndarray) -> np.ndarray:
+    def matmat(self, B: np.ndarray, values: np.ndarray | None = None) -> np.ndarray:
         """Sparse matrix–dense matrix product ``R @ B``.
 
         One bincount segment-sum per output column: peak scratch is two
         length-nnz vectors regardless of ``B``'s width, versus the
         ``(nnz, width)`` gather the previous ``np.add.at`` path built.
+
+        ``values`` substitutes a per-non-zero coefficient array (aligned
+        with ``self.value``) for the stored values — the hook the
+        implicit-feedback RHS uses to sum ``(1 + α·r)·y_i`` without
+        materializing a reweighted matrix.
         """
         B = np.asarray(B, dtype=np.float64)
         if B.ndim != 2 or B.shape[0] != self.ncols:
             raise ValueError(f"dense operand must have {self.ncols} rows")
         rows = self.expanded_rows()
-        w = self.value.astype(np.float64)
+        if values is None:
+            w = self.value.astype(np.float64)
+        else:
+            w = np.asarray(values, dtype=np.float64)
+            if w.shape != (self.nnz,):
+                raise ValueError(f"values must have shape ({self.nnz},)")
         out = np.empty((self.nrows, B.shape[1]), dtype=np.float64)
         for j in range(B.shape[1]):
             out[:, j] = np.bincount(

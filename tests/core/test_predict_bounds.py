@@ -1,0 +1,83 @@
+"""Index-bounds regressions for the prediction paths.
+
+numpy fancy indexing wraps negative indices, so ``predict_entries`` used
+to silently score the *last* user/item for ``-1`` — exactly the value
+:func:`recommend_top_n_batch` pads short rows with.  Feeding a padded
+row back into prediction must now raise, not mis-score.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ALSConfig, train_als
+from repro.core.predict import (
+    predict_entries,
+    predict_rating,
+    recommend_top_n_batch,
+)
+from repro.sparse import COOMatrix, CSRMatrix
+
+
+@pytest.fixture(scope="module")
+def model():
+    rng = np.random.default_rng(11)
+    dense = np.where(
+        rng.random((12, 9)) < 0.4, rng.integers(1, 6, size=(12, 9)), 0
+    ).astype(np.float32)
+    return train_als(COOMatrix.from_dense(dense), ALSConfig(k=3, iterations=2))
+
+
+class TestPredictEntriesBounds:
+    def test_negative_item_raises(self, model):
+        with pytest.raises(IndexError):
+            predict_entries(model, np.array([0, 1]), np.array([0, -1]))
+
+    def test_negative_user_raises(self, model):
+        with pytest.raises(IndexError):
+            predict_entries(model, np.array([-3]), np.array([0]))
+
+    def test_too_large_raises(self, model):
+        m, n = model.shape
+        with pytest.raises(IndexError):
+            predict_entries(model, np.array([0]), np.array([n]))
+        with pytest.raises(IndexError):
+            predict_entries(model, np.array([m]), np.array([0]))
+
+    def test_pad_item_message_mentions_padding(self, model):
+        with pytest.raises(IndexError, match="PAD_ITEM"):
+            predict_entries(model, np.array([0]), np.array([-1]))
+
+    def test_in_range_still_works(self, model):
+        out = predict_entries(model, np.array([0, 1]), np.array([2, 3]))
+        assert out.shape == (2,)
+        assert np.isclose(out[0], float(model.X[0] @ model.Y[2]))
+
+    def test_empty_arrays_ok(self, model):
+        out = predict_entries(
+            model, np.array([], dtype=np.int64), np.array([], dtype=np.int64)
+        )
+        assert out.shape == (0,)
+
+    def test_padded_batch_row_fed_back_raises(self, model):
+        """The original footgun, end to end: take a user whose batch row
+        is padded and feed (user, row) straight into predict_entries."""
+        m, n = model.shape
+        # Exclude everything so every row is fully padded.
+        exclude = CSRMatrix.from_dense(np.ones((m, n), dtype=np.float32))
+        rows = recommend_top_n_batch(
+            model, np.arange(3), n_items=4, exclude=exclude
+        )
+        assert (rows == -1).any()
+        users = np.repeat(np.arange(3), rows.shape[1])
+        with pytest.raises(IndexError, match="PAD_ITEM"):
+            predict_entries(model, users, rows.ravel())
+
+
+class TestPredictRatingBounds:
+    def test_negative_indices_raise(self, model):
+        with pytest.raises(IndexError):
+            predict_rating(model, -1, 0)
+        with pytest.raises(IndexError):
+            predict_rating(model, 0, -1)

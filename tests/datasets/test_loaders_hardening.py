@@ -1,0 +1,108 @@
+"""Loader hardening: delimiter detection edge cases and ID round-trips.
+
+Real rating dumps arrive with CRLF endings, column-aligned spaces and
+comment headers; and IDs are sparse (MovieLens user 6040 is compact row
+6039 only after compaction).  These tests pin the fixed behaviors:
+
+* CRLF, repeated-space runs, and comment/blank first lines all parse;
+* ``save_ratings`` can translate compact indices back through the
+  :class:`RatingFile` ID maps, so load → save → load round-trips the
+  original IDs bit-exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.loaders import load_ratings, save_ratings
+from repro.sparse import COOMatrix
+
+
+class TestDelimiterHardening:
+    def test_crlf_line_endings(self, tmp_path):
+        path = tmp_path / "crlf.dat"
+        path.write_bytes(b"1::10::4.0\r\n2::20::3.0\r\n1::20::5.0\r\n")
+        rf = load_ratings(path)
+        assert rf.ratings.nnz == 3
+        np.testing.assert_array_equal(rf.user_ids, [1, 2])
+        np.testing.assert_array_equal(rf.item_ids, [10, 20])
+
+    def test_repeated_spaces_between_fields(self, tmp_path):
+        path = tmp_path / "aligned.dat"
+        path.write_text("1   10    4.0\n2  20   3.0\n12 7  5.0\n")
+        rf = load_ratings(path)
+        assert rf.ratings.nnz == 3
+        np.testing.assert_array_equal(rf.user_ids, [1, 2, 12])
+        np.testing.assert_array_equal(rf.item_ids, [7, 10, 20])
+
+    def test_mixed_tabs_in_space_delimited_file(self, tmp_path):
+        path = tmp_path / "mixed.dat"
+        path.write_text("1 10\t4.0\n2 20 \t 3.0\n")
+        rf = load_ratings(path, delimiter=" ")
+        assert rf.ratings.nnz == 2
+
+    def test_comment_and_blank_first_lines(self, tmp_path):
+        # The comment even contains a *different* delimiter — detection
+        # must wait for the first data line.
+        path = tmp_path / "commented.dat"
+        path.write_text(
+            "# user::item::rating dump\n"
+            "\n"
+            "1\t10\t4.0\n"
+            "2\t20\t3.0\n"
+        )
+        rf = load_ratings(path)
+        assert rf.ratings.nnz == 2
+        np.testing.assert_array_equal(rf.user_ids, [1, 2])
+
+    def test_crlf_with_comment_header(self, tmp_path):
+        path = tmp_path / "both.dat"
+        path.write_bytes(b"# header\r\n\r\n5,7,2.5\r\n6,8,1.5\r\n")
+        rf = load_ratings(path)
+        assert rf.ratings.nnz == 2
+        np.testing.assert_array_equal(rf.ratings.value, [2.5, 1.5])
+
+
+class TestSaveRoundTrip:
+    def _sparse_id_file(self, tmp_path):
+        path = tmp_path / "orig.dat"
+        path.write_text(
+            "6040\t100\t5\n"
+            "6040\t2858\t4\n"
+            "17\t100\t3\n"
+            "999\t50\t1\n"
+        )
+        return path
+
+    def test_round_trip_preserves_original_ids(self, tmp_path):
+        rf = load_ratings(self._sparse_id_file(tmp_path))
+        out = tmp_path / "resaved.dat"
+        save_ratings(
+            out, rf.ratings, user_ids=rf.user_ids, item_ids=rf.item_ids
+        )
+        rf2 = load_ratings(out)
+        np.testing.assert_array_equal(rf2.user_ids, rf.user_ids)
+        np.testing.assert_array_equal(rf2.item_ids, rf.item_ids)
+        np.testing.assert_array_equal(rf2.ratings.row, rf.ratings.row)
+        np.testing.assert_array_equal(rf2.ratings.col, rf.ratings.col)
+        np.testing.assert_array_equal(rf2.ratings.value, rf.ratings.value)
+        # And the file itself carries the *original* sparse IDs.
+        text = out.read_text()
+        assert "6040" in text and "2858" in text and "999" in text
+
+    def test_without_maps_writes_compact_indices(self, tmp_path):
+        rf = load_ratings(self._sparse_id_file(tmp_path))
+        out = tmp_path / "compact.dat"
+        save_ratings(out, rf.ratings)
+        assert "6040" not in out.read_text()
+
+    def test_rejects_wrong_length_maps(self, tmp_path):
+        coo = COOMatrix((2, 3), [0, 1], [0, 2], [1.0, 2.0])
+        with pytest.raises(ValueError, match="user_ids"):
+            save_ratings(tmp_path / "x.dat", coo, user_ids=np.array([5]))
+        with pytest.raises(ValueError, match="item_ids"):
+            save_ratings(
+                tmp_path / "x.dat", coo,
+                user_ids=np.array([5, 9]), item_ids=np.array([1, 2]),
+            )

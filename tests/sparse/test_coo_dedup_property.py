@@ -1,0 +1,70 @@
+"""Property test: ``COOMatrix.deduplicate`` is last-write-wins.
+
+The loaders rely on this contract — a rating file that restates a
+(user, item) pair must end up with the *final* value, exactly as a dict
+built by sequential assignment would.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sparse import COOMatrix
+
+_SHAPE = (7, 5)
+
+
+@st.composite
+def coo_entries(draw):
+    n = draw(st.integers(min_value=0, max_value=60))
+    rows = draw(
+        st.lists(
+            st.integers(0, _SHAPE[0] - 1), min_size=n, max_size=n
+        )
+    )
+    cols = draw(
+        st.lists(
+            st.integers(0, _SHAPE[1] - 1), min_size=n, max_size=n
+        )
+    )
+    vals = draw(
+        st.lists(
+            st.floats(
+                min_value=-100, max_value=100,
+                allow_nan=False, allow_infinity=False, width=32,
+            ),
+            min_size=n, max_size=n,
+        )
+    )
+    return rows, cols, vals
+
+
+@settings(max_examples=150, deadline=None)
+@given(coo_entries())
+def test_deduplicate_is_last_write_wins(entries):
+    rows, cols, vals = entries
+    coo = COOMatrix(
+        _SHAPE,
+        np.array(rows, dtype=np.int64),
+        np.array(cols, dtype=np.int64),
+        np.array(vals, dtype=np.float32),
+    ).deduplicate()
+
+    # The reference semantics: sequential assignment into a dict.
+    expect: dict[tuple[int, int], np.float32] = {}
+    for r, c, v in zip(rows, cols, vals):
+        expect[(r, c)] = np.float32(v)
+
+    got = {
+        (int(r), int(c)): v
+        for r, c, v in zip(coo.row, coo.col, coo.value)
+    }
+    assert got.keys() == expect.keys()
+    for key in expect:
+        assert got[key] == expect[key], key
+
+    # Idempotent, and nnz equals the number of distinct coordinates.
+    again = coo.deduplicate()
+    assert again.nnz == coo.nnz == len(expect)
