@@ -21,13 +21,18 @@ ISSUE 2's acceptance criteria.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 from time import perf_counter
 
 import numpy as np
 
+from repro.bench.record import (
+    add_telemetry_args,
+    enable_telemetry_if_requested,
+    write_record,
+    write_telemetry,
+)
 from repro.datasets.catalog import MOVIELENS1M
 from repro.datasets.synthetic import generate_ratings
 from repro.linalg.normal_equations import (
@@ -136,7 +141,9 @@ def main(argv: list[str] | None = None) -> int:
         help="write the JSON report here (default: BENCH_2.json for full "
         "runs, no file for --quick)",
     )
+    add_telemetry_args(parser)
     ns = parser.parse_args(argv)
+    enable_telemetry_if_requested(ns)
 
     if ns.quick:
         scale = ns.scale if ns.scale is not None else 1 / 16
@@ -153,8 +160,9 @@ def main(argv: list[str] | None = None) -> int:
     if out is None and not ns.quick:
         out = Path(__file__).resolve().parent.parent / "BENCH_2.json"
     if out:
-        Path(out).write_text(json.dumps(result, indent=2) + "\n")
+        write_record(out, result)
         print(f"report written to {out}", flush=True)
+    write_telemetry(ns, meta={"benchmark": result["benchmark"]})
 
     if ns.check:
         required = 1.0 if ns.quick else 3.0

@@ -24,13 +24,18 @@ implicit training possible at all.
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from pathlib import Path
 from time import perf_counter
 
 import numpy as np
 
+from repro.bench.record import (
+    add_telemetry_args,
+    enable_telemetry_if_requested,
+    write_record,
+    write_telemetry,
+)
 from repro.core.implicit import implicit_half_sweep
 from repro.datasets.catalog import MOVIELENS1M
 from repro.datasets.synthetic import generate_ratings
@@ -156,7 +161,9 @@ def main(argv: list[str] | None = None) -> int:
         help="write the JSON report here (default: BENCH_5.json for full "
         "runs, no file for --quick)",
     )
+    add_telemetry_args(parser)
     ns = parser.parse_args(argv)
+    enable_telemetry_if_requested(ns)
 
     if ns.quick:
         scale = ns.scale if ns.scale is not None else 1 / 16
@@ -177,8 +184,9 @@ def main(argv: list[str] | None = None) -> int:
     if out is None and not ns.quick:
         out = Path(__file__).resolve().parent.parent / "BENCH_5.json"
     if out:
-        Path(out).write_text(json.dumps(result, indent=2) + "\n")
+        write_record(out, result)
         print(f"report written to {out}", flush=True)
+    write_telemetry(ns, meta={"benchmark": result["benchmark"]})
 
     if ns.check:
         required = 1.0 if ns.quick else 3.0

@@ -25,7 +25,6 @@ is the serial path by construction.
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 from pathlib import Path
@@ -33,6 +32,12 @@ from time import perf_counter
 
 import numpy as np
 
+from repro.bench.record import (
+    add_telemetry_args,
+    enable_telemetry_if_requested,
+    write_record,
+    write_telemetry,
+)
 from repro.datasets.catalog import MOVIELENS1M
 from repro.datasets.synthetic import generate_ratings
 from repro.kernels.fastpath import fast_half_sweep
@@ -144,7 +149,9 @@ def main(argv: list[str] | None = None) -> int:
         help="write the JSON report here (default: BENCH_3.json for full "
         "runs, no file for --quick)",
     )
+    add_telemetry_args(parser)
     ns = parser.parse_args(argv)
+    enable_telemetry_if_requested(ns)
 
     if ns.quick:
         # Same solve shape as the full run — the 3x bar is only honest on
@@ -167,8 +174,9 @@ def main(argv: list[str] | None = None) -> int:
     if out is None and not ns.quick:
         out = Path(__file__).resolve().parent.parent / "BENCH_3.json"
     if out:
-        Path(out).write_text(json.dumps(result, indent=2) + "\n")
+        write_record(out, result)
         print(f"report written to {out}", flush=True)
+    write_telemetry(ns, meta={"benchmark": result["benchmark"]})
 
     if ns.check:
         failures = []

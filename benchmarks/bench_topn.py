@@ -24,7 +24,6 @@ reference.
 from __future__ import annotations
 
 import argparse
-import json
 import os
 import sys
 from pathlib import Path
@@ -32,6 +31,12 @@ from time import perf_counter
 
 import numpy as np
 
+from repro.bench.record import (
+    add_telemetry_args,
+    enable_telemetry_if_requested,
+    write_record,
+    write_telemetry,
+)
 from repro.datasets.catalog import MOVIELENS1M
 from repro.datasets.synthetic import generate_ratings
 from repro.serving.engine import DEFAULT_TILE_BYTES, TopNEngine
@@ -204,7 +209,9 @@ def main(argv: list[str] | None = None) -> int:
         help="write the JSON report here (default: BENCH_4.json for full "
         "runs, no file for --quick)",
     )
+    add_telemetry_args(parser)
     ns = parser.parse_args(argv)
+    enable_telemetry_if_requested(ns)
 
     scale = ns.scale if ns.scale is not None else 1.0
     k = ns.k if ns.k is not None else 64
@@ -216,8 +223,9 @@ def main(argv: list[str] | None = None) -> int:
     if out is None and not ns.quick:
         out = Path(__file__).resolve().parent.parent / "BENCH_4.json"
     if out:
-        Path(out).write_text(json.dumps(result, indent=2) + "\n")
+        write_record(out, result)
         print(f"report written to {out}", flush=True)
+    write_telemetry(ns, meta={"benchmark": result["benchmark"]})
 
     if ns.check:
         # Full runs hold the 2x line the committed BENCH_4.json documents;

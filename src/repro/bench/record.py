@@ -1,0 +1,147 @@
+"""Shared ``BENCH_*.json`` writer: schema version, host fingerprint, gauges.
+
+PRs 2–5 each wrote their benchmark JSON ad hoc; the perf-gate
+(:mod:`repro.obs.gate`) needs records it can compare *across machines*,
+which requires knowing what machine produced each one.  Every
+``benchmarks/bench_*.py`` now writes through :func:`write_record`, which
+stamps the payload with
+
+* ``schema_version`` — bumped when the envelope changes,
+* ``host`` — the fingerprint (CPU count, machine/system, Python, NumPy
+  version, BLAS build, default dtype behavior) the gate uses to decide
+  whether a baseline is same-host comparable, and
+* ``gauges`` — the global metrics registry's gauge snapshot at write
+  time, so assembly/serving peak-scratch readings travel with the
+  record.
+
+The optional ``--metrics``/``--trace`` flags added by
+:func:`add_telemetry_args` dump the run's full registry snapshot and
+span trace next to the record — the artifacts CI uploads from the
+perf-smoke steps.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.export import write_metrics, write_trace
+from repro.obs.spans import SpanRecord, enable, get_tracer
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "host_fingerprint",
+    "stamp",
+    "write_record",
+    "add_telemetry_args",
+    "enable_telemetry_if_requested",
+    "write_telemetry",
+]
+
+SCHEMA_VERSION = 1
+
+
+def _blas_name() -> str:
+    """Best-effort name of the BLAS backing NumPy ("unknown" if opaque)."""
+    try:
+        cfg = np.show_config(mode="dicts")  # numpy >= 1.26
+        blas = cfg.get("Build Dependencies", {}).get("blas", {})
+        name = blas.get("name")
+        if name:
+            return str(name)
+    except (TypeError, AttributeError, ValueError):
+        pass
+    try:  # older numpy: module attributes like blas_opt_info
+        info = getattr(np.__config__, "blas_opt_info", None)
+        if info and info.get("libraries"):
+            return str(info["libraries"][0])
+    except AttributeError:
+        pass
+    return "unknown"
+
+
+def host_fingerprint() -> dict:
+    """What the perf-gate compares to decide "same host"."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "blas": _blas_name(),
+        "float_dtype_itemsize": int(np.dtype(np.float64).itemsize),
+    }
+
+
+def stamp(payload: dict, gauges: bool = True) -> dict:
+    """The payload plus the shared envelope fields (input not mutated)."""
+    stamped = dict(payload)
+    stamped["schema_version"] = SCHEMA_VERSION
+    stamped["host"] = host_fingerprint()
+    if gauges and "gauges" not in stamped:
+        snap = obs_metrics.snapshot()
+        if snap["gauges"]:
+            stamped["gauges"] = snap["gauges"]
+    return stamped
+
+
+def write_record(path: str | os.PathLike, payload: dict | list[dict]) -> dict | list:
+    """Stamp and write one record (or a list of them) as pretty JSON."""
+    if isinstance(payload, list):
+        stamped: dict | list = [stamp(rec) for rec in payload]
+    else:
+        stamped = stamp(payload)
+    Path(path).write_text(json.dumps(stamped, indent=2) + "\n")
+    return stamped
+
+
+def add_telemetry_args(parser: argparse.ArgumentParser) -> None:
+    """The ``--metrics``/``--trace`` artifact flags every bench shares."""
+    parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write the run's metrics-registry snapshot JSON here",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write the run's span trace (Perfetto/Chrome JSON) here",
+    )
+
+
+def enable_telemetry_if_requested(ns: argparse.Namespace) -> bool:
+    """Turn instrumentation on when ``--metrics``/``--trace`` were passed.
+
+    Benchmarks run uninstrumented by default (spans in the timed loop
+    would perturb the numbers they exist to measure); asking for the
+    artifacts opts into the overhead.  Call right after ``parse_args``.
+    """
+    wanted = bool(getattr(ns, "metrics", None) or getattr(ns, "trace", None))
+    if wanted:
+        enable()
+    return wanted
+
+
+def write_telemetry(
+    ns: argparse.Namespace,
+    meta: dict | None = None,
+    records: Sequence[SpanRecord] | None = None,
+) -> None:
+    """Honor ``--metrics``/``--trace`` after a benchmark run.
+
+    ``records`` defaults to whatever the global tracer collected while
+    :func:`enable_telemetry_if_requested` had instrumentation on.
+    """
+    if records is None:
+        records = tuple(get_tracer().records)
+    if getattr(ns, "metrics", None):
+        write_metrics(ns.metrics, obs_metrics.get_registry(), records, meta=meta)
+        print(f"metrics written to {ns.metrics}", flush=True)
+    if getattr(ns, "trace", None):
+        write_trace(ns.trace, records, meta=meta)
+        print(f"trace written to {ns.trace}", flush=True)

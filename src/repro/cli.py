@@ -21,6 +21,16 @@ Usage::
                                    # measured S1/S2/S3 hotspot table, top
                                    # spans, and a merged Perfetto trace of
                                    # host spans + simulated kernels
+    repro-als perf-gate bench.json # compare fresh benchmark records
+                                   # against the committed BENCH trajectory
+                                   # (exit 1 on regression)
+    repro-als serve-metrics --metrics-port 9500
+                                   # stand-alone Prometheus /metrics +
+                                   # /healthz endpoint with the resource
+                                   # sampler running
+    repro-als recommend ML1M --metrics-port 9500
+                                   # any command can expose its live
+                                   # registry on an HTTP endpoint
 
 The host S1/S2 assembly variant is selectable everywhere via
 ``--assembly {binned,scatter,auto}``, ``--tile-nnz N`` and
@@ -180,6 +190,8 @@ def _run_recommend(ns: argparse.Namespace) -> int:
 
     from repro.api import Recommender
     from repro.datasets.synthetic import generate_ratings
+    from repro.obs import metrics as obs_metrics
+    from repro.obs.spans import capture
 
     try:
         spec = dataset_by_name(ns.args[0])
@@ -195,21 +207,32 @@ def _run_recommend(ns: argparse.Namespace) -> int:
     ).fit(ratings)
     engine = rec.engine()
     users = list(range(min(ns.users, spec.m)))
-    t0 = perf_counter()
-    result = rec.recommend_batch(users, n_items=ns.n)
-    seconds = perf_counter() - t0
+    # Serve each user as its own query under instrumentation: every
+    # call lands one observation in the serve.topn.seconds sketch, so
+    # the tail-latency report below is over real per-query samples.
+    with capture():
+        t0 = perf_counter()
+        results = [rec.recommend_batch([user], n_items=ns.n) for user in users]
+        seconds = perf_counter() - t0
     print(
         f"top-{ns.n} on {spec.abbr} scale={scale:g} (m={spec.m}, n={spec.n}), "
         f"k={ns.k}: tile={engine.tile_items()} items "
         f"({engine.tile_bytes} B budget, {engine.dtype_name})"
     )
-    for pos, user in enumerate(users):
-        row = ", ".join(f"{i}:{s:.2f}" for i, s in result.row(pos)[: ns.n])
+    for user, result in zip(users, results):
+        row = ", ".join(f"{i}:{s:.2f}" for i, s in result.row(0)[: ns.n])
         print(f"  user {user:>6d}: {row}")
     if seconds > 0:
         print(f"{len(users)} users in {seconds * 1e3:.1f} ms "
               f"({len(users) / seconds:,.0f} users/s, "
               f"peak tile {engine.peak_tile_bytes} B)")
+    lat = obs_metrics.get_registry().quantile("serve.topn.seconds").summary()
+    if lat["count"]:
+        print(
+            f"serve.topn latency over {lat['count']} queries: "
+            f"p50={lat['p50'] * 1e3:.3f} ms  p95={lat['p95'] * 1e3:.3f} ms  "
+            f"p99={lat['p99'] * 1e3:.3f} ms  max={lat['max'] * 1e3:.3f} ms"
+        )
     return 0
 
 
@@ -246,6 +269,52 @@ def _run_profile(ns: argparse.Namespace) -> int:
     return 0
 
 
+def _run_perf_gate(ns: argparse.Namespace) -> int:
+    if not ns.args:
+        print("usage: repro-als perf-gate <record.json> [...] [--baseline-dir D]"
+              " [--tolerance T] [--host-slack S] [--strict]", file=sys.stderr)
+        return 2
+    from repro.obs.gate import render_checks, run_gate
+
+    checks, ok = run_gate(
+        ns.args,
+        root=ns.baseline_dir,
+        tolerance=ns.tolerance,
+        host_slack=ns.host_slack,
+        strict=ns.strict,
+    )
+    print(render_checks(checks))
+    return 0 if ok else 1
+
+
+def _run_serve_metrics(ns: argparse.Namespace) -> int:
+    """Stand-alone metrics endpoint: scrape target + resource gauges.
+
+    Mostly a smoke/demo command — long-running commands expose the same
+    endpoint in-process via ``--metrics-port``.
+    """
+    import time
+
+    from repro.obs.endpoint import MetricsEndpoint
+    from repro.obs.resource import ResourceSampler
+    from repro.obs.spans import enable
+
+    enable()  # gauge/counter helpers are no-ops otherwise
+    port = ns.metrics_port if ns.metrics_port is not None else 0
+    with MetricsEndpoint(port=port) as endpoint, ResourceSampler():
+        print(f"serving {endpoint.url('/metrics')} and "
+              f"{endpoint.url('/healthz')} (Ctrl-C to stop)", flush=True)
+        try:
+            if ns.duration is not None:
+                time.sleep(ns.duration)
+            else:
+                while True:
+                    time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-als",
@@ -255,12 +324,13 @@ def main(argv: list[str] | None = None) -> int:
         "command",
         help="experiment id (table1, fig1, fig6..fig10, ksweep), 'all', 'list', "
         "'summary', 'tune', 'tune-assembly', 'tune-solver', 'tune-serving', "
-        "'recommend', 'emit-cl' or 'profile'",
+        "'recommend', 'emit-cl', 'profile', 'perf-gate' or 'serve-metrics'",
     )
     parser.add_argument(
         "args", nargs="*",
         help="for tune: <device> <dataset>; for profile/tune-assembly/"
-        "tune-solver/tune-serving/recommend: <dataset>",
+        "tune-solver/tune-serving/recommend: <dataset>; for perf-gate: "
+        "benchmark record JSON files",
     )
     parser.add_argument("--k", type=int, default=10, help="latent factor (default 10)")
     parser.add_argument(
@@ -336,6 +406,36 @@ def main(argv: list[str] | None = None) -> int:
         "--serve-dtype", default=None, choices=("float32", "float64", "auto"),
         help="serving score precision (default: float64; 'auto' = measure)",
     )
+    parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="PORT",
+        help="expose a Prometheus /metrics + /healthz HTTP endpoint on this "
+        "port for the duration of the command (0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="serve-metrics: stop after this many seconds (default: run "
+        "until Ctrl-C)",
+    )
+    parser.add_argument(
+        "--baseline-dir", default=".", metavar="DIR",
+        help="perf-gate: directory holding the committed BENCH_*.json "
+        "trajectory (default: .)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.2,
+        help="perf-gate: allowed fractional regression on a same-host "
+        "comparison (default 0.2)",
+    )
+    parser.add_argument(
+        "--host-slack", type=float, default=2.0,
+        help="perf-gate: tolerance multiplier when the baseline came from "
+        "a different host (default 2.0)",
+    )
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="perf-gate: fail records with no comparable baseline instead "
+        "of skipping them",
+    )
     ns = parser.parse_args(argv)
 
     if ns.assembly or ns.tile_nnz or ns.assembly_dtype:
@@ -365,6 +465,23 @@ def main(argv: list[str] | None = None) -> int:
             print(str(exc), file=sys.stderr)
             return 2
 
+    if ns.command == "serve-metrics":
+        return _run_serve_metrics(ns)
+    if ns.metrics_port is not None:
+        # Any other command can expose its live registry while it runs:
+        # scrape-able from outside for however long the work takes.
+        from repro.obs.endpoint import MetricsEndpoint
+        from repro.obs.resource import ResourceSampler
+        from repro.obs.spans import enable
+
+        enable()
+        with MetricsEndpoint(port=ns.metrics_port) as endpoint, ResourceSampler():
+            print(f"metrics endpoint: {endpoint.url('/metrics')}", flush=True)
+            return _dispatch(ns)
+    return _dispatch(ns)
+
+
+def _dispatch(ns: argparse.Namespace) -> int:
     if ns.command == "summary":
         from repro.bench.summary import render_scorecard
 
@@ -401,6 +518,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_recommend(ns)
     if ns.command == "profile":
         return _run_profile(ns)
+    if ns.command == "perf-gate":
+        return _run_perf_gate(ns)
     return _run_experiment(ns.command, metrics_path=ns.metrics)
 
 

@@ -9,6 +9,7 @@ fixed-iteration regime the paper benchmarks (5 iterations, k = 10,
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
@@ -179,14 +180,22 @@ def train_als(
             for it in range(1, config.iterations + 1):
                 with span("als.iteration", iteration=it):
                     obs_metrics.inc("als.iterations")
+                    t_hs = perf_counter()
                     with span("als.half_sweep", side="X", iteration=it):
                         X = executor.half_sweep(
                             R_rows, Y, config.lam, X_prev=X, **sweep_kw
                         )
+                    obs_metrics.observe_latency(
+                        "als.half_sweep.seconds", perf_counter() - t_hs
+                    )
+                    t_hs = perf_counter()
                     with span("als.half_sweep", side="Y", iteration=it):
                         Y = executor.half_sweep(
                             R_cols, X, config.lam, X_prev=Y, **sweep_kw
                         )
+                    obs_metrics.observe_latency(
+                        "als.half_sweep.seconds", perf_counter() - t_hs
+                    )
                     if config.track_loss:
                         with span("als.loss", iteration=it):
                             model.history.append(

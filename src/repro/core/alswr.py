@@ -12,6 +12,8 @@ The sweep itself is the shared ``sweep_occupied`` kernel with
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from repro.core.als import ALSConfig, ALSModel, IterationStats, ratings_views
@@ -82,14 +84,22 @@ def train_als_wr(
             for it in range(1, config.iterations + 1):
                 with span("als.iteration", iteration=it):
                     obs_metrics.inc("als.iterations")
+                    t_hs = perf_counter()
                     with span("als.half_sweep", side="X", iteration=it):
                         X = executor.half_sweep(
                             R_rows, Y, config.lam, X_prev=X, **sweep_kw
                         )
+                    obs_metrics.observe_latency(
+                        "als.half_sweep.seconds", perf_counter() - t_hs
+                    )
+                    t_hs = perf_counter()
                     with span("als.half_sweep", side="Y", iteration=it):
                         Y = executor.half_sweep(
                             R_cols, X, config.lam, X_prev=Y, **sweep_kw
                         )
+                    obs_metrics.observe_latency(
+                        "als.half_sweep.seconds", perf_counter() - t_hs
+                    )
                     if config.track_loss:
                         # The WR objective differs from Eq. 2; RMSE is the
                         # comparable metric, so loss tracking records the

@@ -37,6 +37,7 @@ for parity tests and ``benchmarks/bench_implicit.py``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
@@ -220,16 +221,24 @@ def train_implicit_als(
             for it in range(1, config.iterations + 1):
                 with span("als.iteration", iteration=it):
                     obs_metrics.inc("als.iterations")
+                    t_hs = perf_counter()
                     with span("als.half_sweep", side="X", iteration=it):
                         X = implicit_half_sweep(
                             R_rows, Y, config.lam, config.alpha,
                             executor=executor, **sweep_kw,
                         )
+                    obs_metrics.observe_latency(
+                        "als.half_sweep.seconds", perf_counter() - t_hs
+                    )
+                    t_hs = perf_counter()
                     with span("als.half_sweep", side="Y", iteration=it):
                         Y = implicit_half_sweep(
                             R_cols, X, config.lam, config.alpha,
                             executor=executor, **sweep_kw,
                         )
+                    obs_metrics.observe_latency(
+                        "als.half_sweep.seconds", perf_counter() - t_hs
+                    )
                     with span("als.loss", iteration=it):
                         model.history.append(
                             _weighted_loss(coo, X, Y, config.lam, config.alpha)

@@ -8,8 +8,14 @@ JSON.  See ``docs/observability.md``.
 
 * :mod:`repro.obs.spans` — hierarchical wall-clock spans (disabled by
   default; ~zero-cost no-ops until :func:`enable`/:func:`capture`).
-* :mod:`repro.obs.metrics` — named counters/gauges/histograms.
+* :mod:`repro.obs.metrics` — named counters/gauges/histograms, plus
+  log-bucketed :class:`QuantileHistogram` latency sketches (p50/p95/p99).
 * :mod:`repro.obs.export` — Chrome-trace + flat metrics JSON.
+* :mod:`repro.obs.exporter` — Prometheus text rendering + JSONL event log.
+* :mod:`repro.obs.endpoint` — background ``/metrics`` + ``/healthz`` HTTP
+  endpoint (stdlib-only).
+* :mod:`repro.obs.resource` — background RSS/CPU resource sampler.
+* :mod:`repro.obs.gate` — perf-regression gate over the BENCH trajectory.
 * :mod:`repro.obs.hotspot` — measured S1/S2/S3 tables, top-N spans.
 * :mod:`repro.obs.profiler` — the ``repro-als profile`` runner (import
   explicitly; it pulls in the training stack).
@@ -30,21 +36,28 @@ from repro.obs.hotspot import (
     sweep_seconds,
     top_spans,
 )
+from repro.obs.endpoint import MetricsEndpoint
+from repro.obs.exporter import EventLog, render_prometheus
 from repro.obs.metrics import (
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    QuantileHistogram,
     get_registry,
     inc,
     observe,
+    observe_latency,
+    observe_quantile,
     set_gauge,
 )
+from repro.obs.resource import ResourceSampler
 from repro.obs.spans import (
     SpanRecord,
     Tracer,
     capture,
     clear,
+    current_span,
     disable,
     enable,
     get_tracer,
@@ -64,6 +77,7 @@ __all__ = [
     "disable",
     "is_enabled",
     "capture",
+    "current_span",
     "get_tracer",
     "set_clock",
     "clear",
@@ -71,11 +85,19 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "QuantileHistogram",
     "MetricsRegistry",
     "get_registry",
     "inc",
     "set_gauge",
     "observe",
+    "observe_quantile",
+    "observe_latency",
+    # exporter / endpoint / resource
+    "render_prometheus",
+    "EventLog",
+    "MetricsEndpoint",
+    "ResourceSampler",
     # export
     "spans_to_events",
     "queue_to_events",

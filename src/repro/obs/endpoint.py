@@ -1,0 +1,163 @@
+"""A stdlib-only background HTTP endpoint serving the metrics registry.
+
+The serving roadmap turns the library into a long-lived process; a
+long-lived process needs a scrape target.  :class:`MetricsEndpoint`
+runs a ``ThreadingHTTPServer`` on a daemon thread and serves
+
+* ``GET /metrics`` — the registry in Prometheus text format
+  (:func:`repro.obs.exporter.render_prometheus`),
+* ``GET /healthz`` — a small JSON liveness document (status, uptime,
+  pid), the probe a supervisor points at.
+
+Everything else is a JSON 404.  ``port=0`` binds an ephemeral port
+(read it back from :attr:`port` — the tests' idiom); the handler reads
+the registry through its consistent ``snapshot()``, so scrapes during a
+training sweep are never torn.
+
+Usage::
+
+    from repro.obs.endpoint import MetricsEndpoint
+
+    with MetricsEndpoint(port=9100) as ep:      # starts on enter
+        ...                                     # train / serve
+    # or explicitly: ep = MetricsEndpoint(); ep.start(); ... ep.stop()
+
+The CLI exposes the same thing as ``repro-als serve-metrics`` and via
+``--metrics-port`` on long-running commands.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.exporter import render_prometheus
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+__all__ = ["PROMETHEUS_CONTENT_TYPE", "MetricsEndpoint"]
+
+#: Content type of the text exposition format, version pinned as the
+#: format spec requires.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsEndpoint:
+    """Background ``/metrics`` + ``/healthz`` server over one registry."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.registry = registry or get_registry()
+        self.host = host
+        self._requested_port = int(port)
+        self._server: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+        self._started_at: float | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._server is not None
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        if self._server is not None:
+            return self._server.server_address[1]
+        return self._requested_port
+
+    def url(self, path: str = "/metrics") -> str:
+        return f"http://{self.host}:{self.port}{path}"
+
+    def start(self) -> "MetricsEndpoint":
+        if self._server is not None:
+            return self
+        endpoint = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (http.server API)
+                endpoint._handle(self)
+
+            def log_message(self, fmt: str, *args: object) -> None:
+                pass  # scrapes should not spam the training process's stderr
+
+        self._server = ThreadingHTTPServer(
+            (self.host, self._requested_port), Handler
+        )
+        self._server.daemon_threads = True
+        self._started_at = time.monotonic()
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-endpoint",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+        self._started_at = None
+
+    def __enter__(self) -> "MetricsEndpoint":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+    def _handle(self, request: BaseHTTPRequestHandler) -> None:
+        path = request.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = render_prometheus(self.registry).encode("utf-8")
+            self._respond(request, 200, PROMETHEUS_CONTENT_TYPE, body)
+        elif path == "/healthz":
+            uptime = (
+                time.monotonic() - self._started_at
+                if self._started_at is not None
+                else 0.0
+            )
+            payload = {
+                "status": "ok",
+                "pid": os.getpid(),
+                "uptime_seconds": round(uptime, 3),
+            }
+            self._respond_json(request, 200, payload)
+        else:
+            self._respond_json(
+                request, 404,
+                {"status": "not found", "path": path,
+                 "endpoints": ["/metrics", "/healthz"]},
+            )
+
+    @staticmethod
+    def _respond(
+        request: BaseHTTPRequestHandler, code: int, ctype: str, body: bytes
+    ) -> None:
+        request.send_response(code)
+        request.send_header("Content-Type", ctype)
+        request.send_header("Content-Length", str(len(body)))
+        request.end_headers()
+        request.wfile.write(body)
+
+    def _respond_json(
+        self, request: BaseHTTPRequestHandler, code: int, payload: dict
+    ) -> None:
+        body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+        self._respond(request, code, "application/json; charset=utf-8", body)

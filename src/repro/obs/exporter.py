@@ -1,0 +1,245 @@
+"""Continuous-telemetry exporters: Prometheus text and a JSONL event log.
+
+:mod:`repro.obs.export` serializes one *finished* run (Chrome trace +
+flat metrics JSON).  This module serializes the *live* registry, the way
+a long-running serving process reports:
+
+* :func:`render_prometheus` — the registry in Prometheus text exposition
+  format (v0.0.4), which is what :mod:`repro.obs.endpoint` serves at
+  ``/metrics``.  Counters become ``_total`` counter families, gauges map
+  1:1, summary histograms expand to ``_count``/``_sum``/``_min``/
+  ``_max``/``_mean`` gauge families, and quantile sketches render as
+  Prometheus summaries with ``quantile="0.5|0.95|0.99"`` labels — the
+  p50/p95/p99 series the serving roadmap asks for.
+* :class:`EventLog` — an append-only JSONL stream of structured events
+  with run and span context, the machine-readable companion to the
+  terminal output (one line per event, stable key order, injectable
+  clock so golden tests are exact).
+
+Both are stdlib-only and deterministic given a deterministic registry.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import threading
+import time
+from typing import IO, Sequence
+
+from repro.obs.metrics import DEFAULT_QUANTILES, MetricsRegistry, get_registry
+from repro.obs.spans import current_span
+
+__all__ = [
+    "PROM_NAMESPACE",
+    "prometheus_name",
+    "escape_label_value",
+    "render_prometheus",
+    "EventLog",
+]
+
+#: Every exported series is prefixed with this namespace, the Prometheus
+#: convention for "which process family do these belong to".
+PROM_NAMESPACE = "repro"
+
+_INVALID_NAME_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_LEADING_DIGIT = re.compile(r"^[0-9]")
+
+
+def prometheus_name(name: str, suffix: str = "") -> str:
+    """A registry metric name as a valid Prometheus metric name.
+
+    Dots (the registry's namespacing convention) and any other invalid
+    characters become underscores: ``serve.topn.seconds`` →
+    ``repro_serve_topn_seconds``.
+    """
+    cleaned = _INVALID_NAME_CHARS.sub("_", name)
+    if _LEADING_DIGIT.match(cleaned):
+        cleaned = "_" + cleaned
+    return f"{PROM_NAMESPACE}_{cleaned}{suffix}"
+
+
+def escape_label_value(value: str) -> str:
+    """Backslash-escape a label value per the text exposition format."""
+    return (
+        str(value)
+        .replace("\\", r"\\")
+        .replace("\n", r"\n")
+        .replace('"', r'\"')
+    )
+
+
+def _format_value(value: float) -> str:
+    """Floats in repr precision; infinities in Prometheus spelling."""
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Family:
+    """One metric family: HELP/TYPE header plus its sample lines."""
+
+    def __init__(self, name: str, kind: str, help_text: str):
+        self.name = name
+        self.kind = kind
+        self.help = help_text
+        self.samples: list[str] = []
+
+    def add(self, value: float, labels: str = "", suffix: str = "") -> None:
+        self.samples.append(
+            f"{self.name}{suffix}{labels} {_format_value(value)}"
+        )
+
+    def render(self) -> list[str]:
+        return [
+            f"# HELP {self.name} {self.help}",
+            f"# TYPE {self.name} {self.kind}",
+            *self.samples,
+        ]
+
+
+def render_prometheus(
+    registry: MetricsRegistry | dict | None = None,
+    quantiles: Sequence[float] = DEFAULT_QUANTILES,
+) -> str:
+    """The registry (or a snapshot dict) in Prometheus text format.
+
+    Families are emitted in sorted output-name order so the rendering is
+    stable across runs — the property the golden-file test locks in.
+    When the same registry name carries both a summary histogram and a
+    quantile sketch (the :func:`repro.obs.metrics.observe_latency`
+    idiom), the sketch wins: it already exposes ``_count``/``_sum`` plus
+    the quantile series, and emitting both would collide.
+    """
+    if registry is None:
+        registry = get_registry()
+    snap = registry.snapshot() if isinstance(registry, MetricsRegistry) else registry
+    counters = snap.get("counters", {})
+    gauges = snap.get("gauges", {})
+    histograms = snap.get("histograms", {})
+    qsketches = snap.get("quantiles", {})
+
+    families: dict[str, _Family] = {}
+
+    def family(name: str, kind: str, help_text: str) -> _Family:
+        fam = families.get(name)
+        if fam is None:
+            fam = families[name] = _Family(name, kind, help_text)
+        return fam
+
+    for name, value in counters.items():
+        fam = family(
+            prometheus_name(name, "_total"), "counter",
+            f"Monotonic counter {name}",
+        )
+        fam.add(value)
+    for name, value in gauges.items():
+        fam = family(prometheus_name(name), "gauge", f"Gauge {name}")
+        fam.add(value)
+    for name, summary in histograms.items():
+        if name in qsketches:
+            continue  # the quantile sketch of the same name supersedes
+        base = prometheus_name(name)
+        for stat in ("count", "sum", "min", "max", "mean"):
+            fam = family(
+                f"{base}_{stat}", "gauge",
+                f"Summary {stat} of histogram {name}",
+            )
+            fam.add(summary.get(stat, 0.0))
+    for name, summary in qsketches.items():
+        base = prometheus_name(name)
+        fam = family(
+            base, "summary",
+            f"Log-bucketed quantile sketch {name}",
+        )
+        for q in quantiles:
+            key = f"p{round(q * 100):d}"
+            fam.add(
+                summary.get(key, 0.0),
+                labels=f'{{quantile="{escape_label_value(f"{q:g}")}"}}',
+            )
+        fam.add(summary.get("count", 0), suffix="_count")
+        fam.add(summary.get("sum", 0.0), suffix="_sum")
+
+    lines: list[str] = []
+    for name in sorted(families):
+        lines.extend(families[name].render())
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class EventLog:
+    """Append-only JSONL log of structured telemetry events.
+
+    Each line is one JSON object with a fixed envelope::
+
+        {"event": ..., "run": ..., "seq": N, "ts": ..., "span": ...?, ...}
+
+    ``run`` identifies the emitting process/run, ``seq`` is a per-log
+    monotone sequence number, ``ts`` comes from the injectable clock
+    (``time.time`` by default), and ``span`` carries the innermost open
+    span's ``{"name", "id"}`` when instrumentation is on — the context
+    that lets a log line be joined back to a trace.  Keys are sorted so
+    the rendering is byte-stable for golden tests.
+    """
+
+    def __init__(
+        self,
+        sink: str | os.PathLike | IO[str],
+        run_id: str | None = None,
+        clock=None,
+    ):
+        if hasattr(sink, "write"):
+            self._fh: IO[str] = sink  # type: ignore[assignment]
+            self._owns = False
+        else:
+            self._fh = open(sink, "a", encoding="utf-8")
+            self._owns = True
+        self.run_id = run_id if run_id is not None else f"run-{os.getpid()}"
+        self._clock = clock or time.time
+        self._lock = threading.Lock()
+        self._seq = 0
+
+    def emit(self, event: str, **fields: object) -> dict:
+        """Write one event line; returns the record that was written."""
+        record: dict[str, object] = {
+            "event": event,
+            "run": self.run_id,
+            "ts": round(float(self._clock()), 6),
+        }
+        active = current_span()
+        if active is not None:
+            record["span"] = {"name": active.name, "id": active.span_id}
+        record.update(fields)
+        with self._lock:
+            self._seq += 1
+            record["seq"] = self._seq
+            self._fh.write(
+                json.dumps(record, sort_keys=True, separators=(",", ":"))
+                + "\n"
+            )
+            self._fh.flush()
+        return record
+
+    def emit_snapshot(
+        self, registry: MetricsRegistry | None = None, event: str = "metrics"
+    ) -> dict:
+        """Emit the full registry snapshot as one event."""
+        registry = registry or get_registry()
+        return self.emit(event, metrics=registry.snapshot())
+
+    def close(self) -> None:
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,263 @@
+"""Perf-regression gate over the committed ``BENCH_*.json`` trajectory.
+
+Every perf PR so far committed a benchmark record (BENCH_2..5) and CI
+re-ran a quick-mode smoke against a hand-picked bar.  This module turns
+that into a *trajectory* check: load all committed records, match a
+fresh run against the most recent comparable record, and fail when a
+gated metric regresses beyond a tolerance — "did we regress versus our
+own history" instead of "did the bar pass".
+
+Comparability rules:
+
+* Records match by **benchmark name** and **shape** (dataset, scale, k):
+  a 1/16-scale quick run is never judged against a full-scale record —
+  absolute numbers do not transfer across shapes (the quick implicit
+  smoke runs at a fraction of the full run's 376× speedup).
+* The gated metrics are **speedup ratios** (binned/scatter, engine/dense,
+  lapack/reference) — before/after on the same host, which is the metric
+  class that survives a machine change at all.  Each record carries a
+  **host fingerprint** (stamped by :mod:`repro.bench.record`); when the
+  current host does not match the baseline's, the tolerance is widened
+  by ``host_slack`` — cross-host ratios drift with core counts and BLAS
+  builds, so only large regressions are actionable there.
+
+CLI: ``repro-als perf-gate current.json [...]`` (exit 1 on regression).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "GATE_METRICS",
+    "GateCheck",
+    "load_trajectory",
+    "check_record",
+    "run_gate",
+    "render_checks",
+]
+
+#: benchmark name -> dotted path of the gated (higher-is-better) metric.
+#: Records may override with an explicit ``"gate_metric"`` key.
+GATE_METRICS = {
+    "s1s2_assembly": "speedup",
+    "s3_solve_and_parallel_sweep": "lapack_speedup",
+    "tiled_topn_serving": "best_speedup",
+    "implicit_half_sweep": "speedup",
+}
+
+#: Fingerprint fields that must agree for two hosts to count as "same".
+_FINGERPRINT_KEYS = ("cpu_count", "machine", "system", "blas")
+
+
+@dataclass(frozen=True)
+class GateCheck:
+    """One metric comparison: current run vs its trajectory baseline."""
+
+    benchmark: str
+    metric: str
+    current: float | None
+    baseline: float | None
+    baseline_file: str | None
+    tolerance: float  # effective fractional regression allowed
+    same_host: bool
+    ok: bool
+    reason: str
+
+    @property
+    def ratio(self) -> float | None:
+        if self.current is None or not self.baseline:
+            return None
+        return self.current / self.baseline
+
+
+def extract_metric(record: dict, path: str) -> float | None:
+    """Resolve a dotted path (``"sweep.speedup"``) into a record."""
+    node: object = record
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    try:
+        return float(node)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return None
+
+
+def shape_key(record: dict) -> tuple:
+    """What must agree for two records' numbers to be comparable."""
+    return (
+        record.get("dataset"),
+        record.get("scale"),
+        record.get("k"),
+    )
+
+
+def gate_metric_for(record: dict) -> str | None:
+    """The dotted metric path this record is gated on (``None`` = ungated)."""
+    explicit = record.get("gate_metric")
+    if explicit:
+        return str(explicit)
+    return GATE_METRICS.get(record.get("benchmark", ""))
+
+
+def fingerprints_match(a: dict | None, b: dict | None) -> bool:
+    """Same-host heuristic; unknown fingerprints never match."""
+    if not a or not b:
+        return False
+    return all(
+        a.get(key) is not None and a.get(key) == b.get(key)
+        for key in _FINGERPRINT_KEYS
+    )
+
+
+def _bench_sort_key(path: Path) -> tuple:
+    """``BENCH_2 < BENCH_10``: numeric components compare numerically."""
+    parts = re.split(r"(\d+)", path.name)
+    return tuple(int(p) if p.isdigit() else p for p in parts)
+
+
+def _records_of(payload: object, source: str) -> list[dict]:
+    records = payload if isinstance(payload, list) else [payload]
+    out = []
+    for rec in records:
+        if isinstance(rec, dict) and rec.get("benchmark"):
+            rec = dict(rec)
+            rec["_file"] = source
+            out.append(rec)
+    return out
+
+
+def load_trajectory(root: str | os.PathLike = ".") -> list[dict]:
+    """All committed benchmark records, oldest file first.
+
+    Each ``BENCH_*.json`` holds either one record (the PR 2–5 format) or
+    a list of records (the shared-writer format); files that fail to
+    parse are skipped rather than wedging the gate.
+    """
+    trajectory: list[dict] = []
+    for path in sorted(Path(root).glob("BENCH_*.json"), key=_bench_sort_key):
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            continue
+        trajectory.extend(_records_of(payload, path.name))
+    return trajectory
+
+
+def check_record(
+    current: dict,
+    trajectory: list[dict],
+    tolerance: float = 0.2,
+    host_slack: float = 2.0,
+    strict: bool = False,
+) -> GateCheck:
+    """Judge one fresh benchmark record against the trajectory.
+
+    ``tolerance`` is the allowed fractional regression on a same-host,
+    same-shape comparison (0.2 = current may be down to 80% of the
+    baseline).  A host mismatch multiplies it by ``host_slack`` (capped
+    at 0.95 so the gate never becomes a no-op).  No comparable baseline
+    means the check is skipped — or failed under ``strict``.
+    """
+    benchmark = str(current.get("benchmark", "?"))
+    metric = gate_metric_for(current)
+    if metric is None:
+        return GateCheck(
+            benchmark, "-", None, None, None, tolerance, False, True,
+            "no gated metric for this benchmark",
+        )
+    value = extract_metric(current, metric)
+    if value is None:
+        return GateCheck(
+            benchmark, metric, None, None, None, tolerance, False, False,
+            f"current record has no {metric!r}",
+        )
+    candidates = [
+        rec
+        for rec in trajectory
+        if rec.get("benchmark") == benchmark
+        and shape_key(rec) == shape_key(current)
+        and extract_metric(rec, metric) is not None
+    ]
+    if not candidates:
+        ok = not strict
+        return GateCheck(
+            benchmark, metric, value, None, None, tolerance, False, ok,
+            "no comparable baseline (benchmark/shape mismatch)"
+            + ("" if ok else " [strict]"),
+        )
+    baseline = candidates[-1]  # most recent committed record wins
+    baseline_value = extract_metric(baseline, metric)
+    same_host = fingerprints_match(current.get("host"), baseline.get("host"))
+    eff_tolerance = (
+        tolerance if same_host else min(0.95, tolerance * host_slack)
+    )
+    floor = baseline_value * (1.0 - eff_tolerance)
+    ok = value >= floor
+    reason = (
+        f"{metric} {value:.3f} vs baseline {baseline_value:.3f} "
+        f"(floor {floor:.3f}, {'same' if same_host else 'different'} host)"
+    )
+    return GateCheck(
+        benchmark, metric, value, baseline_value,
+        baseline.get("_file"), eff_tolerance, same_host, ok, reason,
+    )
+
+
+def run_gate(
+    current_paths: list[str | os.PathLike],
+    root: str | os.PathLike = ".",
+    tolerance: float = 0.2,
+    host_slack: float = 2.0,
+    strict: bool = False,
+) -> tuple[list[GateCheck], bool]:
+    """Gate every record in the given files; ``(checks, all_ok)``."""
+    trajectory = load_trajectory(root)
+    checks: list[GateCheck] = []
+    for path in current_paths:
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            checks.append(
+                GateCheck(
+                    str(path), "-", None, None, None, tolerance, False,
+                    False, f"unreadable record: {exc}",
+                )
+            )
+            continue
+        records = _records_of(payload, str(path))
+        if not records:
+            checks.append(
+                GateCheck(
+                    str(path), "-", None, None, None, tolerance, False,
+                    False, "no benchmark records in file",
+                )
+            )
+            continue
+        for record in records:
+            checks.append(
+                check_record(
+                    record, trajectory,
+                    tolerance=tolerance, host_slack=host_slack, strict=strict,
+                )
+            )
+    return checks, all(c.ok for c in checks)
+
+
+def render_checks(checks: list[GateCheck]) -> str:
+    """Terminal table: one verdict line per check."""
+    lines = ["perf gate vs BENCH trajectory:"]
+    for c in checks:
+        verdict = "OK  " if c.ok else "FAIL"
+        base = f" [{c.baseline_file}]" if c.baseline_file else ""
+        lines.append(
+            f"  {verdict} {c.benchmark:28s} {c.reason}{base} "
+            f"(tolerance {c.tolerance:.0%})"
+        )
+    return "\n".join(lines)

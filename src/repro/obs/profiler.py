@@ -24,6 +24,7 @@ from repro.datasets.catalog import DatasetSpec, dataset_by_name
 from repro.datasets.synthetic import generate_ratings
 from repro.obs import export, hotspot
 from repro.obs import metrics as obs_metrics
+from repro.obs.resource import ResourceSampler
 from repro.obs.spans import SpanRecord, capture, span
 from repro.solvers.base import SimulatedRun
 from repro.sparse.csc import CSCMatrix
@@ -135,8 +136,14 @@ def profile_training(
 
     obs_metrics.reset()
     with capture() as tracer:
-        with span("profile.run", cat="profile", dataset=spec.abbr, scale=scale):
-            model = _TRAINERS[algorithm](ratings, config)
+        # The sampler runs only for the profiled window so the
+        # proc.rss/cpu gauges in the snapshot describe this training
+        # run, not whatever the process did before it.
+        with ResourceSampler():
+            with span(
+                "profile.run", cat="profile", dataset=spec.abbr, scale=scale
+            ):
+                model = _TRAINERS[algorithm](ratings, config)
     records = tuple(tracer.records)
     snapshot = obs_metrics.snapshot()
 
@@ -201,6 +208,27 @@ def render_report(report: ProfileReport, top: int = 10) -> str:
         lines.append("")
         lines.append("counters:")
         lines.extend(f"  {name} = {value:g}" for name, value in counters.items())
+    quantiles = report.metrics.get("quantiles", {})
+    if quantiles:
+        lines.append("")
+        lines.append("latency percentiles (log-bucketed sketch):")
+        for name in sorted(quantiles):
+            q = quantiles[name]
+            if not q.get("count"):
+                continue
+            lines.append(
+                f"  {name:28s} n={q['count']:<5d} "
+                f"p50={q['p50']:.6f}s p95={q['p95']:.6f}s p99={q['p99']:.6f}s"
+            )
+    gauges = report.metrics.get("gauges", {})
+    rss = gauges.get("proc.peak_rss_bytes") or gauges.get("proc.rss_bytes")
+    if rss:
+        cpu = gauges.get("proc.cpu_seconds")
+        line = f"peak RSS: {rss / 2**20:.1f} MiB"
+        if cpu is not None:
+            line += f"  cpu time: {cpu:.2f} s"
+        lines.append("")
+        lines.append(line)
     from repro.autotune.solver import cached_solver_decisions
 
     decisions = cached_solver_decisions()

@@ -47,8 +47,10 @@ __all__ = [
     "disable",
     "is_enabled",
     "capture",
+    "current_span",
     "get_tracer",
     "set_clock",
+    "set_span_observer",
     "clear",
 ]
 
@@ -125,20 +127,22 @@ class _ActiveSpan:
         parent = stack[-1] if stack else None
         if parent is not None:
             parent._child += duration
-        tracer._record(
-            SpanRecord(
-                span_id=self.span_id,
-                name=self.name,
-                cat=self.cat,
-                start=self.start,
-                duration=duration,
-                self_duration=max(0.0, duration - self._child),
-                tid=threading.get_ident(),
-                depth=len(stack),
-                parent_id=parent.span_id if parent is not None else None,
-                attrs=self.attrs,
-            )
+        record = SpanRecord(
+            span_id=self.span_id,
+            name=self.name,
+            cat=self.cat,
+            start=self.start,
+            duration=duration,
+            self_duration=max(0.0, duration - self._child),
+            tid=threading.get_ident(),
+            depth=len(stack),
+            parent_id=parent.span_id if parent is not None else None,
+            attrs=self.attrs,
         )
+        tracer._record(record)
+        observer = tracer.observer
+        if observer is not None:
+            observer(record)
         return False
 
 
@@ -148,9 +152,18 @@ class Tracer:
     def __init__(self, clock: Callable[[], float] | None = None):
         self.clock: Callable[[], float] = clock or time.perf_counter
         self.records: list[SpanRecord] = []
+        #: Optional callback invoked with every finished SpanRecord.  The
+        #: metrics registry installs one on the global tracer to fold
+        #: stage-tagged span durations into latency histograms.
+        self.observer: Callable[[SpanRecord], None] | None = None
         self._lock = threading.Lock()
         self._local = threading.local()
         self._id = 0
+
+    def current(self) -> "_ActiveSpan | None":
+        """The innermost open span on this thread's stack, if any."""
+        stack = getattr(self._local, "stack", None)
+        return stack[-1] if stack else None
 
     def span(self, name: str, cat: str = "host", **attrs: object) -> _ActiveSpan:
         return _ActiveSpan(self, name, cat, attrs)
@@ -209,6 +222,20 @@ def clear() -> None:
 def set_clock(clock: Callable[[], float] | None) -> None:
     """Swap the global tracer's clock (``None`` restores perf_counter)."""
     _TRACER.clock = clock or time.perf_counter
+
+
+def set_span_observer(observer: "Callable[[SpanRecord], None] | None") -> None:
+    """Install (or clear) the global tracer's span-end callback."""
+    _TRACER.observer = observer
+
+
+def current_span():
+    """The innermost open span on this thread (``None`` when idle/disabled).
+
+    Event logs use this to attach span context (``name``/``span_id``) to
+    structured events emitted from inside instrumented code.
+    """
+    return _TRACER.current()
 
 
 def span(name: str, cat: str = "host", **attrs: object):

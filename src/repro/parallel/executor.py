@@ -209,12 +209,16 @@ class SweepExecutor:
                 "sweep.imbalance.planned", float(planned.max() / planned.mean())
             )
             if measured.mean() > 0:
-                obs_metrics.set_gauge(
-                    "sweep.imbalance.measured",
-                    float(measured.max() / measured.mean()),
-                )
+                imbalance = float(measured.max() / measured.mean())
+                # Gauge keeps the latest sweep visible on a dashboard;
+                # the histogram keeps every sweep of a multi-iteration
+                # run so imbalance drift is not overwritten away.
+                obs_metrics.set_gauge("sweep.imbalance.measured", imbalance)
+                obs_metrics.observe("sweep.imbalance.measured", imbalance)
             for s in shard_seconds:
-                obs_metrics.observe("sweep.shard_seconds", s)
+                # Summary + quantile sketch: shard p95 vs p50 is the
+                # straggler signal the nnz-balanced partitioner targets.
+                obs_metrics.observe_latency("sweep.shard_seconds", s)
         return X
 
     @staticmethod

@@ -370,8 +370,16 @@ class TopNEngine:
             obs_metrics.inc("serve.topn.queries")
             obs_metrics.inc("serve.topn.users", float(users.size))
             obs_metrics.set_gauge("serve.peak_tile_bytes", self.peak_tile_bytes)
+            # Per-query latency goes into both histogram flavors: the
+            # summary for BENCH reports, the quantile sketch for the
+            # p50/p95/p99 a metrics endpoint scrape reports.
+            obs_metrics.observe_latency("serve.topn.seconds", seconds)
             if seconds > 0:
-                obs_metrics.set_gauge("serve.users_per_sec", users.size / seconds)
+                ups = users.size / seconds
+                # The gauge is last-write-wins; the histogram keeps the
+                # whole multi-batch distribution (min/mean/max).
+                obs_metrics.set_gauge("serve.users_per_sec", ups)
+                obs_metrics.observe("serve.users_per_sec", ups)
         return TopNResult(items=items, scores=scores)
 
     def query_scores(

@@ -1,0 +1,127 @@
+"""The shared BENCH record writer: envelope stamping and telemetry flags."""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+import pytest
+
+from repro.bench.record import (
+    SCHEMA_VERSION,
+    add_telemetry_args,
+    enable_telemetry_if_requested,
+    host_fingerprint,
+    stamp,
+    write_record,
+    write_telemetry,
+)
+from repro.obs import metrics as obs_metrics
+from repro.obs import spans
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    spans.disable()
+    spans.clear()
+    obs_metrics.reset()
+    yield
+    spans.disable()
+    spans.clear()
+    obs_metrics.reset()
+
+
+class TestFingerprint:
+    def test_has_the_gate_comparison_keys(self):
+        fp = host_fingerprint()
+        for key in ("cpu_count", "machine", "system", "blas"):
+            assert fp[key] is not None
+        assert fp["float_dtype_itemsize"] == 8
+        json.dumps(fp)  # JSON-serializable
+
+
+class TestStamp:
+    def test_adds_envelope_without_mutating_input(self):
+        payload = {"benchmark": "x", "speedup": 2.0}
+        stamped = stamp(payload)
+        assert stamped["schema_version"] == SCHEMA_VERSION
+        assert stamped["host"] == host_fingerprint()
+        assert "schema_version" not in payload
+
+    def test_gauge_snapshot_travels_when_present(self):
+        obs_metrics.get_registry().gauge("assembly.peak_tile_bytes").set(1234.0)
+        stamped = stamp({"benchmark": "x"})
+        assert stamped["gauges"]["assembly.peak_tile_bytes"] == 1234.0
+        assert "gauges" not in stamp({"benchmark": "x"}, gauges=False)
+
+    def test_existing_gauges_key_is_not_clobbered(self):
+        obs_metrics.get_registry().gauge("g").set(1.0)
+        stamped = stamp({"benchmark": "x", "gauges": {"mine": 7.0}})
+        assert stamped["gauges"] == {"mine": 7.0}
+
+
+class TestWriteRecord:
+    def test_single_record_roundtrip(self, tmp_path):
+        path = tmp_path / "bench.json"
+        write_record(path, {"benchmark": "x", "speedup": 3.0})
+        loaded = json.loads(path.read_text())
+        assert loaded["speedup"] == 3.0
+        assert loaded["schema_version"] == SCHEMA_VERSION
+
+    def test_list_payload_stamps_every_record(self, tmp_path):
+        path = tmp_path / "bench.json"
+        write_record(path, [{"benchmark": "a"}, {"benchmark": "b"}])
+        loaded = json.loads(path.read_text())
+        assert [r["benchmark"] for r in loaded] == ["a", "b"]
+        assert all(r["schema_version"] == SCHEMA_VERSION for r in loaded)
+
+    def test_gate_reads_what_the_writer_writes(self, tmp_path):
+        """The writer/gate pair agree on format end to end."""
+        from repro.obs.gate import load_trajectory
+
+        write_record(
+            tmp_path / "BENCH_1.json",
+            [{"benchmark": "s1s2_assembly", "speedup": 4.0}],
+        )
+        trajectory = load_trajectory(tmp_path)
+        assert len(trajectory) == 1
+        assert trajectory[0]["host"] == host_fingerprint()
+
+
+class TestTelemetryFlags:
+    def _parse(self, argv):
+        parser = argparse.ArgumentParser()
+        add_telemetry_args(parser)
+        return parser.parse_args(argv)
+
+    def test_flags_default_to_off(self, capsys, tmp_path):
+        write_telemetry(self._parse([]))
+        assert capsys.readouterr().out == ""
+
+    def test_enable_only_when_artifacts_requested(self, tmp_path):
+        assert not enable_telemetry_if_requested(self._parse([]))
+        assert not spans.is_enabled()
+        ns = self._parse(["--trace", str(tmp_path / "t.json")])
+        assert enable_telemetry_if_requested(ns)
+        assert spans.is_enabled()
+
+    def test_metrics_and_trace_files_written(self, tmp_path, capsys):
+        spans.enable()
+        with spans.span("bench.section", stage="S1"):
+            obs_metrics.inc("bench.calls")
+        metrics_path = tmp_path / "m.json"
+        trace_path = tmp_path / "t.json"
+        ns = self._parse(
+            ["--metrics", str(metrics_path), "--trace", str(trace_path)]
+        )
+        write_telemetry(ns, meta={"benchmark": "unit"})
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["metrics"]["counters"]["bench.calls"] == 1
+        assert metrics["meta"]["benchmark"] == "unit"
+        trace = json.loads(trace_path.read_text())
+        assert any(
+            ev.get("name") == "bench.section"
+            for ev in trace["traceEvents"]
+        )
+        out = capsys.readouterr().out
+        assert "metrics written" in out and "trace written" in out

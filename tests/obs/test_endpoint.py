@@ -1,0 +1,92 @@
+"""The background /metrics + /healthz HTTP endpoint."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.endpoint import PROMETHEUS_CONTENT_TYPE, MetricsEndpoint
+from repro.obs.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter("serve.topn.queries").inc(7)
+    reg.quantile("serve.topn.seconds").observe(0.002)
+    reg.quantile("serve.topn.seconds").observe(0.050)
+    return reg
+
+
+def _get(url: str):
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.status, resp.headers, resp.read().decode("utf-8")
+
+
+class TestEndpoint:
+    def test_metrics_served_in_prometheus_format(self, registry):
+        with MetricsEndpoint(registry) as ep:
+            status, headers, body = _get(ep.url("/metrics"))
+        assert status == 200
+        assert headers["Content-Type"] == PROMETHEUS_CONTENT_TYPE
+        lines = body.splitlines()
+        assert "repro_serve_topn_queries_total 7" in lines
+        # the p50/p95/p99 series the acceptance criterion asks for
+        for q in ("0.5", "0.95", "0.99"):
+            assert any(
+                l.startswith(f'repro_serve_topn_seconds{{quantile="{q}"}} ')
+                for l in lines
+            )
+        for line in lines:  # every sample line parses
+            if not line.startswith("#"):
+                float(line.rsplit(" ", 1)[1])
+
+    def test_live_updates_between_scrapes(self, registry):
+        with MetricsEndpoint(registry) as ep:
+            _, _, before = _get(ep.url("/metrics"))
+            registry.counter("serve.topn.queries").inc(3)
+            _, _, after = _get(ep.url("/metrics"))
+        assert "repro_serve_topn_queries_total 7" in before
+        assert "repro_serve_topn_queries_total 10" in after
+
+    def test_healthz(self, registry):
+        with MetricsEndpoint(registry) as ep:
+            status, headers, body = _get(ep.url("/healthz"))
+        assert status == 200
+        assert headers["Content-Type"].startswith("application/json")
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["uptime_seconds"] >= 0.0
+        assert isinstance(payload["pid"], int)
+
+    def test_unknown_path_is_json_404(self, registry):
+        with MetricsEndpoint(registry) as ep:
+            with pytest.raises(urllib.error.HTTPError) as exc:
+                _get(ep.url("/nope"))
+            assert exc.value.code == 404
+            payload = json.loads(exc.value.read().decode())
+            assert payload["endpoints"] == ["/metrics", "/healthz"]
+
+    def test_ephemeral_port_and_lifecycle(self, registry):
+        ep = MetricsEndpoint(registry, port=0)
+        assert not ep.running
+        ep.start()
+        try:
+            assert ep.running
+            assert ep.port != 0
+            assert ep.start() is ep  # idempotent
+        finally:
+            ep.stop()
+        assert not ep.running
+        ep.stop()  # idempotent
+        with pytest.raises(urllib.error.URLError):
+            _get(f"http://127.0.0.1:{ep.port}/healthz")
+
+    def test_empty_registry_scrape_is_valid(self):
+        with MetricsEndpoint(MetricsRegistry()) as ep:
+            status, _, body = _get(ep.url("/metrics"))
+        assert status == 200
+        assert body == ""

@@ -1,0 +1,161 @@
+"""Golden-file tests for the Prometheus renderer and the JSONL event log.
+
+The golden files live in ``tests/obs/golden/`` and lock in stable family
+ordering, name sanitization, value formatting and the event-log envelope.
+Regenerate them (after an intentional format change) with::
+
+    PYTHONPATH=src python tests/obs/test_exporter_golden.py --regen
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs import spans
+from repro.obs.exporter import (
+    EventLog,
+    escape_label_value,
+    prometheus_name,
+    render_prometheus,
+)
+from repro.obs.metrics import MetricsRegistry
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    spans.disable()
+    spans.clear()
+    obs_metrics.reset()
+    yield
+    spans.disable()
+    spans.clear()
+    obs_metrics.reset()
+
+
+def build_registry() -> MetricsRegistry:
+    """A deterministic registry exercising every instrument kind."""
+    reg = MetricsRegistry()
+    reg.counter("serve.topn.queries").inc(42)
+    reg.counter("als.iterations").inc(5)
+    reg.gauge("sweep.imbalance.measured").set(1.25)
+    reg.gauge("serve.users_per_sec").set(123456.5)
+    reg.histogram("sweep.shard_seconds").observe(0.5)
+    reg.histogram("sweep.shard_seconds").observe(1.5)
+    # serve.topn.seconds carries BOTH flavors (the observe_latency idiom):
+    # the renderer must emit only the quantile summary for it.
+    reg.histogram("serve.topn.seconds").observe(0.002)
+    reg.quantile("serve.topn.seconds").observe(0.002)
+    reg.quantile("serve.topn.seconds").observe(0.004)
+    reg.quantile("serve.topn.seconds").observe(0.032)
+    return reg
+
+
+def build_event_lines() -> str:
+    """Deterministic JSONL: fixed run id and an injected stepping clock."""
+    clock_state = {"now": 1000.0}
+
+    def clock() -> float:
+        clock_state["now"] += 0.5
+        return clock_state["now"]
+
+    buf = io.StringIO()
+    with EventLog(buf, run_id="golden-run", clock=clock) as log:
+        log.emit("train.start", dataset="ML1M", k=10)
+        log.emit("note", text='quote " backslash \\ newline \n done')
+        log.emit_snapshot(build_registry())
+    return buf.getvalue()
+
+
+class TestPrometheusGolden:
+    def test_rendering_matches_golden(self):
+        expected = (GOLDEN_DIR / "registry.prom").read_text()
+        assert render_prometheus(build_registry()) == expected
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+        assert render_prometheus({}) == ""
+
+    def test_rendering_is_deterministic(self):
+        assert render_prometheus(build_registry()) == render_prometheus(
+            build_registry()
+        )
+
+    def test_every_line_is_comment_or_sample(self):
+        """Minimal text-exposition parse: no malformed lines sneak in."""
+        for line in render_prometheus(build_registry()).splitlines():
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+            else:
+                name_part, value = line.rsplit(" ", 1)
+                float(value)  # parseable sample value
+                assert name_part.startswith("repro_")
+
+    def test_name_sanitization(self):
+        assert prometheus_name("serve.topn.seconds") == "repro_serve_topn_seconds"
+        assert prometheus_name("weird-name!x") == "repro_weird_name_x"
+        assert prometheus_name("9lives") == "repro__9lives"
+        assert prometheus_name("c", "_total") == "repro_c_total"
+
+    def test_label_escaping(self):
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+
+class TestEventLogGolden:
+    def test_jsonl_matches_golden(self):
+        expected = (GOLDEN_DIR / "events.jsonl").read_text()
+        assert build_event_lines() == expected
+
+    def test_lines_are_valid_json_with_envelope(self):
+        lines = build_event_lines().splitlines()
+        assert len(lines) == 3
+        for seq, line in enumerate(lines, start=1):
+            record = json.loads(line)
+            assert record["run"] == "golden-run"
+            assert record["seq"] == seq
+            assert isinstance(record["ts"], float)
+        assert json.loads(lines[2])["metrics"]["counters"]["als.iterations"] == 5
+
+    def test_span_context_is_attached_when_tracing(self):
+        buf = io.StringIO()
+        spans.enable()
+        with EventLog(buf, run_id="r") as log:
+            with spans.span("serve.topn", users=4):
+                record = log.emit("query.done")
+        assert record["span"]["name"] == "serve.topn"
+        assert json.loads(buf.getvalue().splitlines()[0])["span"]["name"] == (
+            "serve.topn"
+        )
+
+    def test_file_sink_appends(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path, run_id="r", clock=lambda: 1.0) as log:
+            log.emit("a")
+        with EventLog(path, run_id="r", clock=lambda: 2.0) as log:
+            log.emit("b")
+        events = [json.loads(l)["event"] for l in path.read_text().splitlines()]
+        assert events == ["a", "b"]
+
+
+def _regen() -> None:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    (GOLDEN_DIR / "registry.prom").write_text(
+        render_prometheus(build_registry())
+    )
+    (GOLDEN_DIR / "events.jsonl").write_text(build_event_lines())
+    print(f"regenerated goldens in {GOLDEN_DIR}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        _regen()
+    else:
+        print(__doc__)

@@ -1,0 +1,211 @@
+"""The perf-regression gate over the BENCH trajectory, library and CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.obs.gate import (
+    GATE_METRICS,
+    check_record,
+    extract_metric,
+    fingerprints_match,
+    load_trajectory,
+    render_checks,
+    run_gate,
+    shape_key,
+)
+
+HOST_A = {"cpu_count": 8, "machine": "x86_64", "system": "Linux", "blas": "openblas"}
+HOST_B = {"cpu_count": 2, "machine": "aarch64", "system": "Linux", "blas": "blis"}
+
+
+def make_record(speedup: float = 10.0, host: dict | None = HOST_A, **over) -> dict:
+    record = {
+        "benchmark": "s1s2_assembly",
+        "dataset": "ml-1m",
+        "scale": 0.0625,
+        "k": 32,
+        "speedup": speedup,
+    }
+    if host is not None:
+        record["host"] = host
+    record.update(over)
+    return record
+
+
+@pytest.fixture
+def trajectory_dir(tmp_path):
+    (tmp_path / "BENCH_2.json").write_text(json.dumps(make_record(speedup=8.0)))
+    (tmp_path / "BENCH_10.json").write_text(
+        json.dumps([make_record(speedup=10.0)])  # list format, newest file
+    )
+    (tmp_path / "BENCH_3.json").write_text("{not json")  # must be skipped
+    return tmp_path
+
+
+class TestHelpers:
+    def test_extract_metric_dotted_path(self):
+        record = {"sweep": {"speedup": 3.5}}
+        assert extract_metric(record, "sweep.speedup") == 3.5
+        assert extract_metric(record, "sweep.missing") is None
+        assert extract_metric({"x": "nan?no-a-number"}, "x") is None
+
+    def test_shape_key_and_fingerprints(self):
+        assert shape_key(make_record()) == ("ml-1m", 0.0625, 32)
+        assert fingerprints_match(HOST_A, dict(HOST_A))
+        assert not fingerprints_match(HOST_A, HOST_B)
+        assert not fingerprints_match(HOST_A, None)
+        assert not fingerprints_match({}, {})  # unknown never matches
+
+    def test_load_trajectory_sorts_naturally_and_skips_bad(self, trajectory_dir):
+        trajectory = load_trajectory(trajectory_dir)
+        assert [r["_file"] for r in trajectory] == ["BENCH_2.json", "BENCH_10.json"]
+
+
+class TestCheckRecord:
+    def test_equal_numbers_pass(self, trajectory_dir):
+        trajectory = load_trajectory(trajectory_dir)
+        check = check_record(make_record(speedup=10.0), trajectory)
+        assert check.ok
+        assert check.baseline == 10.0  # newest file wins as baseline
+        assert check.baseline_file == "BENCH_10.json"
+
+    def test_two_x_regression_fails(self, trajectory_dir):
+        trajectory = load_trajectory(trajectory_dir)
+        check = check_record(make_record(speedup=5.0), trajectory)
+        assert not check.ok
+        assert check.ratio == pytest.approx(0.5)
+
+    def test_within_tolerance_passes(self, trajectory_dir):
+        trajectory = load_trajectory(trajectory_dir)
+        assert check_record(make_record(speedup=8.5), trajectory).ok  # -15%
+        assert not check_record(make_record(speedup=7.9), trajectory).ok
+
+    def test_host_mismatch_widens_tolerance(self, trajectory_dir):
+        trajectory = load_trajectory(trajectory_dir)
+        # -30% fails same-host at 20% tolerance but passes cross-host
+        # at the 2x-widened 40%.
+        same = check_record(make_record(speedup=7.0), trajectory)
+        cross = check_record(make_record(speedup=7.0, host=HOST_B), trajectory)
+        assert not same.ok
+        assert cross.ok
+        assert not cross.same_host
+        assert cross.tolerance == pytest.approx(0.4)
+
+    def test_host_slack_is_capped(self, trajectory_dir):
+        trajectory = load_trajectory(trajectory_dir)
+        check = check_record(
+            make_record(speedup=0.4, host=HOST_B), trajectory, host_slack=100.0
+        )
+        assert check.tolerance == 0.95  # capped: never a no-op gate
+        assert not check.ok  # a 25x collapse still fails the capped floor
+
+    def test_shape_mismatch_skips_unless_strict(self, trajectory_dir):
+        trajectory = load_trajectory(trajectory_dir)
+        other_shape = make_record(speedup=0.1, k=64)
+        assert check_record(other_shape, trajectory).ok
+        assert not check_record(other_shape, trajectory, strict=True).ok
+
+    def test_ungated_benchmark_passes(self, trajectory_dir):
+        check = check_record(
+            {"benchmark": "not-a-gated-bench"}, load_trajectory(trajectory_dir)
+        )
+        assert check.ok
+        assert check.metric == "-"
+
+    def test_gate_metric_override(self, trajectory_dir):
+        record = make_record()
+        record["gate_metric"] = "custom.path"
+        check = check_record(record, load_trajectory(trajectory_dir))
+        assert not check.ok  # declared metric missing from the record
+        assert "custom.path" in check.reason
+
+    def test_missing_metric_value_fails(self, trajectory_dir):
+        record = make_record()
+        del record["speedup"]
+        assert not check_record(record, load_trajectory(trajectory_dir)).ok
+
+
+class TestRunGate:
+    def test_all_pass_and_render(self, trajectory_dir, tmp_path):
+        current = tmp_path / "current.json"
+        current.write_text(json.dumps(make_record(speedup=11.0)))
+        checks, ok = run_gate([current], root=trajectory_dir)
+        assert ok
+        table = render_checks(checks)
+        assert "OK" in table and "s1s2_assembly" in table
+
+    def test_unreadable_and_empty_files_fail(self, trajectory_dir, tmp_path):
+        empty = tmp_path / "empty.json"
+        empty.write_text("[]")
+        checks, ok = run_gate(
+            [tmp_path / "missing.json", empty], root=trajectory_dir
+        )
+        assert not ok
+        assert all(not c.ok for c in checks)
+
+    def test_known_benchmarks_are_gated(self):
+        assert set(GATE_METRICS) == {
+            "s1s2_assembly",
+            "s3_solve_and_parallel_sweep",
+            "tiled_topn_serving",
+            "implicit_half_sweep",
+        }
+
+
+class TestCLI:
+    def test_exit_zero_on_pass(self, trajectory_dir, tmp_path, capsys):
+        current = tmp_path / "current.json"
+        current.write_text(json.dumps(make_record(speedup=10.0)))
+        code = cli_main(
+            ["perf-gate", str(current), "--baseline-dir", str(trajectory_dir)]
+        )
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_exit_one_on_synthetic_2x_regression(
+        self, trajectory_dir, tmp_path, capsys
+    ):
+        current = tmp_path / "current.json"
+        current.write_text(json.dumps(make_record(speedup=5.0)))
+        code = cli_main(
+            ["perf-gate", str(current), "--baseline-dir", str(trajectory_dir)]
+        )
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_tolerance_flag(self, trajectory_dir, tmp_path):
+        current = tmp_path / "current.json"
+        current.write_text(json.dumps(make_record(speedup=5.0)))
+        code = cli_main(
+            ["perf-gate", str(current), "--baseline-dir", str(trajectory_dir),
+             "--tolerance", "0.6"]
+        )
+        assert code == 0
+
+    def test_strict_flag(self, trajectory_dir, tmp_path):
+        current = tmp_path / "current.json"
+        current.write_text(json.dumps(make_record(speedup=10.0, k=999)))
+        args = ["perf-gate", str(current), "--baseline-dir", str(trajectory_dir)]
+        assert cli_main(args) == 0
+        assert cli_main(args + ["--strict"]) == 1
+
+    def test_usage_error(self, capsys):
+        assert cli_main(["perf-gate"]) == 2
+        assert "usage" in capsys.readouterr().err
+
+
+class TestCommittedTrajectory:
+    def test_repo_trajectory_loads_and_bench6_is_stamped(self):
+        """The committed BENCH files parse; BENCH_6 carries the envelope."""
+        trajectory = load_trajectory(".")
+        names = {r["benchmark"] for r in trajectory}
+        assert set(GATE_METRICS) <= names
+        bench6 = [r for r in trajectory if r["_file"] == "BENCH_6.json"]
+        assert len(bench6) == 4
+        for record in bench6:
+            assert record["schema_version"] == 1
+            assert "host" in record and "cpu_count" in record["host"]

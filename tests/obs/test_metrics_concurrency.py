@@ -1,0 +1,121 @@
+"""Thread-safety of the metrics registry: no lost counts, no torn snapshots.
+
+The instruments are written from ``SweepExecutor`` worker threads and
+read by the HTTP endpoint's scrape thread, so these invariants are load-
+bearing, not theoretical.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.metrics import MetricsRegistry, QuantileHistogram
+
+
+def _run_threads(n: int, target) -> None:
+    barrier = threading.Barrier(n)
+
+    def go():
+        barrier.wait()
+        target()
+
+    threads = [threading.Thread(target=go) for _ in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+class TestNoLostUpdates:
+    def test_concurrent_counter_incs(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c")
+        per_thread, threads = 5_000, 8
+        _run_threads(threads, lambda: [c.inc() for _ in range(per_thread)])
+        assert c.value == per_thread * threads
+
+    def test_concurrent_histogram_observes(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        per_thread, threads = 5_000, 8
+        _run_threads(threads, lambda: [h.observe(1.0) for _ in range(per_thread)])
+        s = h.summary()
+        assert s["count"] == per_thread * threads
+        assert s["sum"] == per_thread * threads  # 1.0 adds exactly
+
+    def test_concurrent_quantile_observes(self):
+        q = QuantileHistogram("q")
+        per_thread, threads = 5_000, 8
+        _run_threads(threads, lambda: [q.observe(0.01) for _ in range(per_thread)])
+        assert q.count == per_thread * threads
+        assert sum(q._counts) == per_thread * threads
+
+    def test_concurrent_get_or_create_returns_one_instrument(self):
+        reg = MetricsRegistry()
+        seen = []
+        _run_threads(8, lambda: seen.append(reg.counter("shared")))
+        assert all(c is seen[0] for c in seen)
+
+
+class TestNoTornSnapshots:
+    def test_snapshot_during_writes_is_internally_consistent(self):
+        """count and sum always agree: every observe is 1.0 exactly."""
+        reg = MetricsRegistry()
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def writer():
+            h = reg.histogram("h")
+            q = reg.quantile("q")
+            c = reg.counter("c")
+            while not stop.is_set():
+                h.observe(1.0)
+                q.observe(1.0)
+                c.inc()
+
+        def reader():
+            for _ in range(200):
+                snap = reg.snapshot()
+                h = snap["histograms"].get("h")
+                if h and h["sum"] != h["count"]:
+                    failures.append(f"torn histogram: {h}")
+                q = snap["quantiles"].get("q")
+                if q and q["sum"] != q["count"]:
+                    failures.append(f"torn quantile: {q}")
+
+        writers = [threading.Thread(target=writer) for _ in range(4)]
+        for t in writers:
+            t.start()
+        try:
+            readers = [threading.Thread(target=reader) for _ in range(2)]
+            for t in readers:
+                t.start()
+            for t in readers:
+                t.join()
+        finally:
+            stop.set()
+            for t in writers:
+                t.join()
+        assert not failures, failures[:3]
+
+    def test_merge_during_writes_conserves_count(self):
+        src = QuantileHistogram("src")
+        for _ in range(1_000):
+            src.observe(0.5)
+        dst = QuantileHistogram("dst")
+
+        def write_dst():
+            for _ in range(1_000):
+                dst.observe(0.5)
+
+        def merge_in():
+            dst.merge(src)
+
+        writer = threading.Thread(target=write_dst)
+        merger = threading.Thread(target=merge_in)
+        writer.start()
+        merger.start()
+        writer.join()
+        merger.join()
+        assert dst.count == 2_000
+        assert sum(dst._counts) == 2_000

@@ -1,0 +1,180 @@
+"""QuantileHistogram: bucketing, quantile error bound, merge semantics."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import DEFAULT_QUANTILES, MetricsRegistry, QuantileHistogram
+
+
+class TestConstruction:
+    def test_default_layout(self):
+        h = QuantileHistogram("t")
+        assert h.layout() == (1e-7, 1e5, 12)
+        assert h.growth == pytest.approx(10 ** (1 / 12))
+
+    def test_bad_layouts_raise(self):
+        with pytest.raises(ValueError):
+            QuantileHistogram("t", lo=0.0, hi=1.0)
+        with pytest.raises(ValueError):
+            QuantileHistogram("t", lo=2.0, hi=1.0)
+        with pytest.raises(ValueError):
+            QuantileHistogram("t", buckets_per_decade=0)
+
+    def test_memory_is_fixed(self):
+        """The bucket array never grows with the sample count."""
+        h = QuantileHistogram("t")
+        size = len(h._counts)
+        for i in range(10_000):
+            h.observe(1e-9 + i * 0.01)
+        assert len(h._counts) == size
+        assert h.count == 10_000
+
+
+class TestQuantiles:
+    def test_empty_sketch_reports_zeros(self):
+        h = QuantileHistogram("t")
+        assert h.quantile(0.5) == 0.0
+        assert h.summary() == {
+            "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+            "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+
+    def test_single_sample_all_quantiles_hit_it(self):
+        h = QuantileHistogram("t")
+        h.observe(0.025)
+        for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+            assert h.quantile(q) == pytest.approx(0.025, rel=h.growth - 1)
+
+    def test_percentile_keys(self):
+        h = QuantileHistogram("t")
+        h.observe(1.0)
+        assert set(h.percentiles()) == {"p50", "p95", "p99"}
+        assert set(h.percentiles((0.25, 0.999))) == {"p25", "p99.9"}
+
+    def test_out_of_range_samples_use_observed_extremes(self):
+        h = QuantileHistogram("t", lo=1e-3, hi=1e3)
+        h.observe(1e-6)   # underflow bucket
+        h.observe(1e6)    # overflow bucket
+        assert h.quantile(0.0) == pytest.approx(1e-6)
+        assert h.quantile(1.0) == pytest.approx(1e6)
+        assert h.summary()["min"] == pytest.approx(1e-6)
+        assert h.summary()["max"] == pytest.approx(1e6)
+
+    def test_quantile_out_of_domain_raises(self):
+        h = QuantileHistogram("t")
+        h.observe(1.0)
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_buckets_view_only_lists_occupied(self):
+        h = QuantileHistogram("t")
+        h.observe(0.01)
+        h.observe(0.01)
+        h.observe(5.0)
+        pairs = h.buckets()
+        assert sum(c for _, c in pairs) == 3
+        edges = [e for e, _ in pairs]
+        assert edges == sorted(edges)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        samples=st.lists(
+            st.floats(min_value=1e-6, max_value=9e4,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=200,
+        ),
+        q=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_quantile_error_bounded_by_bucket_resolution(self, samples, q):
+        """Estimate within one geometric bucket of the true nearest rank.
+
+        The nearest-rank sample lies in the bucket the cumulative walk
+        stops at (bucket order refines value order), and the estimate is
+        that bucket's geometric midpoint — so estimate/true is bounded
+        by the bucket growth factor on both sides.
+        """
+        h = QuantileHistogram("t")
+        for s in samples:
+            h.observe(s)
+        est = h.quantile(q)
+        target = max(1, math.ceil(q * len(samples)))
+        true = sorted(samples)[target - 1]
+        g = h.growth
+        assert true / g <= est <= true * g
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        a=st.lists(st.floats(min_value=1e-6, max_value=9e4,
+                             allow_nan=False, allow_infinity=False),
+                   max_size=50),
+        b=st.lists(st.floats(min_value=1e-6, max_value=9e4,
+                             allow_nan=False, allow_infinity=False),
+                   max_size=50),
+    )
+    def test_merge_equals_union_of_samples(self, a, b):
+        ha, hb, hu = (QuantileHistogram(n) for n in ("a", "b", "u"))
+        for s in a:
+            ha.observe(s)
+        for s in b:
+            hb.observe(s)
+        for s in a + b:
+            hu.observe(s)
+        ha.merge(hb)
+        assert ha._counts == hu._counts
+        assert ha.count == hu.count
+        sa, su = ha.summary(), hu.summary()
+        # sum/mean differ by float addition order; everything derived
+        # from counts and extremes is exact.
+        assert sa["sum"] == pytest.approx(su["sum"])
+        assert sa["mean"] == pytest.approx(su["mean"])
+        for key in ("count", "min", "max", "p50", "p95", "p99"):
+            assert sa[key] == su[key]
+
+
+class TestMerge:
+    def test_layout_mismatch_raises(self):
+        a = QuantileHistogram("a")
+        b = QuantileHistogram("b", buckets_per_decade=4)
+        with pytest.raises(ValueError, match="layout"):
+            a.merge(b)
+
+    def test_merge_tracks_extremes(self):
+        a, b = QuantileHistogram("a"), QuantileHistogram("b")
+        a.observe(1.0)
+        b.observe(0.001)
+        b.observe(50.0)
+        a.merge(b)
+        assert a.summary()["min"] == pytest.approx(0.001)
+        assert a.summary()["max"] == pytest.approx(50.0)
+        assert a.count == 3
+
+
+class TestRegistryIntegration:
+    def test_get_or_create_and_snapshot_key(self):
+        reg = MetricsRegistry()
+        q = reg.quantile("serve.topn.seconds")
+        assert reg.quantile("serve.topn.seconds") is q
+        q.observe(0.002)
+        snap = reg.snapshot()
+        assert set(snap) == {"counters", "gauges", "histograms", "quantiles"}
+        assert snap["quantiles"]["serve.topn.seconds"]["count"] == 1
+
+    def test_layout_args_apply_on_creation_only(self):
+        reg = MetricsRegistry()
+        q = reg.quantile("x", buckets_per_decade=4)
+        assert q.buckets_per_decade == 4
+        assert reg.quantile("x", buckets_per_decade=24) is q
+
+    def test_reset_clears_quantiles(self):
+        reg = MetricsRegistry()
+        reg.quantile("x").observe(1.0)
+        reg.reset()
+        assert reg.snapshot()["quantiles"] == {}
+
+    def test_default_quantiles_constant(self):
+        assert DEFAULT_QUANTILES == (0.5, 0.95, 0.99)

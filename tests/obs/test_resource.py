@@ -1,0 +1,76 @@
+"""The stdlib-only resource sampler and its raw readers."""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.resource import ResourceSampler, cpu_seconds, peak_rss_bytes, rss_bytes
+
+
+class TestReaders:
+    def test_cpu_seconds_monotone_nonnegative(self):
+        a = cpu_seconds()
+        sum(i * i for i in range(200_000))  # burn a little CPU
+        b = cpu_seconds()
+        assert 0.0 <= a <= b
+
+    @pytest.mark.skipif(sys.platform == "win32", reason="no /proc, no rusage")
+    def test_rss_readers_plausible(self):
+        rss = rss_bytes()
+        peak = peak_rss_bytes()
+        # A running CPython interpreter is comfortably above 1 MB and
+        # under 1 TB; the peak high-water mark is at least current RSS
+        # (modulo page rounding between the two sources).
+        if rss is not None:
+            assert 1 << 20 < rss < 1 << 40
+        if peak is not None:
+            assert 1 << 20 < peak < 1 << 40
+        if rss is not None and peak is not None:
+            assert peak >= rss // 2
+
+
+class TestSampler:
+    def test_bad_interval_raises(self):
+        with pytest.raises(ValueError):
+            ResourceSampler(interval=0)
+
+    def test_sample_records_into_registry(self):
+        reg = MetricsRegistry()
+        recorded = ResourceSampler(registry=reg).sample()
+        snap = reg.snapshot()
+        assert "proc.cpu_seconds" in recorded
+        assert snap["gauges"]["proc.cpu_seconds"] == recorded["proc.cpu_seconds"]
+        assert snap["counters"]["proc.samples"] == 1
+        if "proc.rss_bytes" in recorded:  # Linux with /proc
+            assert snap["histograms"]["proc.rss.sampled_bytes"]["count"] == 1
+
+    def test_context_manager_samples_on_enter_and_exit(self):
+        reg = MetricsRegistry()
+        with ResourceSampler(interval=10.0, registry=reg) as sampler:
+            assert sampler.running
+            assert reg.snapshot()["counters"]["proc.samples"] == 1  # start
+        assert not sampler.running
+        assert reg.snapshot()["counters"]["proc.samples"] == 2  # + stop
+
+    def test_background_thread_keeps_sampling(self):
+        reg = MetricsRegistry()
+        with ResourceSampler(interval=0.01, registry=reg):
+            time.sleep(0.08)
+        assert reg.snapshot()["counters"]["proc.samples"] >= 4
+
+    def test_start_is_idempotent_and_stop_without_start_is_noop(self):
+        reg = MetricsRegistry()
+        sampler = ResourceSampler(interval=10.0, registry=reg)
+        sampler.stop()  # never started: no-op, no sample
+        assert reg.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}, "quantiles": {},
+        }
+        sampler.start()
+        try:
+            assert sampler.start() is sampler
+        finally:
+            sampler.stop()

@@ -122,8 +122,15 @@ class TestDisabled:
         obs_metrics.inc("c")
         obs_metrics.set_gauge("g", 5)
         obs_metrics.observe("h", 1.0)
+        obs_metrics.observe_quantile("q", 1.0)
+        obs_metrics.observe_latency("l", 1.0)
         snap = obs_metrics.snapshot()
-        assert snap == {"counters": {}, "gauges": {}, "histograms": {}}
+        assert snap == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "quantiles": {},
+        }
         spans.enable()
         obs_metrics.inc("c", 2)
         assert obs_metrics.snapshot()["counters"]["c"] == 2
