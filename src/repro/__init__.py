@@ -40,7 +40,14 @@ from repro.core import (
     evaluate_ranking,
     recommend_top_n_batch,
 )
-from repro.sparse import COOMatrix, CSRMatrix, CSCMatrix
+from repro.sparse import (
+    COOMatrix,
+    CSRMatrix,
+    CSCMatrix,
+    ShardStore,
+    ShardedCSR,
+    configure_sharding,
+)
 from repro.datasets import (
     DatasetSpec,
     MOVIELENS1M,
@@ -51,11 +58,15 @@ from repro.datasets import (
     TABLE_I,
     dataset_by_name,
     generate_ratings,
+    generate_ratings_chunked,
     degree_sequences,
     planted_problem,
     train_test_split,
     load_ratings,
     save_ratings,
+    iter_rating_file,
+    build_shard_store,
+    build_store_from_rating_file,
 )
 from repro.clsim import (
     DeviceSpec,
@@ -101,6 +112,9 @@ __all__ = [
     "COOMatrix",
     "CSRMatrix",
     "CSCMatrix",
+    "ShardStore",
+    "ShardedCSR",
+    "configure_sharding",
     # datasets
     "DatasetSpec",
     "MOVIELENS1M",
@@ -111,11 +125,15 @@ __all__ = [
     "TABLE_I",
     "dataset_by_name",
     "generate_ratings",
+    "generate_ratings_chunked",
     "degree_sequences",
     "planted_problem",
     "train_test_split",
     "load_ratings",
     "save_ratings",
+    "iter_rating_file",
+    "build_shard_store",
+    "build_store_from_rating_file",
     # simulator
     "DeviceSpec",
     "DeviceKind",

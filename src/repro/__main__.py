@@ -1,6 +1,6 @@
 """``python -m repro`` — alias for the repro-als CLI."""
 
-from repro.cli import main
+from repro.cli import _entry
 
 if __name__ == "__main__":
-    raise SystemExit(main())
+    raise SystemExit(_entry())

@@ -10,8 +10,10 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import asdict
+from pathlib import Path
 
 import numpy as np
+from numpy.lib.format import open_memmap
 
 from repro.core.als import ALSConfig, ALSModel, IterationStats, ratings_views, train_als
 from repro.core.alswr import train_als_wr
@@ -22,8 +24,14 @@ from repro.obs.spans import span
 from repro.serving.engine import TopNEngine, TopNResult
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
+from repro.sparse.shards import ShardStore, ShardedCSR
 
 __all__ = ["Recommender"]
+
+#: Rows copied per chunk when writing factor checkpoints — bounds the
+#: transient footprint of ``save`` to one chunk instead of a full second
+#: copy of the factors (the ``.npz`` writer's compression buffer).
+_SAVE_CHUNK_ROWS = 1 << 16
 
 _ALGORITHMS = {"als": train_als, "als-wr": train_als_wr, "implicit": train_implicit_als}
 
@@ -58,22 +66,29 @@ class Recommender:
             self.config = ALSConfig(k=k, lam=lam, iterations=iterations, seed=seed)
         self.algorithm = algorithm
         self._model: ALSModel | ImplicitModel | None = None
-        self._train_csr: CSRMatrix | None = None
+        self._train_csr: CSRMatrix | ShardedCSR | None = None
         self._engine: TopNEngine | None = None
 
     # ------------------------------------------------------------------
     # training
     # ------------------------------------------------------------------
-    def fit(self, ratings: COOMatrix | CSRMatrix) -> "Recommender":
+    def fit(self, ratings: COOMatrix | CSRMatrix | ShardStore) -> "Recommender":
         """Train the factor model on observed ratings.
 
-        The input is converted to CSR exactly once; the same view feeds
-        the trainer and the ``exclude_seen`` filter of ``recommend``.
+        An in-RAM input is converted to CSR exactly once; the same view
+        feeds the trainer and the ``exclude_seen`` filter of
+        ``recommend``.  A :class:`ShardStore` trains out of core and its
+        memory-mapped row view serves the exclusion filter (per-user
+        gathers touch only the pages holding those rows).
         """
         with span("recommender.fit", algorithm=self.algorithm, k=self.config.k):
-            _, csr = ratings_views(ratings)
-            self._model = _ALGORITHMS[self.algorithm](csr, self.config)
-            self._train_csr = csr
+            if isinstance(ratings, ShardStore):
+                self._model = _ALGORITHMS[self.algorithm](ratings, self.config)
+                self._train_csr = ratings.rows
+            else:
+                _, csr = ratings_views(ratings)
+                self._model = _ALGORITHMS[self.algorithm](csr, self.config)
+                self._train_csr = csr
             self._engine = None  # factors changed; rebuild lazily
         return self
 
@@ -163,13 +178,20 @@ class Recommender:
     # persistence
     # ------------------------------------------------------------------
     def save(self, path: str | os.PathLike) -> None:
-        """Persist factors, hyper-parameters and the training history to
-        one ``.npz`` file.
+        """Persist factors, hyper-parameters and the training history.
+
+        The default format is a checkpoint *directory* — ``X.npy`` and
+        ``Y.npy`` written through :func:`numpy.lib.format.open_memmap`
+        in row chunks (peak transient memory is one chunk, and memmapped
+        factors stream disk-to-disk without ever being resident), plus a
+        ``meta.json`` sidecar.  A ``path`` ending in ``.npz`` selects
+        the legacy single-file compressed envelope instead, which
+        materializes a second copy of the factors while compressing.
 
         Explicit (:class:`ALSModel`) and implicit
         (:class:`~repro.core.implicit.ImplicitModel`) models share the
-        same envelope: ``X``/``Y`` factor arrays plus a JSON ``meta``
-        buffer whose ``algorithm`` field selects the reconstruction path.
+        same envelope: ``X``/``Y`` factor arrays plus JSON metadata
+        whose ``algorithm`` field selects the reconstruction path.
         Implicit history is the per-iteration weighted loss (floats);
         explicit history is the per-iteration :class:`IterationStats`.
         """
@@ -183,32 +205,82 @@ class Recommender:
             "config": asdict(self.config),
             "history": history,
         }
-        np.savez_compressed(
-            path,
-            X=model.X,
-            Y=model.Y,
-            meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
-        )
+        if str(path).endswith(".npz"):
+            np.savez_compressed(
+                path,
+                X=np.asarray(model.X),
+                Y=np.asarray(model.Y),
+                meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+            )
+            return
+        directory = Path(path)
+        directory.mkdir(parents=True, exist_ok=True)
+        for name, arr in (("X", model.X), ("Y", model.Y)):
+            dst = open_memmap(
+                directory / f"{name}.npy", mode="w+",
+                dtype=arr.dtype, shape=arr.shape,
+            )
+            for a in range(0, arr.shape[0], _SAVE_CHUNK_ROWS):
+                b = min(a + _SAVE_CHUNK_ROWS, arr.shape[0])
+                dst[a:b] = arr[a:b]
+            dst.flush()
+            del dst
+        # meta.json is written last: a directory holding factor files but
+        # no metadata is an interrupted save, and load() rejects it.
+        (directory / "meta.json").write_text(json.dumps(meta))
 
     @classmethod
-    def load(cls, path: str | os.PathLike) -> "Recommender":
+    def load(
+        cls, path: str | os.PathLike, mmap_mode: str | None = None
+    ) -> "Recommender":
         """Restore a saved recommender (query-ready; training data is not
         persisted, so ``recommend`` defaults to no exclusion).
+
+        Directory checkpoints (the :meth:`save` default) support
+        ``mmap_mode="r"``: the factors stay on disk and pages fault in
+        as queries touch them, so a model larger than RAM can serve.
+        Legacy ``.npz`` files load eagerly and reject ``mmap_mode``
+        (a zip member cannot be mapped).
 
         Raises :class:`ValueError` — not a bare ``KeyError`` — when the
         file is missing envelope entries, names an unknown algorithm, or
         holds factors whose shapes disagree with the stored config.
         """
-        with np.load(path) as data:
-            missing = [key for key in ("X", "Y", "meta") if key not in data.files]
+        p = Path(path)
+        if p.is_dir():
+            meta_path = p / "meta.json"
+            missing = [
+                f.name for f in (meta_path, p / "X.npy", p / "Y.npy")
+                if not f.is_file()
+            ]
             if missing:
                 raise ValueError(
-                    f"{path}: not a Recommender checkpoint — missing "
-                    f"{', '.join(missing)} (has: {', '.join(data.files) or 'nothing'})"
+                    f"{path}: not a Recommender checkpoint directory — "
+                    f"missing {', '.join(missing)}"
                 )
-            meta = json.loads(bytes(data["meta"].tobytes()).decode())
-            X = data["X"]
-            Y = data["Y"]
+            meta = json.loads(meta_path.read_text())
+            X = np.load(p / "X.npy", mmap_mode=mmap_mode)
+            Y = np.load(p / "Y.npy", mmap_mode=mmap_mode)
+        else:
+            if mmap_mode is not None:
+                raise ValueError(
+                    "mmap_mode requires a directory checkpoint; "
+                    f"{path} is a legacy .npz file (members of a zip "
+                    "archive cannot be memory-mapped)"
+                )
+            with np.load(path) as data:
+                missing = [
+                    key for key in ("X", "Y", "meta") if key not in data.files
+                ]
+                if missing:
+                    raise ValueError(
+                        f"{path}: not a Recommender checkpoint — missing "
+                        f"{', '.join(missing)} "
+                        f"(has: {', '.join(data.files) or 'nothing'})"
+                    )
+                meta = json.loads(bytes(data["meta"].tobytes()).decode())
+                X = data["X"]
+                Y = data["Y"]
         algorithm = meta.get("algorithm")
         if algorithm not in _ALGORITHMS:
             known = ", ".join(sorted(_ALGORITHMS))

@@ -33,8 +33,20 @@ from repro.autotune.serving import (
     cached_serving_decisions,
     clear_serving_cache,
 )
+from repro.autotune.sharding import (
+    ShardingDecision,
+    measure_sharding,
+    select_sharding,
+    cached_sharding_decisions,
+    clear_sharding_cache,
+)
 
 __all__ = [
+    "ShardingDecision",
+    "measure_sharding",
+    "select_sharding",
+    "cached_sharding_decisions",
+    "clear_sharding_cache",
     "ServingDecision",
     "measure_serving",
     "select_serving",

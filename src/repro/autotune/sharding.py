@@ -1,0 +1,146 @@
+"""Empirical selection of the out-of-core shard byte budget.
+
+The paper picks device code variants by *measuring* candidates on the
+target execution context (§III-D); earlier PRs applied that loop to the
+host assembly, the S3 solve and the serving tile.  This module applies
+it to the out-of-core training path: the shard byte budget trades IO
+batching (big shards amortize memmap page faults and prefetch overhead)
+against residency (small shards keep the sweep's working set inside the
+cache hierarchy and the process inside its memory cap).  The sweet spot
+depends on the store's shape and ``k``, so it is measured, not guessed:
+time one X half-sweep per candidate budget on the actual store and keep
+the fastest.
+
+Budgets whose whole-row span plan collapses to the same shard count as
+an already-measured candidate are skipped — on a store smaller than the
+budget every candidate degenerates to one resident shard and there is
+nothing to compare.
+
+Verdicts cache per ``(k, nnz-bucket)`` like the other autotuners, so a
+``tune-sharding``-style probe pays the measurement once per context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from time import perf_counter
+
+import numpy as np
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.spans import is_enabled
+from repro.parallel.executor import solve_bytes_per_row
+from repro.sparse.shards import MIN_SHARD_BYTES, ShardStore
+
+__all__ = [
+    "ShardingDecision",
+    "measure_sharding",
+    "select_sharding",
+    "cached_sharding_decisions",
+    "clear_sharding_cache",
+    "SHARD_CANDIDATES",
+]
+
+#: Shard byte budgets probed, spanning cache-resident to IO-amortizing.
+SHARD_CANDIDATES = (16 << 20, 64 << 20, 256 << 20, 1 << 30)
+
+_CACHE: dict[tuple[int, int], "ShardingDecision"] = {}
+
+
+@dataclass(frozen=True)
+class ShardingDecision:
+    """One measured shard-budget verdict for a ``(k, nnz-bucket)`` context."""
+
+    shard_bytes: int  # winning byte budget
+    seconds: dict[int, float]  # sweep time per measured candidate
+    shards: dict[int, int]  # resident-shard count per measured candidate
+    nnz: int
+    k: int
+    nnz_bucket: int  # power-of-two bucket the store's nnz hashed to
+
+    @property
+    def speedup(self) -> float:
+        """Winner's margin over the slowest candidate (>= 1)."""
+        lo = self.seconds[self.shard_bytes]
+        hi = max(self.seconds.values())
+        return hi / lo if lo > 0 else float("inf")
+
+
+def _nnz_bucket(nnz: int) -> int:
+    """Round up to a power of two (1 for empty stores)."""
+    return 1 << max(0, int(nnz - 1).bit_length())
+
+
+def measure_sharding(
+    store: ShardStore,
+    k: int = 10,
+    repeats: int = 1,
+    seed: int = 0,
+    candidates: tuple[int, ...] = SHARD_CANDIDATES,
+) -> ShardingDecision:
+    """Time one X half-sweep per candidate budget on the actual store."""
+    from repro.kernels.fastpath import fast_half_sweep
+
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    if not candidates:
+        raise ValueError("candidates must be non-empty")
+    rng = np.random.default_rng(seed)
+    n = store.shape[1]
+    Y = rng.uniform(-0.1, 0.1, size=(n, k))
+    extra = solve_bytes_per_row(k)
+    seconds: dict[int, float] = {}
+    shards: dict[int, int] = {}
+    seen_plans: set[int] = set()
+    for budget in sorted(int(b) for b in candidates):
+        if budget < MIN_SHARD_BYTES:
+            raise ValueError(
+                f"candidate budgets must be >= {MIN_SHARD_BYTES}, got {budget}"
+            )
+        view = ShardStore.open(store.directory, shard_bytes=budget).rows
+        n_spans = len(view.shards(extra))
+        if n_spans in seen_plans:
+            continue  # identical span plan — nothing new to measure
+        seen_plans.add(n_spans)
+        fast_half_sweep(view, Y, 0.1)  # warm the page cache / first faults
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = perf_counter()
+            fast_half_sweep(view, Y, 0.1)
+            best = min(best, perf_counter() - t0)
+        view.release_pages()
+        seconds[budget] = best
+        shards[budget] = n_spans
+    winner = min(seconds, key=seconds.get)
+    return ShardingDecision(
+        shard_bytes=winner,
+        seconds=seconds,
+        shards=shards,
+        nnz=store.nnz,
+        k=int(k),
+        nnz_bucket=_nnz_bucket(store.nnz),
+    )
+
+
+def select_sharding(store: ShardStore, k: int = 10) -> ShardingDecision:
+    """The measured-best shard budget for this store and ``k``, cached."""
+    key = (int(k), _nnz_bucket(store.nnz))
+    decision = _CACHE.get(key)
+    if decision is None:
+        decision = measure_sharding(store, k)
+        _CACHE[key] = decision
+        if is_enabled():
+            obs_metrics.inc("shard.auto.measurements")
+    return decision
+
+
+def cached_sharding_decisions() -> tuple[ShardingDecision, ...]:
+    """Every verdict this process has measured."""
+    return tuple(_CACHE[key] for key in sorted(_CACHE))
+
+
+def clear_sharding_cache() -> None:
+    """Forget all cached verdicts (tests and re-tuning)."""
+    _CACHE.clear()

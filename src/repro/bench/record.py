@@ -12,7 +12,11 @@ stamps the payload with
   whether a baseline is same-host comparable, and
 * ``gauges`` — the global metrics registry's gauge snapshot at write
   time, so assembly/serving peak-scratch readings travel with the
-  record.
+  record, and
+* ``resources`` — the process's RSS / peak-RSS / CPU readings from
+  :mod:`repro.obs.resource`, so every record documents the memory
+  footprint of the run that produced it (the out-of-core benchmarks'
+  headline claim).
 
 The optional ``--metrics``/``--trace`` flags added by
 :func:`add_telemetry_args` dump the run's full registry snapshot and
@@ -38,6 +42,7 @@ from repro.obs.spans import SpanRecord, enable, get_tracer
 __all__ = [
     "SCHEMA_VERSION",
     "host_fingerprint",
+    "resource_snapshot",
     "stamp",
     "write_record",
     "add_telemetry_args",
@@ -80,7 +85,21 @@ def host_fingerprint() -> dict:
     }
 
 
-def stamp(payload: dict, gauges: bool = True) -> dict:
+def resource_snapshot() -> dict:
+    """Current process resource readings (keys omitted where unreadable)."""
+    from repro.obs import resource as obs_resource
+
+    snap: dict = {"cpu_seconds": obs_resource.cpu_seconds()}
+    rss = obs_resource.rss_bytes()
+    if rss is not None:
+        snap["rss_bytes"] = int(rss)
+    peak = obs_resource.peak_rss_bytes()
+    if peak is not None:
+        snap["peak_rss_bytes"] = int(peak)
+    return snap
+
+
+def stamp(payload: dict, gauges: bool = True, resources: bool = True) -> dict:
     """The payload plus the shared envelope fields (input not mutated)."""
     stamped = dict(payload)
     stamped["schema_version"] = SCHEMA_VERSION
@@ -89,6 +108,8 @@ def stamp(payload: dict, gauges: bool = True) -> dict:
         snap = obs_metrics.snapshot()
         if snap["gauges"]:
             stamped["gauges"] = snap["gauges"]
+    if resources and "resources" not in stamped:
+        stamped["resources"] = resource_snapshot()
     return stamped
 
 

@@ -10,6 +10,13 @@ Usage::
     repro-als tune-assembly ML1M   # measure scatter vs binned host assembly
     repro-als tune-solver ML1M     # measure the S3 solver variants
     repro-als tune-serving ML1M    # measure serving tile size x dtype
+    repro-als tune-sharding NTFX   # measure out-of-core shard budgets
+    repro-als train NTFX --out-of-core --scale 0.1 --save model
+                                   # pack a shard store and train the
+                                   # blocked out-of-core sweeps on it
+    repro-als train /data/store --memmap-factors
+                                   # train on a prebuilt shard store with
+                                   # .npy-backed factor matrices
     repro-als recommend ML1M --n 10 --tile-bytes 8388608
                                    # train on a synthetic ML1M sample and
                                    # serve top-N through the tiled engine
@@ -41,7 +48,9 @@ way: ``--solver {cholesky,gaussian,lapack,auto}`` (``REPRO_SOLVER``)
 and ``--workers {auto,N}`` (``REPRO_WORKERS``).  The serving engine's
 tile budget and score precision follow the same pattern:
 ``--tile-bytes {B,auto}`` (``REPRO_SERVE_TILE_BYTES``) and
-``--serve-dtype {float32,float64,auto}`` (``REPRO_SERVE_DTYPE``).
+``--serve-dtype {float32,float64,auto}`` (``REPRO_SERVE_DTYPE``), as
+does the out-of-core shard budget: ``--shard-bytes B``
+(``REPRO_SHARD_BYTES``).
 """
 
 from __future__ import annotations
@@ -176,6 +185,135 @@ def _run_tune_serving(ns: argparse.Namespace) -> int:
         f"({decision.speedup:.2f}x over the slowest); cached for "
         f"(k={decision.k}, n<={decision.n_bucket})"
     )
+    return 0
+
+
+def _resolve_training_input(
+    name_or_dir: str, ns: argparse.Namespace, *, out_of_core: bool
+):
+    """``(ratings_or_store, label)`` from a dataset name or a store dir.
+
+    A path holding a shard store trains out of core directly; a dataset
+    name generates a synthetic sample at ``--scale`` and, with
+    ``--out-of-core``, packs it into a shard store first (``--store``
+    names the directory, default a fresh temp dir).
+    """
+    import tempfile
+
+    from repro.datasets.shardio import build_shard_store
+    from repro.datasets.synthetic import generate_ratings
+    from repro.sparse.shards import ShardStore, is_shard_store
+
+    if is_shard_store(name_or_dir):
+        store = ShardStore.open(name_or_dir)
+        m, n = store.shape
+        return store, f"{name_or_dir} (m={m}, n={n}, nnz={store.nnz})"
+    spec = dataset_by_name(name_or_dir)
+    scale = ns.scale if ns.scale is not None else min(1.0, 500_000 / spec.nnz)
+    spec = spec.scaled(scale)
+    ratings = generate_ratings(spec, seed=ns.seed)
+    label = f"{spec.abbr} scale={scale:g} (m={spec.m}, n={spec.n}, nnz={ratings.nnz})"
+    if not out_of_core:
+        return ratings, label
+    dest = ns.store or tempfile.mkdtemp(prefix="repro-store-")
+    store = build_shard_store(dest, ratings, overwrite=ns.store is None)
+    return store, f"{label} -> {dest}"
+
+
+def _run_train(ns: argparse.Namespace) -> int:
+    if len(ns.args) != 1:
+        print("usage: repro-als train <dataset|store-dir> [--algorithm A]"
+              " [--k K] [--iterations I] [--out-of-core] [--memmap-factors]"
+              " [--store DIR] [--save PATH] [--scale S] [--shard-bytes B]",
+              file=sys.stderr)
+        return 2
+    from time import perf_counter
+
+    from repro.api import Recommender
+    from repro.sparse.shards import ShardStore
+
+    try:
+        source, label = _resolve_training_input(
+            ns.args[0], ns, out_of_core=ns.out_of_core
+        )
+    except (KeyError, FileNotFoundError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    rec = Recommender(
+        k=ns.k, iterations=ns.iterations, seed=ns.seed,
+        algorithm=ns.algorithm, alpha=ns.alpha,
+    )
+    if ns.memmap_factors:
+        cfg = rec.config
+        rec.config = type(cfg)(**{**_cfg_dict(cfg), "factors": "memmap"})
+    mode = "out-of-core" if isinstance(source, ShardStore) else "in-RAM"
+    print(f"training {ns.algorithm} on {label} [{mode}"
+          f"{', memmap factors' if ns.memmap_factors else ''}]")
+    t0 = perf_counter()
+    if ns.metrics:
+        from repro.obs import metrics as obs_metrics
+        from repro.obs.export import metrics_payload
+        from repro.obs.spans import capture
+
+        import json
+        from pathlib import Path
+
+        obs_metrics.reset()
+        with capture() as tracer:
+            rec.fit(source)
+        payload = metrics_payload(
+            obs_metrics.get_registry(),
+            tuple(tracer.records),
+            meta={"command": "train", "dataset": label, "mode": mode},
+        )
+        Path(ns.metrics).write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"metrics written to {ns.metrics}")
+    else:
+        rec.fit(source)
+    seconds = perf_counter() - t0
+    nnz = source.nnz
+    print(f"{ns.iterations} iterations in {seconds:.2f} s "
+          f"({nnz * ns.iterations / max(seconds, 1e-9):,.0f} ratings/s)")
+    history = rec.model.history
+    if history:
+        last = history[-1]
+        if hasattr(last, "train_rmse"):
+            print(f"final train RMSE: {last.train_rmse:.4f}")
+        else:
+            print(f"final weighted loss: {last:.4f}")
+    if ns.save:
+        rec.save(ns.save)
+        print(f"model saved to {ns.save}")
+    return 0
+
+
+def _cfg_dict(cfg) -> dict:
+    from dataclasses import asdict
+
+    return asdict(cfg)
+
+
+def _run_tune_sharding(ns: argparse.Namespace) -> int:
+    if len(ns.args) != 1:
+        print("usage: repro-als tune-sharding <dataset|store-dir> [--k K]",
+              file=sys.stderr)
+        return 2
+    from repro.autotune.sharding import measure_sharding
+    from repro.sparse.shards import ShardStore
+
+    try:
+        source, label = _resolve_training_input(ns.args[0], ns, out_of_core=True)
+    except (KeyError, FileNotFoundError, ValueError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    assert isinstance(source, ShardStore)
+    decision = measure_sharding(source, k=ns.k)
+    print(f"shard budgets on {label}, k={ns.k}:")
+    for budget, seconds in sorted(decision.seconds.items()):
+        print(f"  {budget >> 20:5d} MB  {decision.shards[budget]:3d} shards  "
+              f"{seconds * 1e3:9.2f} ms/half-sweep")
+    print(f"best: {decision.shard_bytes >> 20} MB "
+          f"({decision.speedup:.2f}x over the slowest)")
     return 0
 
 
@@ -324,13 +462,15 @@ def main(argv: list[str] | None = None) -> int:
         "command",
         help="experiment id (table1, fig1, fig6..fig10, ksweep), 'all', 'list', "
         "'summary', 'tune', 'tune-assembly', 'tune-solver', 'tune-serving', "
-        "'recommend', 'emit-cl', 'profile', 'perf-gate' or 'serve-metrics'",
+        "'tune-sharding', 'train', 'recommend', 'emit-cl', 'profile', "
+        "'perf-gate' or 'serve-metrics'",
     )
     parser.add_argument(
         "args", nargs="*",
         help="for tune: <device> <dataset>; for profile/tune-assembly/"
-        "tune-solver/tune-serving/recommend: <dataset>; for perf-gate: "
-        "benchmark record JSON files",
+        "tune-solver/tune-serving/recommend: <dataset>; for train/"
+        "tune-sharding: <dataset> or a shard-store directory; for "
+        "perf-gate: benchmark record JSON files",
     )
     parser.add_argument("--k", type=int, default=10, help="latent factor (default 10)")
     parser.add_argument(
@@ -407,6 +547,31 @@ def main(argv: list[str] | None = None) -> int:
         help="serving score precision (default: float64; 'auto' = measure)",
     )
     parser.add_argument(
+        "--shard-bytes", type=int, default=None, metavar="B",
+        help="out-of-core shard byte budget per resident CSR shard "
+        "(default 256 MB; REPRO_SHARD_BYTES)",
+    )
+    parser.add_argument(
+        "--out-of-core", action="store_true",
+        help="train: pack the dataset into a shard store and run the "
+        "blocked out-of-core sweeps",
+    )
+    parser.add_argument(
+        "--memmap-factors", action="store_true",
+        help="train: back the factor matrices with .npy memory maps "
+        "instead of heap arrays",
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="train/tune-sharding: shard-store directory to build "
+        "(default: a fresh temp dir)",
+    )
+    parser.add_argument(
+        "--save", default=None, metavar="PATH",
+        help="train: persist the model here (directory checkpoint; a "
+        ".npz suffix selects the legacy envelope)",
+    )
+    parser.add_argument(
         "--metrics-port", type=int, default=None, metavar="PORT",
         help="expose a Prometheus /metrics + /healthz HTTP endpoint on this "
         "port for the duration of the command (0 = ephemeral)",
@@ -464,6 +629,14 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError as exc:
             print(str(exc), file=sys.stderr)
             return 2
+    if ns.shard_bytes is not None:
+        from repro.sparse.shards import configure_sharding
+
+        try:
+            configure_sharding(ns.shard_bytes)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
 
     if ns.command == "serve-metrics":
         return _run_serve_metrics(ns)
@@ -514,6 +687,10 @@ def _dispatch(ns: argparse.Namespace) -> int:
         return _run_tune_solver(ns)
     if ns.command == "tune-serving":
         return _run_tune_serving(ns)
+    if ns.command == "tune-sharding":
+        return _run_tune_sharding(ns)
+    if ns.command == "train":
+        return _run_train(ns)
     if ns.command == "recommend":
         return _run_recommend(ns)
     if ns.command == "profile":

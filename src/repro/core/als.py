@@ -8,6 +8,7 @@ fixed-iteration regime the paper benchmarks (5 iterations, k = 10,
 
 from __future__ import annotations
 
+import tempfile
 from dataclasses import dataclass, field
 from time import perf_counter
 
@@ -23,6 +24,7 @@ from repro.obs.spans import span
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.csr import CSRMatrix
+from repro.sparse.shards import ShardStore, ShardedCSR
 
 __all__ = [
     "ALSConfig",
@@ -30,7 +32,10 @@ __all__ = [
     "ALSModel",
     "train_als",
     "ratings_views",
+    "training_views",
 ]
+
+FACTOR_MODES = ("ram", "memmap")
 
 
 @dataclass(frozen=True)
@@ -62,6 +67,11 @@ class ALSConfig:
     # Half-sweep parallelism: "auto" = one worker per core, N = exactly N
     # threads; None defers to configure_workers / REPRO_WORKERS (serial).
     workers: int | str | None = None
+    # Factor-matrix backing: "ram" (heap arrays, the default) or "memmap"
+    # (.npy-backed maps with per-shard spill — the out-of-core trainers'
+    # option for shapes where even X and Y strain memory).
+    factors: str = "ram"
+    factors_dir: str | None = None  # memmap location; None = fresh temp dir
 
     def __post_init__(self) -> None:
         if self.k <= 0:
@@ -94,6 +104,10 @@ class ALSConfig:
             )
         if self.workers is not None:
             _parse_workers(self.workers)  # raises on bad specs
+        if self.factors not in FACTOR_MODES:
+            raise ValueError(
+                f"factors must be one of {FACTOR_MODES}, got {self.factors!r}"
+            )
 
 
 @dataclass(frozen=True)
@@ -142,35 +156,67 @@ def ratings_views(ratings: COOMatrix | CSRMatrix) -> tuple[COOMatrix, CSRMatrix]
     raise TypeError(f"ratings must be COOMatrix or CSRMatrix, got {type(ratings)}")
 
 
+def training_views(
+    ratings: COOMatrix | CSRMatrix | ShardStore,
+) -> tuple[CSRMatrix | ShardedCSR, CSRMatrix | ShardedCSR | None, object]:
+    """``(R_rows, R_cols, loss_view)`` for in-RAM or out-of-core input.
+
+    A :class:`ShardStore` contributes both pre-materialized orientations
+    (nothing to transpose at train time) and its row view doubles as the
+    streaming loss view.  For in-RAM input ``R_cols`` comes back ``None``
+    — the trainer builds the CSC view inside its ``als.build_views``
+    span, where the conversion cost is attributed.
+    """
+    if isinstance(ratings, ShardStore):
+        return ratings.rows, ratings.cols, ratings.rows
+    coo, R_rows = ratings_views(ratings)
+    return R_rows, None, coo
+
+
+def resolve_factor_dir(config: "ALSConfig") -> str | None:
+    """The memmap directory for factor spill (``None`` for RAM factors)."""
+    if config.factors != "memmap":
+        return None
+    return config.factors_dir or tempfile.mkdtemp(prefix="repro-factors-")
+
+
 def train_als(
-    ratings: COOMatrix | CSRMatrix,
+    ratings: COOMatrix | CSRMatrix | ShardStore,
     config: ALSConfig | None = None,
     validation: COOMatrix | None = None,
 ) -> ALSModel:
     """Factorize ``ratings ≈ X Yᵀ`` with alternating least squares.
 
-    Accepts COO (converted once) or a prebuilt CSR matrix.  Each iteration
-    performs the two half-sweeps of Algorithm 1: rows over the CSR view,
-    columns over the CSC view (as the paper stores them, §III-A).  When a
+    Accepts COO (converted once), a prebuilt CSR matrix, or an on-disk
+    :class:`ShardStore` — the out-of-core path, where each half-sweep
+    streams byte-budgeted row-range shards of its natural orientation
+    and the loss is accumulated the same way.  Each iteration performs
+    the two half-sweeps of Algorithm 1: rows over the CSR view, columns
+    over the CSC view (as the paper stores them, §III-A).  When a
     ``validation`` set is given its RMSE is tracked per iteration.
     """
     config = config or ALSConfig()
-    coo, R_rows = ratings_views(ratings)
+    R_rows, R_cols, loss_view = training_views(ratings)
+    sharded = R_cols is not None
     with span(
         "als.train",
         algorithm="als",
         k=config.k,
         iterations=config.iterations,
-        nnz=coo.nnz,
+        nnz=R_rows.nnz,
+        out_of_core=sharded,
     ):
         with span("als.build_views"):
-            R_cols = CSCMatrix.from_csr(R_rows).transpose_as_csr()
+            if R_cols is None:
+                R_cols = CSCMatrix.from_csr(R_rows).transpose_as_csr()
             m, n = R_rows.shape
             X, Y = init_factors(
-                m, n, config.k, seed=config.seed, scale=config.init_scale
+                m, n, config.k, seed=config.seed, scale=config.init_scale,
+                memmap_dir=resolve_factor_dir(config),
             )
 
         model = ALSModel(X=X, Y=Y, config=config)
+        inplace = config.factors == "memmap"
         sweep_kw = dict(
             solver=config.solver, cholesky=config.cholesky,
             assembly=config.assembly, tile_nnz=config.tile_nnz,
@@ -183,7 +229,8 @@ def train_als(
                     t_hs = perf_counter()
                     with span("als.half_sweep", side="X", iteration=it):
                         X = executor.half_sweep(
-                            R_rows, Y, config.lam, X_prev=X, **sweep_kw
+                            R_rows, Y, config.lam, X_prev=X,
+                            out=X if inplace else None, **sweep_kw
                         )
                     obs_metrics.observe_latency(
                         "als.half_sweep.seconds", perf_counter() - t_hs
@@ -191,7 +238,8 @@ def train_als(
                     t_hs = perf_counter()
                     with span("als.half_sweep", side="Y", iteration=it):
                         Y = executor.half_sweep(
-                            R_cols, X, config.lam, X_prev=Y, **sweep_kw
+                            R_cols, X, config.lam, X_prev=Y,
+                            out=Y if inplace else None, **sweep_kw
                         )
                     obs_metrics.observe_latency(
                         "als.half_sweep.seconds", perf_counter() - t_hs
@@ -201,8 +249,10 @@ def train_als(
                             model.history.append(
                                 IterationStats(
                                     iteration=it,
-                                    loss=regularized_loss(coo, X, Y, config.lam),
-                                    train_rmse=rmse(coo, X, Y),
+                                    loss=regularized_loss(
+                                        loss_view, X, Y, config.lam
+                                    ),
+                                    train_rmse=rmse(loss_view, X, Y),
                                     validation_rmse=(
                                         rmse(validation, X, Y)
                                         if validation is not None

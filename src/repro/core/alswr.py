@@ -16,7 +16,13 @@ from time import perf_counter
 
 import numpy as np
 
-from repro.core.als import ALSConfig, ALSModel, IterationStats, ratings_views
+from repro.core.als import (
+    ALSConfig,
+    ALSModel,
+    IterationStats,
+    resolve_factor_dir,
+    training_views,
+)
 from repro.core.init import init_factors
 from repro.core.loss import rmse
 from repro.kernels.fastpath import sweep_occupied
@@ -26,12 +32,13 @@ from repro.parallel.executor import SweepExecutor
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.csr import CSRMatrix
+from repro.sparse.shards import ShardStore, ShardedCSR
 
 __all__ = ["train_als_wr", "weighted_half_sweep"]
 
 
 def weighted_half_sweep(
-    R: CSRMatrix,
+    R: CSRMatrix | ShardedCSR,
     Y: np.ndarray,
     lam: float,
     X_prev: np.ndarray | None = None,
@@ -43,6 +50,12 @@ def weighted_half_sweep(
     """One ALS-WR half-sweep: ``x_u = (Y_ΩᵀY_Ω + λ·n_u·I)⁻¹ Y_Ωᵀ r_u``."""
     if lam <= 0:
         raise ValueError("lam must be positive")
+    if isinstance(R, ShardedCSR):
+        with SweepExecutor(1) as ex:
+            return ex.half_sweep(
+                R, Y, lam, X_prev=X_prev, weighted=True, solver=solver,
+                assembly=assembly, tile_nnz=tile_nnz, compute_dtype=compute_dtype,
+            )
     k = Y.shape[1]
     X = np.zeros((R.nrows, k), dtype=np.float64)
     if X_prev is not None:
@@ -56,25 +69,34 @@ def weighted_half_sweep(
 
 
 def train_als_wr(
-    ratings: COOMatrix | CSRMatrix, config: ALSConfig | None = None
+    ratings: COOMatrix | CSRMatrix | ShardStore, config: ALSConfig | None = None
 ) -> ALSModel:
-    """Train with weighted-λ regularization; same driver shape as ALS."""
+    """Train with weighted-λ regularization; same driver shape as ALS.
+
+    A :class:`ShardStore` input runs the blocked out-of-core sweeps,
+    exactly as :func:`train_als` does.
+    """
     config = config or ALSConfig()
-    coo, R_rows = ratings_views(ratings)
+    R_rows, R_cols, loss_view = training_views(ratings)
+    sharded = R_cols is not None
     with span(
         "als.train",
         algorithm="als-wr",
         k=config.k,
         iterations=config.iterations,
-        nnz=coo.nnz,
+        nnz=R_rows.nnz,
+        out_of_core=sharded,
     ):
         with span("als.build_views"):
-            R_cols = CSCMatrix.from_csr(R_rows).transpose_as_csr()
+            if R_cols is None:
+                R_cols = CSCMatrix.from_csr(R_rows).transpose_as_csr()
             m, n = R_rows.shape
             X, Y = init_factors(
-                m, n, config.k, seed=config.seed, scale=config.init_scale
+                m, n, config.k, seed=config.seed, scale=config.init_scale,
+                memmap_dir=resolve_factor_dir(config),
             )
         model = ALSModel(X=X, Y=Y, config=config)
+        inplace = config.factors == "memmap"
         sweep_kw = dict(
             weighted=True, solver=config.solver, cholesky=config.cholesky,
             assembly=config.assembly, tile_nnz=config.tile_nnz,
@@ -87,7 +109,8 @@ def train_als_wr(
                     t_hs = perf_counter()
                     with span("als.half_sweep", side="X", iteration=it):
                         X = executor.half_sweep(
-                            R_rows, Y, config.lam, X_prev=X, **sweep_kw
+                            R_rows, Y, config.lam, X_prev=X,
+                            out=X if inplace else None, **sweep_kw
                         )
                     obs_metrics.observe_latency(
                         "als.half_sweep.seconds", perf_counter() - t_hs
@@ -95,7 +118,8 @@ def train_als_wr(
                     t_hs = perf_counter()
                     with span("als.half_sweep", side="Y", iteration=it):
                         Y = executor.half_sweep(
-                            R_cols, X, config.lam, X_prev=Y, **sweep_kw
+                            R_cols, X, config.lam, X_prev=Y,
+                            out=Y if inplace else None, **sweep_kw
                         )
                     obs_metrics.observe_latency(
                         "als.half_sweep.seconds", perf_counter() - t_hs
@@ -105,11 +129,11 @@ def train_als_wr(
                         # comparable metric, so loss tracking records the
                         # (unweighted) fit term.
                         with span("als.loss", iteration=it):
-                            err_rmse = rmse(coo, X, Y)
+                            err_rmse = rmse(loss_view, X, Y)
                         model.history.append(
                             IterationStats(
                                 iteration=it,
-                                loss=err_rmse**2 * coo.nnz,
+                                loss=err_rmse**2 * R_rows.nnz,
                                 train_rmse=err_rmse,
                             )
                         )

@@ -36,12 +36,13 @@ for parity tests and ``benchmarks/bench_implicit.py``.
 
 from __future__ import annotations
 
+import tempfile
 from dataclasses import dataclass, field
 from time import perf_counter
 
 import numpy as np
 
-from repro.core.als import ratings_views
+from repro.core.als import FACTOR_MODES, training_views
 from repro.core.init import init_factors
 from repro.linalg.normal_equations import ASSEMBLY_MODES
 from repro.linalg.solvers import SOLVER_MODES
@@ -51,6 +52,7 @@ from repro.parallel.executor import SweepExecutor, _parse_workers
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.csr import CSRMatrix
+from repro.sparse.shards import ShardStore, ShardedCSR
 
 __all__ = ["ImplicitConfig", "ImplicitModel", "implicit_half_sweep", "train_implicit_als"]
 
@@ -80,6 +82,9 @@ class ImplicitConfig:
     # Half-sweep parallelism: "auto" = one worker per core, N = exactly N
     # threads; None defers to configure_workers / REPRO_WORKERS (serial).
     workers: int | str | None = None
+    # Factor-matrix backing: "ram" or "memmap" (see ALSConfig).
+    factors: str = "ram"
+    factors_dir: str | None = None
 
     def __post_init__(self) -> None:
         if self.k <= 0 or self.iterations <= 0:
@@ -106,6 +111,10 @@ class ImplicitConfig:
             )
         if self.workers is not None:
             _parse_workers(self.workers)  # raises on bad specs
+        if self.factors not in FACTOR_MODES:
+            raise ValueError(
+                f"factors must be one of {FACTOR_MODES}, got {self.factors!r}"
+            )
 
 
 @dataclass
@@ -129,7 +138,7 @@ class ImplicitModel:
 
 
 def implicit_half_sweep(
-    R: CSRMatrix,
+    R: CSRMatrix | ShardedCSR,
     Y: np.ndarray,
     lam: float,
     alpha: float,
@@ -140,6 +149,7 @@ def implicit_half_sweep(
     compute_dtype: object | None = None,
     executor: SweepExecutor | None = None,
     workers: int | str | None = None,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Update all row factors of ``R`` for implicit feedback.
 
@@ -152,7 +162,8 @@ def implicit_half_sweep(
 
     Pass an ``executor`` to reuse a training run's thread pool; with
     ``workers`` (or neither) a transient executor handles this sweep.
-    The parallel result is bitwise-identical to the serial one.
+    The parallel result is bitwise-identical to the serial one, as is
+    the blocked out-of-core sweep a :class:`ShardedCSR` ``R`` selects.
     """
     if alpha <= 0:
         raise ValueError("alpha must be positive")
@@ -161,6 +172,7 @@ def implicit_half_sweep(
     kw = dict(
         implicit_alpha=float(alpha), base_gram=YtY, solver=solver,
         assembly=assembly, tile_nnz=tile_nnz, compute_dtype=compute_dtype,
+        out=out,
     )
     if executor is not None:
         return executor.half_sweep(R, Y, lam, **kw)
@@ -169,50 +181,78 @@ def implicit_half_sweep(
 
 
 def _weighted_loss(
-    coo: COOMatrix, X: np.ndarray, Y: np.ndarray, lam: float, alpha: float
+    ratings: COOMatrix | ShardedCSR,
+    X: np.ndarray,
+    Y: np.ndarray,
+    lam: float,
+    alpha: float,
 ) -> float:
     """Confidence-weighted objective over observed entries plus penalty.
 
     The full implicit objective also sums over *unobserved* cells; this
     tracker omits that constant-heavy term (standard practice for
-    monitoring convergence direction cheaply).
+    monitoring convergence direction cheaply).  A :class:`ShardedCSR`
+    streams resident shards and accumulates partial sums (matching the
+    in-RAM value to float64 rounding).
     """
-    pred = np.einsum("ij,ij->i", X[coo.row], Y[coo.col])
-    conf = 1.0 + alpha * coo.value.astype(np.float64)
-    err = 1.0 - pred
-    return float(conf @ (err * err)) + lam * (
-        float(np.sum(X * X)) + float(np.sum(Y * Y))
-    )
+    if isinstance(ratings, ShardedCSR):
+        fit = 0.0
+        for sp, mat in ratings.iter_resident(prefetch=False):
+            rows = sp.row_start + mat.expanded_rows()
+            pred = np.einsum("ij,ij->i", X[rows], Y[mat.col_idx])
+            conf = 1.0 + alpha * mat.value.astype(np.float64)
+            err = 1.0 - pred
+            fit += float(conf @ (err * err))
+    else:
+        pred = np.einsum("ij,ij->i", X[ratings.row], Y[ratings.col])
+        conf = 1.0 + alpha * ratings.value.astype(np.float64)
+        err = 1.0 - pred
+        fit = float(conf @ (err * err))
+    return fit + lam * (float(np.sum(X * X)) + float(np.sum(Y * Y)))
 
 
 def train_implicit_als(
-    ratings: COOMatrix | CSRMatrix, config: ImplicitConfig | None = None
+    ratings: COOMatrix | CSRMatrix | ShardStore, config: ImplicitConfig | None = None
 ) -> ImplicitModel:
     """Train implicit-feedback factors on interaction counts/strengths.
 
-    Accepts COO (deduplicated and converted once) or a prebuilt CSR
-    matrix, like :func:`train_als`.  Each iteration runs the two
+    Accepts COO (deduplicated and converted once), a prebuilt CSR
+    matrix, or an on-disk :class:`ShardStore` (the blocked out-of-core
+    path), like :func:`train_als`.  Each iteration runs the two
     half-sweeps through one shared :class:`SweepExecutor`, so the
     ``workers`` knob shards both sides over a reusable thread pool.
     """
     config = config or ImplicitConfig()
-    coo, R_rows = ratings_views(ratings)
-    if coo.nnz and coo.value.min() < 0:
+    R_rows, R_cols, loss_view = training_views(ratings)
+    sharded = R_cols is not None
+    if sharded:
+        if R_rows.nnz and R_rows.min_value() < 0:
+            raise ValueError("implicit feedback must be non-negative")
+    elif loss_view.nnz and loss_view.value.min() < 0:
         raise ValueError("implicit feedback must be non-negative")
     with span(
         "als.train",
         algorithm="implicit",
         k=config.k,
         iterations=config.iterations,
-        nnz=coo.nnz,
+        nnz=R_rows.nnz,
+        out_of_core=sharded,
     ):
         with span("als.build_views"):
-            R_cols = CSCMatrix.from_csr(R_rows).transpose_as_csr()
+            if R_cols is None:
+                R_cols = CSCMatrix.from_csr(R_rows).transpose_as_csr()
             m, n = R_rows.shape
+            memmap_dir = None
+            if config.factors == "memmap":
+                memmap_dir = config.factors_dir or tempfile.mkdtemp(
+                    prefix="repro-factors-"
+                )
             X, Y = init_factors(
-                m, n, config.k, seed=config.seed, scale=config.init_scale
+                m, n, config.k, seed=config.seed, scale=config.init_scale,
+                memmap_dir=memmap_dir,
             )
         model = ImplicitModel(X=X, Y=Y, config=config)
+        inplace = config.factors == "memmap"
         sweep_kw = dict(
             solver=config.solver, assembly=config.assembly,
             tile_nnz=config.tile_nnz, compute_dtype=config.assembly_dtype,
@@ -225,7 +265,8 @@ def train_implicit_als(
                     with span("als.half_sweep", side="X", iteration=it):
                         X = implicit_half_sweep(
                             R_rows, Y, config.lam, config.alpha,
-                            executor=executor, **sweep_kw,
+                            executor=executor, out=X if inplace else None,
+                            **sweep_kw,
                         )
                     obs_metrics.observe_latency(
                         "als.half_sweep.seconds", perf_counter() - t_hs
@@ -234,14 +275,17 @@ def train_implicit_als(
                     with span("als.half_sweep", side="Y", iteration=it):
                         Y = implicit_half_sweep(
                             R_cols, X, config.lam, config.alpha,
-                            executor=executor, **sweep_kw,
+                            executor=executor, out=Y if inplace else None,
+                            **sweep_kw,
                         )
                     obs_metrics.observe_latency(
                         "als.half_sweep.seconds", perf_counter() - t_hs
                     )
                     with span("als.loss", iteration=it):
                         model.history.append(
-                            _weighted_loss(coo, X, Y, config.lam, config.alpha)
+                            _weighted_loss(
+                                loss_view, X, Y, config.lam, config.alpha
+                            )
                         )
         model.X, model.Y = X, Y
     return model

@@ -9,9 +9,19 @@ with a zero right-hand side.
 
 from __future__ import annotations
 
+import os
+from pathlib import Path
+
 import numpy as np
+from numpy.lib.format import open_memmap
 
 __all__ = ["init_factors"]
+
+#: Rows drawn per chunk when filling a memory-mapped Y.  The Generator
+#: consumes its bit stream element-by-element in C order, so sequential
+#: row-chunk draws reproduce the single-call initialization bit for bit
+#: (asserted by tests/core/test_init.py) while bounding transient RAM.
+_FILL_CHUNK_ROWS = 1 << 16
 
 
 def init_factors(
@@ -20,17 +30,34 @@ def init_factors(
     k: int,
     seed: int = 0,
     scale: float = 0.1,
+    memmap_dir: str | os.PathLike | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Return ``(X, Y)`` initialized per Algorithm 1.
 
     ``scale`` sets the magnitude of Y's entries ("small random numbers");
     predictions start near zero and grow as the sweeps fit the data.
+
+    With ``memmap_dir`` the factors are ``.npy``-backed memory maps
+    (``X.npy``/``Y.npy``) instead of heap arrays — the out-of-core
+    trainers' optional factor spill.  ``X`` relies on fresh-file pages
+    reading as zero (writing zeros would dirty every page for nothing)
+    and ``Y`` is filled in row chunks, drawing the identical random
+    sequence as the in-RAM path.
     """
     if m <= 0 or n <= 0 or k <= 0:
         raise ValueError("m, n and k must be positive")
     if scale <= 0:
         raise ValueError("scale must be positive")
     rng = np.random.default_rng(seed)
-    X = np.zeros((m, k), dtype=np.float64)
-    Y = rng.uniform(-scale, scale, size=(n, k))
+    if memmap_dir is None:
+        X = np.zeros((m, k), dtype=np.float64)
+        Y = rng.uniform(-scale, scale, size=(n, k))
+        return X, Y
+    directory = Path(memmap_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    X = open_memmap(directory / "X.npy", mode="w+", dtype=np.float64, shape=(m, k))
+    Y = open_memmap(directory / "Y.npy", mode="w+", dtype=np.float64, shape=(n, k))
+    for a in range(0, n, _FILL_CHUNK_ROWS):
+        b = min(a + _FILL_CHUNK_ROWS, n)
+        Y[a:b] = rng.uniform(-scale, scale, size=(b - a, k))
     return X, Y

@@ -14,6 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.sparse.coo import COOMatrix
+from repro.sparse.shards import ShardedCSR
 
 __all__ = ["regularized_loss", "rmse", "mae"]
 
@@ -26,26 +27,56 @@ def _predicted(ratings: COOMatrix, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
     return np.einsum("ij,ij->i", X[ratings.row], Y[ratings.col])
 
 
+def _err_reductions(
+    ratings: COOMatrix | ShardedCSR, X: np.ndarray, Y: np.ndarray
+) -> tuple[float, float]:
+    """``(Σ err², Σ |err|)`` over observed entries, for either view.
+
+    A :class:`ShardedCSR` streams one resident row-range shard at a
+    time (no prefetch — loss is off the hot path), accumulating partial
+    sums; each partial matches the in-RAM reduction to float64 rounding,
+    which is why the trainers' loss trajectories agree to 1e-10 rather
+    than bitwise.
+    """
+    if isinstance(ratings, ShardedCSR):
+        if X.shape[0] != ratings.shape[0] or Y.shape[0] != ratings.shape[1]:
+            raise ValueError(
+                f"factor shapes {X.shape}/{Y.shape} do not match "
+                f"ratings {ratings.shape}"
+            )
+        sq = 0.0
+        ab = 0.0
+        for sp, mat in ratings.iter_resident(prefetch=False):
+            rows = sp.row_start + mat.expanded_rows()
+            pred = np.einsum("ij,ij->i", X[rows], Y[mat.col_idx])
+            err = mat.value.astype(np.float64) - pred
+            sq += float(err @ err)
+            ab += float(np.abs(err).sum())
+        return sq, ab
+    err = ratings.value.astype(np.float64) - _predicted(ratings, X, Y)
+    return float(err @ err), float(np.abs(err).sum())
+
+
 def regularized_loss(
-    ratings: COOMatrix, X: np.ndarray, Y: np.ndarray, lam: float
+    ratings: COOMatrix | ShardedCSR, X: np.ndarray, Y: np.ndarray, lam: float
 ) -> float:
     """Eq. 2: squared error over observed entries plus the λ penalty."""
-    err = ratings.value.astype(np.float64) - _predicted(ratings, X, Y)
+    sq, _ = _err_reductions(ratings, X, Y)
     penalty = lam * (float(np.sum(X * X)) + float(np.sum(Y * Y)))
-    return float(err @ err) + penalty
+    return sq + penalty
 
 
-def rmse(ratings: COOMatrix, X: np.ndarray, Y: np.ndarray) -> float:
+def rmse(ratings: COOMatrix | ShardedCSR, X: np.ndarray, Y: np.ndarray) -> float:
     """Root-mean-square error over the given ratings (train or held-out)."""
     if ratings.nnz == 0:
         return 0.0
-    err = ratings.value.astype(np.float64) - _predicted(ratings, X, Y)
-    return float(np.sqrt(err @ err / ratings.nnz))
+    sq, _ = _err_reductions(ratings, X, Y)
+    return float(np.sqrt(sq / ratings.nnz))
 
 
-def mae(ratings: COOMatrix, X: np.ndarray, Y: np.ndarray) -> float:
+def mae(ratings: COOMatrix | ShardedCSR, X: np.ndarray, Y: np.ndarray) -> float:
     """Mean absolute error over the given ratings."""
     if ratings.nnz == 0:
         return 0.0
-    err = ratings.value.astype(np.float64) - _predicted(ratings, X, Y)
-    return float(np.abs(err).mean())
+    _, ab = _err_reductions(ratings, X, Y)
+    return float(ab / ratings.nnz)

@@ -11,11 +11,22 @@ from repro.datasets.catalog import (
     DatasetSpec,
     dataset_by_name,
 )
-from repro.datasets.loaders import RatingFile, load_ratings, save_ratings
+from repro.datasets.loaders import (
+    RatingFile,
+    iter_rating_file,
+    load_ratings,
+    save_ratings,
+)
 from repro.datasets.matrixmarket import load_matrix_market, save_matrix_market
 from repro.datasets.planted import PlantedProblem, planted_problem
+from repro.datasets.shardio import build_shard_store, build_store_from_rating_file
 from repro.datasets.splits import TrainTestSplit, train_test_split
-from repro.datasets.synthetic import degree_sequences, generate_ratings, zipf_degrees
+from repro.datasets.synthetic import (
+    degree_sequences,
+    generate_ratings,
+    generate_ratings_chunked,
+    zipf_degrees,
+)
 
 __all__ = [
     "DatasetSpec",
@@ -28,8 +39,11 @@ __all__ = [
     "TABLE_I",
     "dataset_by_name",
     "RatingFile",
+    "iter_rating_file",
     "load_ratings",
     "save_ratings",
+    "build_shard_store",
+    "build_store_from_rating_file",
     "load_matrix_market",
     "save_matrix_market",
     "PlantedProblem",
@@ -38,5 +52,6 @@ __all__ = [
     "train_test_split",
     "degree_sequences",
     "generate_ratings",
+    "generate_ratings_chunked",
     "zipf_degrees",
 ]

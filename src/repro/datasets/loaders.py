@@ -15,9 +15,14 @@ import numpy as np
 
 from repro.sparse.coo import COOMatrix
 
-__all__ = ["RatingFile", "load_ratings", "save_ratings"]
+__all__ = ["RatingFile", "iter_rating_file", "load_ratings", "save_ratings"]
 
 _DELIMITERS = ("::", "\t", ",", " ")
+
+#: Lines parsed per emitted chunk.  At ~20 bytes per packed entry a
+#: chunk costs ~5 MB — small next to any matrix worth streaming, large
+#: enough that per-chunk overhead is noise.
+DEFAULT_CHUNK_LINES = 1 << 18
 
 
 @dataclass(frozen=True)
@@ -44,8 +49,19 @@ def _detect_delimiter(sample_line: str) -> str:
     raise ValueError(f"cannot detect delimiter in line: {sample_line!r}")
 
 
-def load_ratings(path: str | os.PathLike, delimiter: str | None = None) -> RatingFile:
-    """Parse a ``<user, item, rating>`` file into a compacted COO matrix.
+def iter_rating_file(
+    path: str | os.PathLike,
+    delimiter: str | None = None,
+    chunk_lines: int = DEFAULT_CHUNK_LINES,
+):
+    """Stream a ``<user, item, rating>`` file as packed array chunks.
+
+    Yields ``(users, items, values)`` tuples of ``int64``/``int64``/
+    ``float32`` arrays, at most ``chunk_lines`` entries each, reading
+    the file line by line — peak memory is one chunk, never the file.
+    IDs are the *original* (uncompacted) ones; compaction needs global
+    knowledge and belongs to the consumer (:func:`load_ratings`, or the
+    two-pass shard builder in :mod:`repro.datasets.shardio`).
 
     Lines that are empty or start with ``#`` are skipped — including a
     comment or blank *first* line, so delimiter detection always runs on
@@ -54,6 +70,8 @@ def load_ratings(path: str | os.PathLike, delimiter: str | None = None) -> Ratin
     of whitespace (aligned columns don't produce empty fields).  Extra
     fields (e.g. MovieLens timestamps) are ignored.
     """
+    if chunk_lines <= 0:
+        raise ValueError("chunk_lines must be positive")
     users: list[int] = []
     items: list[int] = []
     values: list[float] = []
@@ -75,18 +93,51 @@ def load_ratings(path: str | os.PathLike, delimiter: str | None = None) -> Ratin
             users.append(int(parts[0]))
             items.append(int(parts[1]))
             values.append(float(parts[2]))
-    if not users:
+            if len(users) >= chunk_lines:
+                yield (
+                    np.asarray(users, dtype=np.int64),
+                    np.asarray(items, dtype=np.int64),
+                    np.asarray(values, dtype=np.float32),
+                )
+                users, items, values = [], [], []
+    if users:
+        yield (
+            np.asarray(users, dtype=np.int64),
+            np.asarray(items, dtype=np.int64),
+            np.asarray(values, dtype=np.float32),
+        )
+
+
+def load_ratings(path: str | os.PathLike, delimiter: str | None = None) -> RatingFile:
+    """Parse a ``<user, item, rating>`` file into a compacted COO matrix.
+
+    Streams the file through :func:`iter_rating_file` (see there for the
+    line-format rules), so parsing holds packed array chunks — ~20 bytes
+    per entry — instead of per-line Python objects for the whole file.
+    The assembled COO is the output and necessarily resides in RAM; for
+    matrices too large for that, feed the chunks to the shard-store
+    builder (:func:`repro.datasets.shardio.build_store_from_rating_file`)
+    instead.
+    """
+    user_chunks: list[np.ndarray] = []
+    item_chunks: list[np.ndarray] = []
+    value_chunks: list[np.ndarray] = []
+    for users, items, values in iter_rating_file(path, delimiter):
+        user_chunks.append(users)
+        item_chunks.append(items)
+        value_chunks.append(values)
+    if not user_chunks:
         raise ValueError(f"{path}: no ratings found")
 
-    user_arr = np.asarray(users, dtype=np.int64)
-    item_arr = np.asarray(items, dtype=np.int64)
+    user_arr = np.concatenate(user_chunks)
+    item_arr = np.concatenate(item_chunks)
     user_ids, rows = np.unique(user_arr, return_inverse=True)
     item_ids, cols = np.unique(item_arr, return_inverse=True)
     coo = COOMatrix(
         (user_ids.size, item_ids.size),
         rows,
         cols,
-        np.asarray(values, dtype=np.float32),
+        np.concatenate(value_chunks),
     ).deduplicate()
     return RatingFile(coo, user_ids, item_ids)
 

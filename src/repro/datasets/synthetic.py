@@ -23,7 +23,12 @@ import numpy as np
 from repro.datasets.catalog import DatasetSpec
 from repro.sparse.coo import COOMatrix
 
-__all__ = ["zipf_degrees", "degree_sequences", "generate_ratings"]
+__all__ = [
+    "zipf_degrees",
+    "degree_sequences",
+    "generate_ratings",
+    "generate_ratings_chunked",
+]
 
 
 def zipf_degrees(
@@ -124,6 +129,66 @@ def generate_ratings(spec: DatasetSpec, seed: int = 7) -> COOMatrix:
         * 2.0
     ) / 2.0  # half-star granularity
     return COOMatrix((spec.m, spec.n), rows, cols, levels.astype(np.float32))
+
+
+def generate_ratings_chunked(
+    spec: DatasetSpec, seed: int = 7, chunk_nnz: int = 1 << 22
+):
+    """Stream a synthetic rating matrix as row-major COO chunks.
+
+    Yields ``(rows, cols, values)`` tuples — ``int64``/``int64``/
+    ``float32`` — covering whole consecutive row blocks of roughly
+    ``chunk_nnz`` non-zeros each, so a full-scale Netflix/YahooMusic
+    shape feeds the shard-store builder without the 100M+-entry COO
+    triple ever existing in RAM.  Peak memory is one chunk plus the
+    O(m + n) degree/popularity vectors.
+
+    Same popularity model and degree sequence as
+    :func:`generate_ratings` for a given ``(spec, seed)``; entries are
+    deterministic, duplicate-free, and column-sorted within each row
+    (chunks never split a row, so chunk-local deduplication is global).
+    The per-entry draws differ from :func:`generate_ratings`'s
+    single-pass layout, so the two are distinct (both valid) matrices.
+    """
+    if chunk_nnz <= 0:
+        raise ValueError("chunk_nnz must be positive")
+    rng = np.random.default_rng(seed)
+    row_deg = zipf_degrees(spec.m, spec.nnz, spec.row_alpha, spec.n, seed)
+    col_ranks = np.arange(1, spec.n + 1, dtype=np.float64)
+    col_weights = col_ranks**-spec.col_alpha
+    rng.shuffle(col_weights)
+    col_prob = col_weights / col_weights.sum()
+
+    mid = (spec.rating_min + spec.rating_max) / 2.0
+    scale = (spec.rating_max - spec.rating_min) / 4.0
+    # Row-block boundaries: greedy fill to the nnz budget, never
+    # splitting a row (so within-row dedup/sort stay chunk-local).
+    deg_cum = np.zeros(spec.m + 1, dtype=np.int64)
+    np.cumsum(row_deg, out=deg_cum[1:])
+    start = 0
+    while start < spec.m:
+        stop = int(np.searchsorted(deg_cum, deg_cum[start] + chunk_nnz, "right")) - 1
+        stop = min(max(stop, start + 1), spec.m)
+        block_deg = row_deg[start:stop]
+        rows = np.repeat(np.arange(start, stop, dtype=np.int64), block_deg)
+        if rows.size == 0:
+            start = stop
+            continue
+        cols = rng.choice(spec.n, size=rows.size, p=col_prob)
+        cols = _dedupe_within_rows(rows, cols, spec.n, rng)
+        order = np.lexsort((cols, rows))
+        rows = rows[order]
+        cols = cols[order]
+        levels = np.round(
+            np.clip(
+                rng.normal(loc=mid, scale=scale, size=rows.size),
+                spec.rating_min,
+                spec.rating_max,
+            )
+            * 2.0
+        ) / 2.0  # half-star granularity
+        yield rows, cols, levels.astype(np.float32)
+        start = stop
 
 
 def _dedupe_within_rows(

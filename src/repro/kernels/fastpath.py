@@ -136,7 +136,23 @@ def fast_half_sweep(
     ``solver`` is unset.  ``assembly``/``tile_nnz``/``compute_dtype``
     select the S1/S2 code variant (see :func:`batched_normal_equations`);
     ``None`` defers to the configured/environment defaults.
+
+    A :class:`~repro.sparse.shards.ShardedCSR` ``R`` runs the blocked
+    out-of-core sweep (one resident row-range shard at a time) through a
+    serial :class:`~repro.parallel.executor.SweepExecutor`; the result
+    is bitwise-identical to the in-RAM sweep.
     """
+    from repro.sparse.shards import ShardedCSR
+
+    if isinstance(R, ShardedCSR):
+        # Imported lazily: parallel.executor imports this module.
+        from repro.parallel.executor import SweepExecutor
+
+        with SweepExecutor(1) as ex:
+            return ex.half_sweep(
+                R, Y, lam, X_prev=X_prev, solver=solver, cholesky=cholesky,
+                assembly=assembly, tile_nnz=tile_nnz, compute_dtype=compute_dtype,
+            )
     m = R.nrows
     k = Y.shape[1]
     X = np.zeros((m, k), dtype=np.float64)

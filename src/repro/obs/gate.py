@@ -48,6 +48,7 @@ GATE_METRICS = {
     "s3_solve_and_parallel_sweep": "lapack_speedup",
     "tiled_topn_serving": "best_speedup",
     "implicit_half_sweep": "speedup",
+    "outofcore_training": "throughput_retention",
 }
 
 #: Fingerprint fields that must agree for two hosts to count as "same".

@@ -30,8 +30,29 @@ from repro.kernels.fastpath import sweep_occupied
 from repro.obs import metrics as obs_metrics
 from repro.obs.spans import is_enabled, span
 from repro.sparse.csr import CSRMatrix, RowShard
+from repro.sparse.shards import ShardedCSR
 
-__all__ = ["SweepExecutor", "configure_workers", "resolve_workers", "WORKERS_ENV"]
+__all__ = [
+    "SweepExecutor",
+    "configure_workers",
+    "resolve_workers",
+    "solve_bytes_per_row",
+    "WORKERS_ENV",
+]
+
+
+def solve_bytes_per_row(k: int) -> int:
+    """Resident solve-path bytes one occupied row adds beyond its CSR slice.
+
+    The batched normal equations hold ``A`` (k², float64) and ``b`` (k)
+    per row, and the solved factor panel adds another k — at small k
+    these dominate a row's CSR bytes (k = 32: ~8.7 KB/row vs ~600 B of
+    ratings at Netflix density), so the out-of-core planner must budget
+    them per shard row or the "byte budget" would be a fiction.  Only
+    the sweep layer knows k, hence the hook lives here, not in
+    :meth:`ShardedCSR.shards`.
+    """
+    return 8 * (k * k + 2 * k)
 
 WORKERS_ENV = "REPRO_WORKERS"
 
@@ -134,7 +155,7 @@ class SweepExecutor:
     # -- the sweep -----------------------------------------------------
     def half_sweep(
         self,
-        R: CSRMatrix,
+        R: CSRMatrix | ShardedCSR,
         Y: np.ndarray,
         lam: float,
         X_prev: np.ndarray | None = None,
@@ -146,6 +167,7 @@ class SweepExecutor:
         compute_dtype: object | None = None,
         implicit_alpha: float | None = None,
         base_gram: np.ndarray | None = None,
+        out: np.ndarray | None = None,
     ) -> np.ndarray:
         """Update all rows of ``R`` (Eq. 4), sharded across the pool.
 
@@ -153,6 +175,20 @@ class SweepExecutor:
         same result, no pool; with N workers the occupied rows are split
         into N nnz-balanced shards solved concurrently.  Either way rows
         without ratings keep their previous value (or zero).
+
+        A :class:`ShardedCSR` ``R`` runs the blocked out-of-core sweep
+        instead: row-range shards stream from disk under the byte budget
+        (one prefetched ahead), each resident shard sweeps through this
+        same executor (so ``workers`` shards *within* the resident
+        block), and results land in the same ``(m, k)`` output.  Every
+        row's system is independent and binning is grid-fixed, so the
+        result is bitwise-identical to the in-RAM sweep.
+
+        ``out`` supplies the output array (e.g. a memory-mapped factor
+        matrix — each resident shard's rows spill as they are solved);
+        passing ``out is X_prev`` updates in place without a copy, which
+        is safe because row ``u``'s update reads only ``Y`` and row
+        ``u``'s ratings, never other rows of ``X``.
 
         ``implicit_alpha``/``base_gram`` select the implicit-feedback
         kernel (see :func:`repro.kernels.fastpath.sweep_occupied`); both
@@ -162,29 +198,78 @@ class SweepExecutor:
         """
         if lam <= 0:
             raise ValueError("lam must be positive (λI keeps smat SPD)")
-        m = R.nrows
         k = Y.shape[1]
-        X = np.zeros((m, k), dtype=np.float64)
-        if X_prev is not None:
-            if X_prev.shape != (m, k):
-                raise ValueError(f"X_prev must have shape {(m, k)}")
-            X[:] = X_prev
-
         kernel_kw = dict(
             weighted=weighted, solver=solver, cholesky=cholesky,
             assembly=assembly, tile_nnz=tile_nnz, compute_dtype=compute_dtype,
             implicit_alpha=implicit_alpha, base_gram=base_gram,
         )
+        X = self._prepare_out(R.nrows, k, X_prev, out)
+        if isinstance(R, ShardedCSR):
+            extra = solve_bytes_per_row(k)
+            spans = R.shards(extra)
+            with span(
+                "als.sweep.sharded",
+                shards=len(spans),
+                shard_bytes=R.shard_bytes,
+                workers=self.workers,
+                k=k,
+            ):
+                for sp, mat in R.iter_resident(extra_row_bytes=extra):
+                    with span(
+                        "als.resident_shard",
+                        shard=sp.index,
+                        rows=sp.nrows,
+                        nnz=sp.nnz,
+                    ):
+                        self._sweep_into(X, sp.row_start, mat, Y, lam, kernel_kw)
+            if is_enabled():
+                obs_metrics.set_gauge("sweep.resident_shards", len(spans))
+            return X
+        self._sweep_into(X, 0, R, Y, lam, kernel_kw)
+        return X
+
+    @staticmethod
+    def _prepare_out(
+        m: int, k: int, X_prev: np.ndarray | None, out: np.ndarray | None
+    ) -> np.ndarray:
+        if out is None:
+            X = np.zeros((m, k), dtype=np.float64)
+        else:
+            if out.shape != (m, k):
+                raise ValueError(f"out must have shape {(m, k)}")
+            if out.dtype != np.float64:
+                raise ValueError("out must be float64")
+            X = out
+            if X_prev is None:
+                X[:] = 0.0
+        if X_prev is not None and X_prev is not X:
+            if X_prev.shape != (m, k):
+                raise ValueError(f"X_prev must have shape {(m, k)}")
+            X[:] = X_prev
+        return X
+
+    def _sweep_into(
+        self,
+        X: np.ndarray,
+        base_row: int,
+        R: CSRMatrix,
+        Y: np.ndarray,
+        lam: float,
+        kernel_kw: dict,
+    ) -> None:
+        """Sweep one in-RAM matrix into ``X[base_row:base_row + R.nrows]``."""
+        k = Y.shape[1]
         if self.workers <= 1:
             rows, X_rows = sweep_occupied(R, Y, lam, **kernel_kw)
-            X[rows] = X_rows
-            return X
+            X[base_row + rows] = X_rows
+            return
 
         shards = R.row_shards(self.workers)
         if len(shards) <= 1:
             rows, X_rows = sweep_occupied(R, Y, lam, **kernel_kw)
-            X[rows] = X_rows
-            return X
+            X[base_row + rows] = X_rows
+            return
 
         enabled = is_enabled()
         with span(
@@ -198,7 +283,7 @@ class SweepExecutor:
             shard_seconds = []
             for shard, fut in zip(shards, futures):
                 rows, X_rows, seconds = fut.result()
-                X[shard.rows[rows]] = X_rows
+                X[base_row + shard.rows[rows]] = X_rows
                 shard_seconds.append(seconds)
         if enabled:
             planned = np.array([s.nnz for s in shards], dtype=np.float64)
@@ -219,7 +304,6 @@ class SweepExecutor:
                 # Summary + quantile sketch: shard p95 vs p50 is the
                 # straggler signal the nnz-balanced partitioner targets.
                 obs_metrics.observe_latency("sweep.shard_seconds", s)
-        return X
 
     @staticmethod
     def _run_shard(

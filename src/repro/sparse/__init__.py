@@ -20,6 +20,14 @@ from repro.sparse.partition import (
     partition_rows_balanced,
     partition_rows_contiguous,
 )
+from repro.sparse.shards import (
+    ShardSpan,
+    ShardStore,
+    ShardedCSR,
+    configure_sharding,
+    is_shard_store,
+    resolve_shard_bytes,
+)
 
 __all__ = [
     "COOMatrix",
@@ -34,4 +42,10 @@ __all__ = [
     "RowPartition",
     "partition_rows_balanced",
     "partition_rows_contiguous",
+    "ShardSpan",
+    "ShardStore",
+    "ShardedCSR",
+    "configure_sharding",
+    "is_shard_store",
+    "resolve_shard_bytes",
 ]

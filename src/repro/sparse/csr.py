@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.sparse.coo import COOMatrix
 
-__all__ = ["CSRMatrix", "DegreeBin", "RowShard"]
+__all__ = ["CSRMatrix", "DegreeBin", "RowShard", "build_degree_bins"]
 
 
 @dataclass(frozen=True)
@@ -64,6 +64,45 @@ class DegreeBin:
     def is_uniform(self) -> bool:
         """True when no padding is needed (all rows share the width)."""
         return bool(self.lengths.size) and int(self.lengths[0]) == self.width
+
+
+def build_degree_bins(
+    row_ptr: np.ndarray, lengths: np.ndarray, growth: float
+) -> tuple[DegreeBin, ...]:
+    """Degree bins for any CSR-shaped ``(row_ptr, lengths)`` structure.
+
+    Shared by :meth:`CSRMatrix.degree_bins` and the out-of-core
+    :class:`~repro.sparse.shards.ShardedCSR` view (whose ``row_ptr``
+    indexes the on-disk arrays): both bin on the same fixed geometric
+    grid, so a row's padded width never depends on which rows happen to
+    share the (sub)matrix.
+    """
+    if growth < 1.0:
+        raise ValueError("growth must be >= 1")
+    occupied = np.nonzero(lengths > 0)[0]
+    order = np.argsort(lengths[occupied], kind="stable")
+    rows = occupied[order]
+    degs = lengths[occupied][order]
+    bins: list[DegreeBin] = []
+    i = 0
+    while i < rows.size:
+        _, hi = _grid_bin_edges(int(degs[i]), growth)
+        j = int(np.searchsorted(degs, hi, side="right"))
+        bin_rows = rows[i:j]
+        bin_lengths = degs[i:j]
+        starts = np.asarray(row_ptr)[bin_rows]
+        for arr in (bin_rows, bin_lengths, starts):
+            arr.setflags(write=False)
+        bins.append(
+            DegreeBin(
+                rows=bin_rows,
+                starts=starts,
+                lengths=bin_lengths,
+                width=hi,
+            )
+        )
+        i = j
+    return tuple(bins)
 
 
 def _grid_bin_edges(degree: int, growth: float) -> tuple[int, int]:
@@ -248,31 +287,7 @@ class CSRMatrix:
         cached = self._degree_bins.get(key)
         if cached is not None:
             return cached
-        lengths = self.row_lengths()
-        occupied = np.nonzero(lengths > 0)[0]
-        order = np.argsort(lengths[occupied], kind="stable")
-        rows = occupied[order]
-        degs = lengths[occupied][order]
-        bins: list[DegreeBin] = []
-        i = 0
-        while i < rows.size:
-            _, hi = _grid_bin_edges(int(degs[i]), growth)
-            j = int(np.searchsorted(degs, hi, side="right"))
-            bin_rows = rows[i:j]
-            bin_lengths = degs[i:j]
-            starts = self.row_ptr[bin_rows]
-            for arr in (bin_rows, bin_lengths, starts):
-                arr.setflags(write=False)
-            bins.append(
-                DegreeBin(
-                    rows=bin_rows,
-                    starts=starts,
-                    lengths=bin_lengths,
-                    width=hi,
-                )
-            )
-            i = j
-        result = tuple(bins)
+        result = build_degree_bins(self.row_ptr, self.row_lengths(), growth)
         self._degree_bins[key] = result
         return result
 

@@ -12,6 +12,7 @@ from repro.bench.record import (
     add_telemetry_args,
     enable_telemetry_if_requested,
     host_fingerprint,
+    resource_snapshot,
     stamp,
     write_record,
     write_telemetry,
@@ -125,3 +126,21 @@ class TestTelemetryFlags:
         )
         out = capsys.readouterr().out
         assert "metrics written" in out and "trace written" in out
+
+
+class TestResources:
+    def test_stamp_attaches_resource_envelope(self):
+        stamped = stamp({"benchmark": "x"})
+        res = stamped["resources"]
+        assert res["cpu_seconds"] >= 0.0
+        assert res["peak_rss_bytes"] > 0  # ru_maxrss is always readable here
+        assert res["rss_bytes"] > 0
+
+    def test_resources_opt_out_and_no_clobber(self):
+        assert "resources" not in stamp({"benchmark": "x"}, resources=False)
+        mine = {"peak_rss_bytes": 42}
+        stamped = stamp({"benchmark": "x", "resources": mine})
+        assert stamped["resources"] == mine
+
+    def test_snapshot_is_json_serializable(self):
+        json.dumps(resource_snapshot())

@@ -1,0 +1,157 @@
+"""Streaming rating ingestion: line-chunked files, chunked generators.
+
+``load_ratings`` is now a thin consumer of ``iter_rating_file``, so the
+property that matters is equivalence: the chunked reader must reproduce
+the one-shot parse (IDs, values, dedup semantics) for any chunk size.
+``generate_ratings_chunked`` feeds the shard-store builder without ever
+materializing the full matrix; it must be deterministic, duplicate-free
+and column-sorted within rows — the builder's fast-path contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.loaders import iter_rating_file, load_ratings
+from repro.datasets.shardio import (
+    build_shard_store,
+    build_store_from_rating_file,
+)
+from repro.datasets.catalog import DatasetSpec
+from repro.datasets.synthetic import generate_ratings, generate_ratings_chunked
+from repro.sparse import CSRMatrix
+
+
+def _write_file(path, lines):
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+class TestIterRatingFile:
+    def test_chunks_concatenate_to_full_parse(self, tmp_path):
+        lines = [f"{u} {i} {u + i}.5" for u in range(9) for i in range(7)]
+        path = _write_file(tmp_path / "r.txt", lines)
+        whole = load_ratings(path)
+        for chunk_lines in (1, 4, 1000):
+            users = np.concatenate(
+                [u for u, _, _ in iter_rating_file(path, chunk_lines=chunk_lines)]
+            )
+            items = np.concatenate(
+                [i for _, i, _ in iter_rating_file(path, chunk_lines=chunk_lines)]
+            )
+            vals = np.concatenate(
+                [v for _, _, v in iter_rating_file(path, chunk_lines=chunk_lines)]
+            )
+            assert users.size == len(lines)
+            # load_ratings compacts IDs; raw stream keeps originals.
+            assert users.dtype == np.int64 and vals.dtype == np.float32
+        assert whole.ratings.nnz == len(lines)
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = _write_file(
+            tmp_path / "r.txt",
+            ["# header", "", "1,2,3.0", "  ", "2,3,4.0", "# trailing"],
+        )
+        chunks = list(iter_rating_file(path))
+        assert sum(u.size for u, _, _ in chunks) == 2
+
+    def test_delimiter_autodetect_matches_loader(self, tmp_path):
+        path = _write_file(tmp_path / "r.csv", ["1,2,3.5", "4,5,2.0"])
+        (u, i, v), = list(iter_rating_file(path))
+        assert u.tolist() == [1, 4]
+        assert v.tolist() == [3.5, 2.0]
+
+    def test_bad_line_reports_position(self, tmp_path):
+        path = _write_file(tmp_path / "r.txt", ["1 2 3.0", "garbage"])
+        with pytest.raises(ValueError, match=r"r\.txt:2"):
+            list(iter_rating_file(path))
+
+    def test_loader_equivalence_on_messy_file(self, tmp_path):
+        lines = ["# c", "3 1 2.0", "3 1 4.0", "0 2 1.0", "", "5 0 3.0"]
+        path = _write_file(tmp_path / "r.txt", lines)
+        rf = load_ratings(path)  # last-write-wins dedup, compacted IDs
+        assert rf.ratings.nnz == 3
+        u3 = rf.user_ids.tolist().index(3)
+        entry = np.where(rf.ratings.row == u3)[0]
+        assert rf.ratings.value[entry] == pytest.approx(4.0)
+
+
+class TestGenerateRatingsChunked:
+    _SPEC = DatasetSpec(
+        name="chunked", abbr="CHNK", m=300, n=90, nnz=4000,
+        row_alpha=0.9, col_alpha=0.9, rating_min=1.0, rating_max=5.0,
+    )
+
+    def test_deterministic(self):
+        a = list(generate_ratings_chunked(self._SPEC, seed=3, chunk_nnz=512))
+        b = list(generate_ratings_chunked(self._SPEC, seed=3, chunk_nnz=512))
+        for (r1, c1, v1), (r2, c2, v2) in zip(a, b):
+            assert np.array_equal(r1, r2)
+            assert np.array_equal(c1, c2)
+            assert np.array_equal(v1, v2)
+
+    def test_sorted_and_duplicate_free(self):
+        rows = np.concatenate(
+            [r for r, _, _ in generate_ratings_chunked(self._SPEC, seed=3)]
+        )
+        cols = np.concatenate(
+            [c for _, c, _ in generate_ratings_chunked(self._SPEC, seed=3)]
+        )
+        keys = rows.astype(np.int64) * self._SPEC.n + cols
+        assert np.all(np.diff(keys) > 0)  # strictly ascending = sorted + unique
+
+    def test_matches_spec_shape(self):
+        total = sum(
+            v.size for _, _, v in generate_ratings_chunked(self._SPEC, seed=3)
+        )
+        assert total == self._SPEC.nnz
+
+    def test_degree_sequence_invariant_to_chunk_size(self):
+        """Row degrees come from the seed alone; per-entry draws are
+        consumed block-by-block, so columns/values legitimately differ
+        between chunk sizes — but every stream must stay sorted, unique,
+        and degree-identical."""
+        streams = {}
+        for chunk_nnz in (64, 1 << 22):
+            parts = list(zip(*generate_ratings_chunked(
+                self._SPEC, seed=9, chunk_nnz=chunk_nnz
+            )))
+            rows, cols, vals = (np.concatenate(p) for p in parts)
+            keys = rows.astype(np.int64) * self._SPEC.n + cols
+            assert np.all(np.diff(keys) > 0)
+            assert vals.size == self._SPEC.nnz
+            streams[chunk_nnz] = rows
+        assert np.array_equal(streams[64], streams[1 << 22])
+
+    def test_store_build_from_factory(self, tmp_path):
+        store = build_shard_store(
+            tmp_path / "s",
+            lambda: generate_ratings_chunked(self._SPEC, seed=3),
+            shape=(self._SPEC.m, self._SPEC.n),
+            sorted_within_rows=True,
+        )
+        assert store.nnz == self._SPEC.nnz
+        R = store.rows.to_csr()
+        assert R.nnz == self._SPEC.nnz
+
+
+class TestStoreFromRatingFile:
+    def test_round_trip(self, tmp_path):
+        spec = DatasetSpec(
+            name="file", abbr="FILE", m=60, n=40, nnz=500,
+            row_alpha=0.9, col_alpha=0.9, rating_min=1.0, rating_max=5.0,
+        )
+        coo = generate_ratings(spec, seed=4)
+        lines = [
+            f"{u * 7} {i * 3} {v:.3f}"  # sparse external IDs
+            for u, i, v in zip(coo.row, coo.col, coo.value)
+        ]
+        path = _write_file(tmp_path / "r.txt", lines)
+        store, user_ids, item_ids = build_store_from_rating_file(
+            tmp_path / "s", path
+        )
+        rf = load_ratings(path)
+        assert np.array_equal(user_ids, rf.user_ids)
+        assert np.array_equal(item_ids, rf.item_ids)
+        assert store.rows.to_csr() == CSRMatrix.from_coo(rf.ratings)

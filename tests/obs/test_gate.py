@@ -153,6 +153,7 @@ class TestRunGate:
             "s3_solve_and_parallel_sweep",
             "tiled_topn_serving",
             "implicit_half_sweep",
+            "outofcore_training",
         }
 
 
