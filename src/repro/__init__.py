@@ -39,6 +39,9 @@ from repro.core import (
     grid_search,
     evaluate_ranking,
     recommend_top_n_batch,
+    BLOCK_SCHEDULES,
+    make_blocks,
+    subspace_iteration,
 )
 from repro.sparse import (
     COOMatrix,
@@ -108,6 +111,9 @@ __all__ = [
     "Recommender",
     "evaluate_ranking",
     "recommend_top_n_batch",
+    "BLOCK_SCHEDULES",
+    "make_blocks",
+    "subspace_iteration",
     # sparse
     "COOMatrix",
     "CSRMatrix",

@@ -54,16 +54,26 @@ class Recommender:
         algorithm: str = "als",
         seed: int = 0,
         alpha: float = 40.0,
+        block_size: int | str | None = None,
+        block_schedule: str | None = None,
     ) -> None:
         if algorithm not in _ALGORITHMS:
             known = ", ".join(sorted(_ALGORITHMS))
             raise ValueError(f"unknown algorithm {algorithm!r}; known: {known}")
+        knobs: dict = {}
+        if block_size is not None:
+            knobs["block_size"] = block_size
+        if block_schedule is not None:
+            knobs["block_schedule"] = block_schedule
         if algorithm == "implicit":
             self.config: ALSConfig | ImplicitConfig = ImplicitConfig(
-                k=k, lam=lam, iterations=iterations, seed=seed, alpha=alpha
+                k=k, lam=lam, iterations=iterations, seed=seed, alpha=alpha,
+                **knobs,
             )
         else:
-            self.config = ALSConfig(k=k, lam=lam, iterations=iterations, seed=seed)
+            self.config = ALSConfig(
+                k=k, lam=lam, iterations=iterations, seed=seed, **knobs
+            )
         self.algorithm = algorithm
         self._model: ALSModel | ImplicitModel | None = None
         self._train_csr: CSRMatrix | ShardedCSR | None = None
@@ -205,6 +215,10 @@ class Recommender:
             "config": asdict(self.config),
             "history": history,
         }
+        if isinstance(model, ImplicitModel) and model.stats:
+            # Structured per-iteration tracking (loss + elapsed seconds)
+            # rides alongside the historical float history.
+            meta["stats"] = [asdict(stats) for stats in model.stats]
         if str(path).endswith(".npz"):
             np.savez_compressed(
                 path,
@@ -305,7 +319,10 @@ class Recommender:
             )
             rec.config = config  # keep persisted knobs (assembly, workers, …)
             rec._model = ImplicitModel(
-                X=X, Y=Y, config=config, history=[float(h) for h in history]
+                X=X, Y=Y, config=config, history=[float(h) for h in history],
+                stats=[
+                    IterationStats(**stats) for stats in meta.get("stats", [])
+                ],
             )
         else:
             config = ALSConfig(**cfg)

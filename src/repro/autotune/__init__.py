@@ -40,8 +40,22 @@ from repro.autotune.sharding import (
     cached_sharding_decisions,
     clear_sharding_cache,
 )
+from repro.autotune.blocks import (
+    BlockDecision,
+    block_candidates,
+    measure_blocks,
+    select_block_size,
+    cached_block_decisions,
+    clear_block_cache,
+)
 
 __all__ = [
+    "BlockDecision",
+    "block_candidates",
+    "measure_blocks",
+    "select_block_size",
+    "cached_block_decisions",
+    "clear_block_cache",
     "ShardingDecision",
     "measure_sharding",
     "select_sharding",

@@ -9,6 +9,8 @@ Usage::
     repro-als tune gpu NTFX        # exhaustive variant search (§III-D)
     repro-als tune-assembly ML1M   # measure scatter vs binned host assembly
     repro-als tune-solver ML1M     # measure the S3 solver variants
+    repro-als tune-blocks ML1M --k 64
+                                   # measure iALS++ subspace block widths
     repro-als tune-serving ML1M    # measure serving tile size x dtype
     repro-als tune-sharding NTFX   # measure out-of-core shard budgets
     repro-als train NTFX --out-of-core --scale 0.1 --save model
@@ -45,7 +47,11 @@ The host S1/S2 assembly variant is selectable everywhere via
 ``REPRO_TILE_NNZ``, ``REPRO_ASSEMBLY_DTYPE`` environment variables).
 The S3 solve and the half-sweep parallelism are selectable the same
 way: ``--solver {cholesky,gaussian,lapack,auto}`` (``REPRO_SOLVER``)
-and ``--workers {auto,N}`` (``REPRO_WORKERS``).  The serving engine's
+and ``--workers {auto,N}`` (``REPRO_WORKERS``).  Training can descend
+on column subspaces instead of full k-wide rows:
+``--block-size {d,auto}`` picks the iALS++ block width (``auto`` =
+measure via :mod:`repro.autotune.blocks`) and ``--block-schedule
+{paired,sweep}`` its visit order.  The serving engine's
 tile budget and score precision follow the same pattern:
 ``--tile-bytes {B,auto}`` (``REPRO_SERVE_TILE_BYTES``) and
 ``--serve-dtype {float32,float64,auto}`` (``REPRO_SERVE_DTYPE``), as
@@ -158,6 +164,36 @@ def _run_tune_solver(ns: argparse.Namespace) -> int:
     return 0
 
 
+def _run_tune_blocks(ns: argparse.Namespace) -> int:
+    if len(ns.args) > 1:
+        print("usage: repro-als tune-blocks [<dataset>] [--k K]", file=sys.stderr)
+        return 2
+    from repro.autotune.blocks import measure_blocks
+
+    if ns.args:
+        try:
+            spec = dataset_by_name(ns.args[0])
+        except KeyError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        nnz_per_row = max(1, round(spec.nnz / spec.m))
+        label = f"{spec.abbr} (~{nnz_per_row} ratings/row)"
+    else:
+        nnz_per_row, label = 64, "~64 ratings/row"
+    decision = measure_blocks(ns.k, nnz_per_row, seed=ns.seed)
+    print(f"iALS++ block widths for {label}, k={ns.k}, measured on a "
+          f"synthetic convergence probe (time to shared target loss "
+          f"{decision.target_loss:.4f}):")
+    for d, seconds in sorted(decision.seconds_to_target.items()):
+        tag = "full sweep" if d == decision.k else f"d={d}"
+        marker = "  <- best" if d == decision.block_size else ""
+        print(f"  {tag:12s} {seconds * 1e3:9.2f} ms{marker}")
+    print(f"best: block_size={decision.block_size} "
+          f"({decision.speedup:.2f}x over the full sweep); cached for "
+          f"(k={decision.k}, nnz/row<={decision.nnz_bucket})")
+    return 0
+
+
 def _run_tune_serving(ns: argparse.Namespace) -> int:
     if len(ns.args) > 1:
         print("usage: repro-als tune-serving [<dataset>] [--k K]", file=sys.stderr)
@@ -220,11 +256,23 @@ def _resolve_training_input(
     return store, f"{label} -> {dest}"
 
 
+def _block_knobs(ns: argparse.Namespace) -> dict:
+    """``--block-size``/``--block-schedule`` as Recommender kwargs."""
+    knobs: dict = {}
+    if ns.block_size is not None:
+        raw = ns.block_size
+        knobs["block_size"] = raw if raw == "auto" else int(raw)
+    if ns.block_schedule is not None:
+        knobs["block_schedule"] = ns.block_schedule
+    return knobs
+
+
 def _run_train(ns: argparse.Namespace) -> int:
     if len(ns.args) != 1:
         print("usage: repro-als train <dataset|store-dir> [--algorithm A]"
-              " [--k K] [--iterations I] [--out-of-core] [--memmap-factors]"
-              " [--store DIR] [--save PATH] [--scale S] [--shard-bytes B]",
+              " [--k K] [--iterations I] [--block-size D] [--out-of-core]"
+              " [--memmap-factors] [--store DIR] [--save PATH] [--scale S]"
+              " [--shard-bytes B]",
               file=sys.stderr)
         return 2
     from time import perf_counter
@@ -239,10 +287,14 @@ def _run_train(ns: argparse.Namespace) -> int:
     except (KeyError, FileNotFoundError, ValueError) as exc:
         print(str(exc), file=sys.stderr)
         return 2
-    rec = Recommender(
-        k=ns.k, iterations=ns.iterations, seed=ns.seed,
-        algorithm=ns.algorithm, alpha=ns.alpha,
-    )
+    try:
+        rec = Recommender(
+            k=ns.k, iterations=ns.iterations, seed=ns.seed,
+            algorithm=ns.algorithm, alpha=ns.alpha, **_block_knobs(ns),
+        )
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     if ns.memmap_factors:
         cfg = rec.config
         rec.config = type(cfg)(**{**_cfg_dict(cfg), "factors": "memmap"})
@@ -339,10 +391,14 @@ def _run_recommend(ns: argparse.Namespace) -> int:
     scale = ns.scale if ns.scale is not None else min(1.0, 500_000 / spec.nnz)
     spec = spec.scaled(scale)
     ratings = generate_ratings(spec, seed=ns.seed)
-    rec = Recommender(
-        k=ns.k, iterations=ns.iterations, seed=ns.seed,
-        algorithm=ns.algorithm, alpha=ns.alpha,
-    ).fit(ratings)
+    try:
+        rec = Recommender(
+            k=ns.k, iterations=ns.iterations, seed=ns.seed,
+            algorithm=ns.algorithm, alpha=ns.alpha, **_block_knobs(ns),
+        ).fit(ratings)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
     engine = rec.engine()
     users = list(range(min(ns.users, spec.m)))
     # Serve each user as its own query under instrumentation: every
@@ -462,8 +518,8 @@ def main(argv: list[str] | None = None) -> int:
         "command",
         help="experiment id (table1, fig1, fig6..fig10, ksweep), 'all', 'list', "
         "'summary', 'tune', 'tune-assembly', 'tune-solver', 'tune-serving', "
-        "'tune-sharding', 'train', 'recommend', 'emit-cl', 'profile', "
-        "'perf-gate' or 'serve-metrics'",
+        "'tune-sharding', 'tune-blocks', 'train', 'recommend', 'emit-cl', "
+        "'profile', 'perf-gate' or 'serve-metrics'",
     )
     parser.add_argument(
         "args", nargs="*",
@@ -528,6 +584,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--batch", type=int, default=None,
         help="tune-solver: systems per batched solve (default: dataset rows)",
+    )
+    parser.add_argument(
+        "--block-size", default=None, metavar="D",
+        help="train/recommend: iALS++ subspace block width — an integer "
+        "d < k descends on d-column blocks, 'auto' measures the best "
+        "width (default: full k-wide sweeps)",
+    )
+    parser.add_argument(
+        "--block-schedule", default=None, choices=("paired", "sweep"),
+        help="train/recommend: subspace visit order — 'paired' interleaves "
+        "user/item updates per block (iALS++), 'sweep' finishes all user "
+        "blocks first (default: paired)",
     )
     parser.add_argument(
         "--n", type=int, default=10,
@@ -689,6 +757,8 @@ def _dispatch(ns: argparse.Namespace) -> int:
         return _run_tune_serving(ns)
     if ns.command == "tune-sharding":
         return _run_tune_sharding(ns)
+    if ns.command == "tune-blocks":
+        return _run_tune_blocks(ns)
     if ns.command == "train":
         return _run_train(ns)
     if ns.command == "recommend":

@@ -24,9 +24,23 @@ from repro.core.implicit import (
     implicit_half_sweep,
     train_implicit_als,
 )
+from repro.core.subspace import (
+    BLOCK_SCHEDULES,
+    make_blocks,
+    pass_cost,
+    resolve_block_size,
+    subspace_iteration,
+    validate_block_size,
+)
 from repro.core.tuning import GridPoint, GridSearchResult, grid_search
 
 __all__ = [
+    "BLOCK_SCHEDULES",
+    "make_blocks",
+    "pass_cost",
+    "resolve_block_size",
+    "subspace_iteration",
+    "validate_block_size",
     "ALSConfig",
     "ALSModel",
     "IterationStats",

@@ -16,6 +16,13 @@ import numpy as np
 
 from repro.core.init import init_factors
 from repro.core.loss import regularized_loss, rmse
+from repro.core.subspace import (
+    BLOCK_SCHEDULES,
+    make_blocks,
+    resolve_block_size,
+    subspace_iteration,
+    validate_block_size,
+)
 from repro.linalg.normal_equations import ASSEMBLY_MODES
 from repro.linalg.solvers import SOLVER_MODES
 from repro.parallel.executor import SweepExecutor, _parse_workers
@@ -72,6 +79,14 @@ class ALSConfig:
     # option for shapes where even X and Y strain memory).
     factors: str = "ram"
     factors_dir: str | None = None  # memmap location; None = fresh temp dir
+    # iALS++ subspace descent: update the factors in column blocks of
+    # width `block_size` — an int, "auto" (the measured tune-blocks
+    # selector), or None for the historical full-k sweeps.  A full-width
+    # block reproduces the full sweep bitwise.  `block_schedule` orders
+    # the updates: "paired" interleaves X/Y per block (iALS++), "sweep"
+    # finishes all X blocks before any Y block.
+    block_size: int | str | None = None
+    block_schedule: str = "paired"
 
     def __post_init__(self) -> None:
         if self.k <= 0:
@@ -108,16 +123,29 @@ class ALSConfig:
             raise ValueError(
                 f"factors must be one of {FACTOR_MODES}, got {self.factors!r}"
             )
+        validate_block_size(self.block_size)
+        if self.block_schedule not in BLOCK_SCHEDULES:
+            raise ValueError(
+                f"block_schedule must be one of {BLOCK_SCHEDULES}, "
+                f"got {self.block_schedule!r}"
+            )
 
 
 @dataclass(frozen=True)
 class IterationStats:
-    """Objective tracking for one ALS iteration."""
+    """Objective tracking for one ALS iteration.
+
+    ``elapsed_seconds`` is the cumulative monotonic training time up to
+    and including this iteration's sweeps — loss/validation evaluation
+    is excluded, so the history doubles as a loss-vs-wall-seconds curve
+    (checkpoints written before this field existed load as 0.0).
+    """
 
     iteration: int
     loss: float
-    train_rmse: float
+    train_rmse: float | None
     validation_rmse: float | None = None
+    elapsed_seconds: float = 0.0
 
 
 @dataclass
@@ -222,28 +250,44 @@ def train_als(
             assembly=config.assembly, tile_nnz=config.tile_nnz,
             compute_dtype=config.assembly_dtype,
         )
+        block_d = resolve_block_size(
+            config.block_size, config.k,
+            nnz_per_row=R_rows.nnz / max(1, m),
+            compute_dtype=config.assembly_dtype,
+        )
+        blocks = None if block_d is None else make_blocks(config.k, block_d)
+        elapsed = 0.0
         with SweepExecutor(config.workers) as executor:
             for it in range(1, config.iterations + 1):
                 with span("als.iteration", iteration=it):
                     obs_metrics.inc("als.iterations")
-                    t_hs = perf_counter()
-                    with span("als.half_sweep", side="X", iteration=it):
-                        X = executor.half_sweep(
-                            R_rows, Y, config.lam, X_prev=X,
-                            out=X if inplace else None, **sweep_kw
+                    t_iter = perf_counter()
+                    if blocks is None:
+                        t_hs = perf_counter()
+                        with span("als.half_sweep", side="X", iteration=it):
+                            X = executor.half_sweep(
+                                R_rows, Y, config.lam, X_prev=X,
+                                out=X if inplace else None, **sweep_kw
+                            )
+                        obs_metrics.observe_latency(
+                            "als.half_sweep.seconds", perf_counter() - t_hs
                         )
-                    obs_metrics.observe_latency(
-                        "als.half_sweep.seconds", perf_counter() - t_hs
-                    )
-                    t_hs = perf_counter()
-                    with span("als.half_sweep", side="Y", iteration=it):
-                        Y = executor.half_sweep(
-                            R_cols, X, config.lam, X_prev=Y,
-                            out=Y if inplace else None, **sweep_kw
+                        t_hs = perf_counter()
+                        with span("als.half_sweep", side="Y", iteration=it):
+                            Y = executor.half_sweep(
+                                R_cols, X, config.lam, X_prev=Y,
+                                out=Y if inplace else None, **sweep_kw
+                            )
+                        obs_metrics.observe_latency(
+                            "als.half_sweep.seconds", perf_counter() - t_hs
                         )
-                    obs_metrics.observe_latency(
-                        "als.half_sweep.seconds", perf_counter() - t_hs
-                    )
+                    else:
+                        X, Y = subspace_iteration(
+                            executor, R_rows, R_cols, X, Y, config.lam,
+                            blocks, config.block_schedule, sweep_kw,
+                            inplace=inplace, iteration=it,
+                        )
+                    elapsed += perf_counter() - t_iter
                     if config.track_loss:
                         with span("als.loss", iteration=it):
                             model.history.append(
@@ -258,6 +302,7 @@ def train_als(
                                         if validation is not None
                                         else None
                                     ),
+                                    elapsed_seconds=elapsed,
                                 )
                             )
                 if config.track_loss and config.tol > 0 and len(model.history) >= 2:

@@ -25,6 +25,11 @@ from repro.core.als import (
 )
 from repro.core.init import init_factors
 from repro.core.loss import rmse
+from repro.core.subspace import (
+    make_blocks,
+    resolve_block_size,
+    subspace_iteration,
+)
 from repro.kernels.fastpath import sweep_occupied
 from repro.obs import metrics as obs_metrics
 from repro.obs.spans import span
@@ -102,28 +107,44 @@ def train_als_wr(
             assembly=config.assembly, tile_nnz=config.tile_nnz,
             compute_dtype=config.assembly_dtype,
         )
+        block_d = resolve_block_size(
+            config.block_size, config.k,
+            nnz_per_row=R_rows.nnz / max(1, m),
+            compute_dtype=config.assembly_dtype,
+        )
+        blocks = None if block_d is None else make_blocks(config.k, block_d)
+        elapsed = 0.0
         with SweepExecutor(config.workers) as executor:
             for it in range(1, config.iterations + 1):
                 with span("als.iteration", iteration=it):
                     obs_metrics.inc("als.iterations")
-                    t_hs = perf_counter()
-                    with span("als.half_sweep", side="X", iteration=it):
-                        X = executor.half_sweep(
-                            R_rows, Y, config.lam, X_prev=X,
-                            out=X if inplace else None, **sweep_kw
+                    t_iter = perf_counter()
+                    if blocks is None:
+                        t_hs = perf_counter()
+                        with span("als.half_sweep", side="X", iteration=it):
+                            X = executor.half_sweep(
+                                R_rows, Y, config.lam, X_prev=X,
+                                out=X if inplace else None, **sweep_kw
+                            )
+                        obs_metrics.observe_latency(
+                            "als.half_sweep.seconds", perf_counter() - t_hs
                         )
-                    obs_metrics.observe_latency(
-                        "als.half_sweep.seconds", perf_counter() - t_hs
-                    )
-                    t_hs = perf_counter()
-                    with span("als.half_sweep", side="Y", iteration=it):
-                        Y = executor.half_sweep(
-                            R_cols, X, config.lam, X_prev=Y,
-                            out=Y if inplace else None, **sweep_kw
+                        t_hs = perf_counter()
+                        with span("als.half_sweep", side="Y", iteration=it):
+                            Y = executor.half_sweep(
+                                R_cols, X, config.lam, X_prev=Y,
+                                out=Y if inplace else None, **sweep_kw
+                            )
+                        obs_metrics.observe_latency(
+                            "als.half_sweep.seconds", perf_counter() - t_hs
                         )
-                    obs_metrics.observe_latency(
-                        "als.half_sweep.seconds", perf_counter() - t_hs
-                    )
+                    else:
+                        X, Y = subspace_iteration(
+                            executor, R_rows, R_cols, X, Y, config.lam,
+                            blocks, config.block_schedule, sweep_kw,
+                            inplace=inplace, iteration=it,
+                        )
+                    elapsed += perf_counter() - t_iter
                     if config.track_loss:
                         # The WR objective differs from Eq. 2; RMSE is the
                         # comparable metric, so loss tracking records the
@@ -135,6 +156,7 @@ def train_als_wr(
                                 iteration=it,
                                 loss=err_rmse**2 * R_rows.nnz,
                                 train_rmse=err_rmse,
+                                elapsed_seconds=elapsed,
                             )
                         )
         model.X, model.Y = X, Y

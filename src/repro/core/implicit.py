@@ -42,8 +42,15 @@ from time import perf_counter
 
 import numpy as np
 
-from repro.core.als import FACTOR_MODES, training_views
+from repro.core.als import FACTOR_MODES, IterationStats, training_views
 from repro.core.init import init_factors
+from repro.core.subspace import (
+    BLOCK_SCHEDULES,
+    make_blocks,
+    resolve_block_size,
+    subspace_iteration,
+    validate_block_size,
+)
 from repro.linalg.normal_equations import ASSEMBLY_MODES
 from repro.linalg.solvers import SOLVER_MODES
 from repro.obs import metrics as obs_metrics
@@ -70,6 +77,12 @@ class ImplicitConfig:
     lam: float = 0.1
     alpha: float = 40.0  # confidence slope: c = 1 + α·r
     iterations: int = 5
+    # Early stopping, with ALSConfig's exact semantics: stop once the
+    # relative weighted-loss improvement between iterations falls below
+    # `tol` (0 disables); `track_loss` gates the per-iteration loss
+    # evaluation that stopping (and the history) depends on.
+    tol: float = 0.0
+    track_loss: bool = True
     seed: int = 0
     init_scale: float = 0.1
     # S1/S2 assembly code variant; None defers to configure_assembly /
@@ -85,12 +98,19 @@ class ImplicitConfig:
     # Factor-matrix backing: "ram" or "memmap" (see ALSConfig).
     factors: str = "ram"
     factors_dir: str | None = None
+    # iALS++ subspace descent knobs (see ALSConfig / core.subspace).
+    block_size: int | str | None = None
+    block_schedule: str = "paired"
 
     def __post_init__(self) -> None:
         if self.k <= 0 or self.iterations <= 0:
             raise ValueError("k and iterations must be positive")
         if self.lam <= 0 or self.alpha <= 0:
             raise ValueError("lam and alpha must be positive")
+        if self.tol < 0:
+            raise ValueError("tol must be non-negative")
+        if self.tol > 0 and not self.track_loss:
+            raise ValueError("tol-based stopping requires track_loss")
         if self.assembly is not None and self.assembly not in ASSEMBLY_MODES:
             raise ValueError(
                 f"assembly must be one of {ASSEMBLY_MODES}, got {self.assembly!r}"
@@ -115,6 +135,12 @@ class ImplicitConfig:
             raise ValueError(
                 f"factors must be one of {FACTOR_MODES}, got {self.factors!r}"
             )
+        validate_block_size(self.block_size)
+        if self.block_schedule not in BLOCK_SCHEDULES:
+            raise ValueError(
+                f"block_schedule must be one of {BLOCK_SCHEDULES}, "
+                f"got {self.block_schedule!r}"
+            )
 
 
 @dataclass
@@ -123,6 +149,9 @@ class ImplicitModel:
     Y: np.ndarray
     config: ImplicitConfig
     history: list[float] = field(default_factory=list)  # weighted loss per iter
+    # Structured per-iteration tracking (loss + cumulative training
+    # seconds); `history` keeps the historical plain-float surface.
+    stats: list[IterationStats] = field(default_factory=list)
 
     @property
     def shape(self) -> tuple[int, int]:
@@ -257,35 +286,66 @@ def train_implicit_als(
             solver=config.solver, assembly=config.assembly,
             tile_nnz=config.tile_nnz, compute_dtype=config.assembly_dtype,
         )
+        block_d = resolve_block_size(
+            config.block_size, config.k,
+            nnz_per_row=R_rows.nnz / max(1, m),
+            compute_dtype=config.assembly_dtype,
+        )
+        blocks = None if block_d is None else make_blocks(config.k, block_d)
+        grams: dict = {}  # per-side GramCache, persistent across iterations
+        elapsed = 0.0
         with SweepExecutor(config.workers) as executor:
             for it in range(1, config.iterations + 1):
                 with span("als.iteration", iteration=it):
                     obs_metrics.inc("als.iterations")
-                    t_hs = perf_counter()
-                    with span("als.half_sweep", side="X", iteration=it):
-                        X = implicit_half_sweep(
-                            R_rows, Y, config.lam, config.alpha,
-                            executor=executor, out=X if inplace else None,
-                            **sweep_kw,
+                    t_iter = perf_counter()
+                    if blocks is None:
+                        t_hs = perf_counter()
+                        with span("als.half_sweep", side="X", iteration=it):
+                            X = implicit_half_sweep(
+                                R_rows, Y, config.lam, config.alpha,
+                                executor=executor, out=X if inplace else None,
+                                **sweep_kw,
+                            )
+                        obs_metrics.observe_latency(
+                            "als.half_sweep.seconds", perf_counter() - t_hs
                         )
-                    obs_metrics.observe_latency(
-                        "als.half_sweep.seconds", perf_counter() - t_hs
-                    )
-                    t_hs = perf_counter()
-                    with span("als.half_sweep", side="Y", iteration=it):
-                        Y = implicit_half_sweep(
-                            R_cols, X, config.lam, config.alpha,
-                            executor=executor, out=Y if inplace else None,
-                            **sweep_kw,
+                        t_hs = perf_counter()
+                        with span("als.half_sweep", side="Y", iteration=it):
+                            Y = implicit_half_sweep(
+                                R_cols, X, config.lam, config.alpha,
+                                executor=executor, out=Y if inplace else None,
+                                **sweep_kw,
+                            )
+                        obs_metrics.observe_latency(
+                            "als.half_sweep.seconds", perf_counter() - t_hs
                         )
-                    obs_metrics.observe_latency(
-                        "als.half_sweep.seconds", perf_counter() - t_hs
-                    )
-                    with span("als.loss", iteration=it):
-                        model.history.append(
-                            _weighted_loss(
+                    else:
+                        X, Y = subspace_iteration(
+                            executor, R_rows, R_cols, X, Y, config.lam,
+                            blocks, config.block_schedule, sweep_kw,
+                            implicit_alpha=float(config.alpha), grams=grams,
+                            inplace=inplace, iteration=it,
+                        )
+                    elapsed += perf_counter() - t_iter
+                    if config.track_loss:
+                        with span("als.loss", iteration=it):
+                            wl = _weighted_loss(
                                 loss_view, X, Y, config.lam, config.alpha
                             )
+                        model.history.append(wl)
+                        model.stats.append(
+                            IterationStats(
+                                iteration=it,
+                                loss=wl,
+                                train_rmse=None,
+                                elapsed_seconds=elapsed,
+                            )
                         )
+                if config.track_loss and config.tol > 0 and len(model.history) >= 2:
+                    prev = model.history[-2]
+                    cur = model.history[-1]
+                    if prev > 0 and (prev - cur) / prev < config.tol:
+                        break
         model.X, model.Y = X, Y
     return model

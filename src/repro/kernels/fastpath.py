@@ -18,7 +18,10 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.linalg.normal_equations import batched_normal_equations
+from repro.linalg.normal_equations import (
+    batched_normal_equations,
+    complement_predictions,
+)
 from repro.linalg.solvers import resolve_solver, solver_fn
 from repro.obs import metrics as obs_metrics
 from repro.obs.spans import is_enabled, span
@@ -47,6 +50,8 @@ def sweep_occupied(
     compute_dtype: object | None = None,
     implicit_alpha: float | None = None,
     base_gram: np.ndarray | None = None,
+    col_block: tuple[int, int] | None = None,
+    X_current: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Assemble and solve the occupied rows of ``R``; empty rows cost nothing.
 
@@ -65,50 +70,111 @@ def sweep_occupied(
     so executor shards reproduce the serial result bitwise), and
     ``base_gram`` — the shared dense ``YᵀY`` the caller computes once
     per half-sweep — is broadcast onto every row's system before S3.
+
+    ``col_block=(start, stop)`` restricts the update to a *subspace* of
+    ``d = stop - start`` factor coordinates (iALS++ block coordinate
+    descent): assembly runs against ``Y[:, start:stop]`` only — d×d Gram
+    blocks, d-length RHS — and the contribution of the frozen complement
+    coordinates is folded into the right-hand side via per-nnz
+    complement predictions from ``X_current`` (required; shape
+    ``(R.nrows, k)``).  The returned ``X_rows`` then has ``d`` columns.
+    For the implicit update the complement additionally enters through
+    the dense cross-Gram term ``X̄·Ḡ[comp, block]``, with ``base_gram``
+    supplying the *full* ``k×k`` Gramian of ``Y``.  A full-width block
+    skips every complement term and is bitwise-identical to the
+    unblocked sweep.
     """
     if lam <= 0:
         raise ValueError("lam must be positive (λI keeps smat SPD)")
     if implicit_alpha is not None and weighted:
         raise ValueError("implicit_alpha and weighted (ALS-WR) are exclusive")
     k = Y.shape[1]
+    if col_block is not None:
+        start, stop = int(col_block[0]), int(col_block[1])
+        if not (0 <= start < stop <= k):
+            raise ValueError(f"col_block [{start}, {stop}) out of range for k={k}")
+        blocked = stop - start < k
+        if blocked and X_current is None:
+            raise ValueError("a strict col_block requires X_current")
+    else:
+        start, stop = 0, k
+        blocked = False
+    d = stop - start
+    if blocked and X_current.shape != (R.nrows, k):
+        raise ValueError(f"X_current must have shape {(R.nrows, k)}")
     rows, sub = R.occupied_submatrix()
     if rows.size == 0:
-        return rows, np.zeros((0, k), dtype=np.float64)
+        return rows, np.zeros((0, d), dtype=np.float64)
+    # At full width Y[:, 0:k] is a plain view and every complement term
+    # below is skipped, so the blocked path degenerates to the historical
+    # sweep operation-for-operation (bitwise d == k reduction).
+    Yb = Y[:, start:stop] if blocked else Y
+    xc = X_current[rows] if blocked else None
     if implicit_alpha is not None:
         w = implicit_alpha * sub.value.astype(np.float64)
+        rv = w + 1.0
+        if blocked:
+            pbar = complement_predictions(
+                sub, xc, Y, start, stop, tile_nnz=tile_nnz
+            )
+            rv = rv - w * pbar
         A, b = batched_normal_equations(
             sub,
-            Y,
+            Yb,
             lam=lam,
             mode=assembly,
             tile_nnz=tile_nnz,
             compute_dtype=compute_dtype,
             nnz_weight=w,
-            rhs_nnz_value=w + 1.0,
+            rhs_nnz_value=rv,
         )
         if base_gram is not None:
             if base_gram.shape != (k, k):
                 raise ValueError(f"base_gram must have shape {(k, k)}")
-            A += base_gram
+            A += base_gram[start:stop, start:stop]
+            if blocked:
+                # The (unweighted) part of the implicit loss over
+                # unobserved entries couples the block to the frozen
+                # complement coordinates through the dense Gramian:
+                # b_B -= X̄ · Ḡ[comp, B].
+                if start > 0:
+                    b -= xc[:, :start] @ base_gram[:start, start:stop]
+                if stop < k:
+                    b -= xc[:, stop:] @ base_gram[stop:, start:stop]
+        elif blocked:
+            raise ValueError("a strict col_block implicit update requires base_gram")
     else:
+        rv = None
+        if blocked:
+            pbar = complement_predictions(
+                sub, xc, Y, start, stop, tile_nnz=tile_nnz
+            )
+            rv = sub.value.astype(np.float64) - pbar
         A, b = batched_normal_equations(
             sub,
-            Y,
+            Yb,
             lam=0.0 if weighted else lam,
             mode=assembly,
             tile_nnz=tile_nnz,
             compute_dtype=compute_dtype,
+            rhs_nnz_value=rv,
         )
         if weighted:
+            # ALS-WR's ridge scales with the *full-row* degree, which a
+            # block update leaves unchanged — the same λ·|Ω_u| lands on
+            # each d×d diagonal.
             counts = sub.row_lengths().astype(np.float64)
-            idx = np.arange(k)
+            idx = np.arange(d)
             A[:, idx, idx] += (lam * counts)[:, None]
     if is_enabled():
         obs_metrics.inc("als.sweep.rows", rows.size)
         obs_metrics.inc("sparse.nnz_touched", R.nnz)
-    solver_name = _resolve_auto(resolve_solver(solver, cholesky), k, rows.size)
+        if blocked:
+            obs_metrics.inc("subspace.block_updates")
+            obs_metrics.set_gauge("subspace.block_size", d)
+    solver_name = _resolve_auto(resolve_solver(solver, cholesky), d, rows.size)
     s3_name = "als.implicit.s3" if implicit_alpha is not None else "als.s3.solve"
-    with span(s3_name, stage="S3", solver=solver_name, k=k, batch=rows.size):
+    with span(s3_name, stage="S3", solver=solver_name, k=d, batch=rows.size):
         obs_metrics.inc(f"solver.{solver_name}.calls")
         X_rows = solver_fn(solver_name)(A, b)
     return rows, X_rows

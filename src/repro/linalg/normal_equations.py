@@ -61,6 +61,8 @@ __all__ = [
     "batched_normal_equations",
     "binned_normal_equations",
     "scatter_normal_equations",
+    "complement_predictions",
+    "GramCache",
     "configure_assembly",
     "assembly_defaults",
     "tile_bytes_bound",
@@ -500,3 +502,127 @@ def batched_normal_equations(
         R, Y, lam, tile_nnz=tile_nnz, compute_dtype=compute_dtype,
         nnz_weight=nnz_weight, rhs_nnz_value=rhs_nnz_value,
     )
+
+
+def complement_predictions(
+    R: CSRMatrix,
+    X_rows: np.ndarray,
+    Y: np.ndarray,
+    start: int,
+    stop: int,
+    *,
+    tile_nnz: int | None = None,
+) -> np.ndarray:
+    """Per-non-zero predictions over the *complement* of a column block.
+
+    For every stored entry ``(u, i)`` of ``R`` returns
+
+        p̄_e = Σ_{j ∉ [start, stop)} X_rows[u, j] · Y[i, j]
+
+    — the part of the model prediction contributed by the factor
+    coordinates a subspace block update holds fixed.  Subtracting it from
+    the residual target turns the block right-hand side into exactly the
+    ``rhs_nnz_value`` hook of the assembly kernels, so iALS++ block
+    coordinate descent rides the same binned/tiled machinery as the full
+    sweep.
+
+    The nnz axis is chunked so the gathered complement scratch stays
+    under the configured tile budget (``chunk · (k - d)`` values per
+    operand).  Accumulation is float64; each output element is an
+    independent reduction over its own complement lane, so chunk
+    boundaries (and therefore shard boundaries in the out-of-core path)
+    do not perturb the result.
+    """
+    k = int(np.asarray(Y).shape[-1])
+    if not (0 <= start < stop <= k):
+        raise ValueError(f"block [{start}, {stop}) out of range for k={k}")
+    out = np.zeros(R.nnz, dtype=np.float64)
+    width = start + (k - stop)
+    if width == 0 or R.nnz == 0:
+        return out
+    Xc = _as_float(X_rows, np.float64)
+    Yc = _as_float(Y, np.float64)
+    tile = _resolve_tile(tile_nnz)
+    chunk = max(1, tile // width)
+    rows_e = R.expanded_rows()
+    cols_e = R.col_idx
+    with span(
+        "als.subspace.predict", stage="S2", nnz=R.nnz, k=k,
+        block=stop - start,
+    ):
+        for c0 in range(0, R.nnz, chunk):
+            c1 = min(c0 + chunk, R.nnz)
+            u = rows_e[c0:c1]
+            i = cols_e[c0:c1]
+            acc = out[c0:c1]
+            if start > 0:
+                acc += np.einsum(
+                    "ej,ej->e", Xc[u, :start], Yc[i, :start],
+                    dtype=np.float64,
+                )
+            if stop < k:
+                acc += np.einsum(
+                    "ej,ej->e", Xc[u, stop:], Yc[i, stop:],
+                    dtype=np.float64,
+                )
+    if is_enabled():
+        obs_metrics.inc("subspace.predict.nnz", R.nnz)
+    return out
+
+
+class GramCache:
+    """Dense Gramian ``FᵀF`` maintained under block-column updates.
+
+    The implicit-feedback update needs the full ``k×k`` Gramian of the
+    fixed factor every half-sweep.  Under subspace descent only ``d``
+    columns of ``F`` change per block update, so the cache refreshes just
+    the affected ``d`` rows/columns with one ``(d, m)·(m, k)`` GEMM —
+    O(m·d·k) instead of the O(m·k²) full recompute.  Each refresh is an
+    exact recomputation from the current ``F`` (no running accumulation),
+    so the cached matrix never drifts from a fresh ``FᵀF`` beyond the
+    per-block GEMM rounding.
+
+    A full-width update falls back to a fresh recompute so the ``d == k``
+    configuration stays bitwise-identical to the existing trainers.
+    """
+
+    def __init__(self, F: np.ndarray) -> None:
+        self.k = int(np.asarray(F).shape[-1])
+        self._gram = self._full(F)
+
+    @staticmethod
+    def _full(F: np.ndarray) -> np.ndarray:
+        # Matches the implicit half-sweep's historical recompute
+        # (ascontiguousarray + T @) operation-for-operation.
+        Fc = np.ascontiguousarray(F, dtype=np.float64)
+        return Fc.T @ Fc
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The cached ``(k, k)`` Gramian (owned by the cache; do not mutate)."""
+        return self._gram
+
+    def refresh(self, F: np.ndarray) -> np.ndarray:
+        """Recompute the full Gramian from scratch."""
+        self._gram = self._full(F)
+        if is_enabled():
+            obs_metrics.inc("gram.full_refreshes")
+        return self._gram
+
+    def update_block(self, F: np.ndarray, start: int, stop: int) -> np.ndarray:
+        """Refresh rows/columns ``[start, stop)`` after those columns of
+        ``F`` changed; every other entry of the Gramian is untouched by a
+        block-column update and keeps its cached value."""
+        if not (0 <= start < stop <= self.k):
+            raise ValueError(
+                f"block [{start}, {stop}) out of range for k={self.k}"
+            )
+        if start == 0 and stop == self.k:
+            return self.refresh(F)
+        Fc = np.ascontiguousarray(F, dtype=np.float64)
+        slab = Fc[:, start:stop].T @ Fc  # (d, k): new rows of the Gramian
+        self._gram[:, start:stop] = slab.T
+        self._gram[start:stop, :] = slab
+        if is_enabled():
+            obs_metrics.inc("gram.block_updates")
+        return self._gram

@@ -49,6 +49,7 @@ GATE_METRICS = {
     "tiled_topn_serving": "best_speedup",
     "implicit_half_sweep": "speedup",
     "outofcore_training": "throughput_retention",
+    "subspace_convergence": "time_to_target_speedup",
 }
 
 #: Fingerprint fields that must agree for two hosts to count as "same".

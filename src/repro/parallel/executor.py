@@ -168,6 +168,7 @@ class SweepExecutor:
         implicit_alpha: float | None = None,
         base_gram: np.ndarray | None = None,
         out: np.ndarray | None = None,
+        col_block: tuple[int, int] | None = None,
     ) -> np.ndarray:
         """Update all rows of ``R`` (Eq. 4), sharded across the pool.
 
@@ -195,14 +196,31 @@ class SweepExecutor:
         are forwarded verbatim to every shard, and each shard derives its
         confidence weights from its own values, so the parallel implicit
         sweep stays bitwise-identical to the serial one.
+
+        ``col_block=(start, stop)`` restricts the update to that column
+        block of the factors (iALS++ subspace descent): only columns
+        ``[start, stop)`` of the output are written, and each shard reads
+        the frozen complement coordinates from a pre-sweep snapshot of
+        its own rows — all snapshots are taken before any shard result is
+        scattered, so every row sees start-of-block values (Jacobi within
+        the block) and the parallel block update stays bitwise-identical
+        to the serial one.
         """
         if lam <= 0:
             raise ValueError("lam must be positive (λI keeps smat SPD)")
         k = Y.shape[1]
+        if col_block is not None:
+            start, stop = int(col_block[0]), int(col_block[1])
+            if not (0 <= start < stop <= k):
+                raise ValueError(
+                    f"col_block [{start}, {stop}) out of range for k={k}"
+                )
+            col_block = (start, stop)
         kernel_kw = dict(
             weighted=weighted, solver=solver, cholesky=cholesky,
             assembly=assembly, tile_nnz=tile_nnz, compute_dtype=compute_dtype,
             implicit_alpha=implicit_alpha, base_gram=base_gram,
+            col_block=col_block,
         )
         X = self._prepare_out(R.nrows, k, X_prev, out)
         if isinstance(R, ShardedCSR):
@@ -260,15 +278,32 @@ class SweepExecutor:
     ) -> None:
         """Sweep one in-RAM matrix into ``X[base_row:base_row + R.nrows]``."""
         k = Y.shape[1]
+        block = kernel_kw.get("col_block")
+        # A full-width block needs no complement snapshot and scatters the
+        # whole row — identical to the unblocked sweep.
+        strict = block is not None and block[1] - block[0] < k
+
+        def scatter(idx: np.ndarray, vals: np.ndarray) -> None:
+            if block is None:
+                X[idx] = vals
+            else:
+                X[idx, block[0]:block[1]] = vals
+
         if self.workers <= 1:
-            rows, X_rows = sweep_occupied(R, Y, lam, **kernel_kw)
-            X[base_row + rows] = X_rows
+            kw = kernel_kw
+            if strict:
+                kw = dict(kernel_kw, X_current=X[base_row:base_row + R.nrows])
+            rows, X_rows = sweep_occupied(R, Y, lam, **kw)
+            scatter(base_row + rows, X_rows)
             return
 
         shards = R.row_shards(self.workers)
         if len(shards) <= 1:
-            rows, X_rows = sweep_occupied(R, Y, lam, **kernel_kw)
-            X[base_row + rows] = X_rows
+            kw = kernel_kw
+            if strict:
+                kw = dict(kernel_kw, X_current=X[base_row:base_row + R.nrows])
+            rows, X_rows = sweep_occupied(R, Y, lam, **kw)
+            scatter(base_row + rows, X_rows)
             return
 
         enabled = is_enabled()
@@ -276,14 +311,22 @@ class SweepExecutor:
             "als.sweep.parallel", workers=self.workers, shards=len(shards), k=k
         ):
             pool = self._pool_for(len(shards))
-            futures = [
-                pool.submit(self._run_shard, i, shard, Y, lam, kernel_kw)
-                for i, shard in enumerate(shards)
-            ]
+            futures = []
+            for i, shard in enumerate(shards):
+                kw = kernel_kw
+                if strict:
+                    # Fancy indexing snapshots the shard's rows *now* —
+                    # before any shard result lands in X — so workers
+                    # read start-of-block complement values regardless of
+                    # collection order (bitwise equal to serial).
+                    kw = dict(kernel_kw, X_current=X[base_row + shard.rows])
+                futures.append(
+                    pool.submit(self._run_shard, i, shard, Y, lam, kw)
+                )
             shard_seconds = []
             for shard, fut in zip(shards, futures):
                 rows, X_rows, seconds = fut.result()
-                X[base_row + shard.rows[rows]] = X_rows
+                scatter(base_row + shard.rows[rows], X_rows)
                 shard_seconds.append(seconds)
         if enabled:
             planned = np.array([s.nnz for s in shards], dtype=np.float64)

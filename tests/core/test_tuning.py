@@ -58,3 +58,35 @@ class TestGridSearch:
             grid_search(ratings, ks=(0,))
         with pytest.raises(ValueError):
             grid_search(ratings, lams=(0.0,))
+
+
+class TestTrainerKnobs:
+    """grid_search forwards the trainer knobs to every fit."""
+
+    def test_forwards_solver_workers_and_blocks(self, ratings):
+        result = grid_search(
+            ratings, ks=(4,), lams=(0.1,), iterations=3, seed=1,
+            solver="cholesky", workers=2, block_size=2,
+        )
+        cfg = result.model.config
+        assert cfg.solver == "cholesky"
+        assert cfg.workers == 2
+        assert cfg.block_size == 2
+        assert all(p.train_rmse > 0 for p in result.points)
+
+    def test_rejects_track_loss_off(self, ratings):
+        with pytest.raises(ValueError, match="track_loss"):
+            grid_search(ratings, ks=(4,), lams=(0.1,), track_loss=False)
+
+    def test_untracked_history_raises_clearly(self):
+        import numpy as np
+
+        from repro.core import ALSConfig, ALSModel
+        from repro.core.tuning import _last_train_rmse
+
+        model = ALSModel(
+            X=np.zeros((3, 2)), Y=np.zeros((2, 2)),
+            config=ALSConfig(k=2), history=[],
+        )
+        with pytest.raises(RuntimeError, match="track_loss"):
+            _last_train_rmse(model)

@@ -154,6 +154,7 @@ class TestRunGate:
             "tiled_topn_serving",
             "implicit_half_sweep",
             "outofcore_training",
+            "subspace_convergence",
         }
 
 
