@@ -22,6 +22,7 @@ from repro.core.loss import mae, rmse
 from repro.core.predict import predict_entries, recommend_top_n
 from repro.obs.spans import span
 from repro.serving.engine import TopNEngine, TopNResult
+from repro.serving.foldin import as_new_rows_csr, fold_in_factors
 from repro.sparse.coo import COOMatrix
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.shards import ShardStore, ShardedCSR
@@ -34,6 +35,24 @@ __all__ = ["Recommender"]
 _SAVE_CHUNK_ROWS = 1 << 16
 
 _ALGORITHMS = {"als": train_als, "als-wr": train_als_wr, "implicit": train_implicit_als}
+
+
+def _append_rows(base: CSRMatrix, new: CSRMatrix) -> CSRMatrix:
+    """Stack ``new`` under ``base`` in O(new) pointer arithmetic.
+
+    CSR is row-major, so appending rows is three concatenations — no
+    re-sort, no per-entry work on the existing matrix.
+    """
+    if base.ncols != new.ncols:
+        raise ValueError(
+            f"column mismatch: {base.ncols} vs {new.ncols}"
+        )
+    return CSRMatrix(
+        (base.nrows + new.nrows, base.ncols),
+        np.concatenate([base.value, new.value]),
+        np.concatenate([base.col_idx, new.col_idx]),
+        np.concatenate([base.row_ptr, base.nnz + new.row_ptr[1:]]),
+    )
 
 
 class Recommender:
@@ -183,6 +202,138 @@ class Recommender:
                 "rmse": rmse(ratings, model.X, model.Y),
                 "mae": mae(ratings, model.X, model.Y),
             }
+
+    # ------------------------------------------------------------------
+    # incremental fold-in / online updates
+    # ------------------------------------------------------------------
+    def _foldin_train_matrix(self) -> CSRMatrix | None:
+        if isinstance(self._train_csr, ShardedCSR):
+            raise ValueError(
+                "fold-in over an out-of-core (sharded) training matrix is "
+                "not supported; train in RAM or serve a loaded checkpoint"
+            )
+        return self._train_csr
+
+    def fold_in_users(self, ratings: COOMatrix | CSRMatrix) -> np.ndarray:
+        """Append new users without retraining — one batched k×k solve.
+
+        ``ratings`` rows index the *new* users (0..h-1) and columns the
+        existing items.  Each new user's factors are exactly the k×k
+        ridge system a half-sweep solves per row, so they are assembled
+        through the binned kernels and solved as one batched S3 call
+        (:mod:`repro.serving.foldin`) and appended to ``model.X``; the
+        item factors and every existing user row are untouched.  The
+        training matrix gains the new rows (O(new nnz)) so
+        ``exclude_seen`` keeps working.  Returns the assigned global
+        user ids.
+        """
+        model = self.model
+        train = self._foldin_train_matrix()
+        n_items = int(model.Y.shape[0])
+        R_new = as_new_rows_csr(ratings, n_items)
+        with span("recommender.fold_in_users", rows=R_new.nrows, nnz=R_new.nnz):
+            X_new = fold_in_factors(
+                R_new, model.Y, self.config.lam, self.algorithm,
+                getattr(self.config, "alpha", None),
+            )
+            m_old = int(model.X.shape[0])
+            model.X = np.concatenate(
+                [np.asarray(model.X, dtype=np.float64), X_new], axis=0
+            )
+            if train is None:
+                # Loaded checkpoint: no training matrix persisted — the
+                # existing users have no exclusion rows, the new ones do.
+                train = CSRMatrix(
+                    (m_old, n_items),
+                    np.zeros(0, dtype=np.float32),
+                    np.zeros(0, dtype=np.int64),
+                    np.zeros(m_old + 1, dtype=np.int64),
+                )
+            self._train_csr = _append_rows(train, R_new)
+            self._engine = None  # row count changed; rebuild lazily
+        return np.arange(m_old, m_old + R_new.nrows)
+
+    def fold_in_items(self, ratings: COOMatrix | CSRMatrix) -> np.ndarray:
+        """Append new items: the transpose of :meth:`fold_in_users`.
+
+        ``ratings`` rows index the *new* items and columns the existing
+        users; the new item factors solve against the fixed user factors
+        and append to ``model.Y``.  The training matrix is rebuilt with
+        the widened column space (O(total nnz) — column appends cannot
+        reuse the row-major layout).  Returns the new global item ids.
+        """
+        model = self.model
+        train = self._foldin_train_matrix()
+        m_users = int(model.X.shape[0])
+        R_new = as_new_rows_csr(ratings, m_users)
+        with span("recommender.fold_in_items", rows=R_new.nrows, nnz=R_new.nnz):
+            Y_new = fold_in_factors(
+                R_new, model.X, self.config.lam, self.algorithm,
+                getattr(self.config, "alpha", None),
+            )
+            n_old = int(model.Y.shape[0])
+            model.Y = np.concatenate(
+                [np.asarray(model.Y, dtype=np.float64), Y_new], axis=0
+            )
+            if train is not None:
+                rows = np.concatenate([train.expanded_rows(), R_new.col_idx])
+                cols = np.concatenate(
+                    [train.col_idx, n_old + R_new.expanded_rows()]
+                )
+                vals = np.concatenate([train.value, R_new.value])
+                self._train_csr = CSRMatrix.from_coo(COOMatrix(
+                    (train.nrows, n_old + R_new.nrows), rows, cols, vals
+                ))
+            self._engine = None
+        return np.arange(n_old, n_old + R_new.nrows)
+
+    def update_ratings(self, updates: COOMatrix) -> np.ndarray:
+        """Merge new/changed ratings of *existing* users; re-solve only
+        their rows.
+
+        ``updates`` entries address existing (user, item) coordinates;
+        a duplicate coordinate overwrites the stored rating (last write
+        wins, the same reconciliation rule as dataset loading).  The
+        affected users' factor rows are recomputed through the fold-in
+        path — each comes back bitwise-equal to the same row of a fresh
+        serial float64 half-sweep over the merged matrix — and every
+        other row is untouched.  Requires the training matrix (``fit``
+        in RAM; a loaded checkpoint has none).  Returns the affected
+        user ids.
+        """
+        model = self.model
+        train = self._foldin_train_matrix()
+        if train is None:
+            raise RuntimeError(
+                "update_ratings needs the training matrix; fit() this "
+                "recommender rather than loading a persisted model"
+            )
+        if not isinstance(updates, COOMatrix):
+            raise TypeError("updates must be a COOMatrix of (user, item, rating)")
+        if updates.shape[0] > train.nrows or updates.shape[1] > train.ncols:
+            raise ValueError(
+                f"updates shape {updates.shape} exceeds the training matrix "
+                f"{(train.nrows, train.ncols)}; use fold_in_users/"
+                "fold_in_items for new entities"
+            )
+        with span("recommender.update_ratings", nnz=updates.nnz):
+            rows = np.concatenate([train.expanded_rows(), updates.row])
+            cols = np.concatenate([train.col_idx, updates.col])
+            vals = np.concatenate([train.value, updates.value])
+            merged = CSRMatrix.from_coo(
+                COOMatrix((train.nrows, train.ncols), rows, cols, vals)
+            )
+            affected = np.unique(updates.row.astype(np.int64))
+            X_rows = fold_in_factors(
+                merged.take_rows(affected), model.Y, self.config.lam,
+                self.algorithm, getattr(self.config, "alpha", None),
+            )
+            X = np.array(model.X, dtype=np.float64, copy=True)
+            X[affected] = X_rows
+            model.X = X
+            self._train_csr = merged
+            self._engine = None
+        return affected
 
     # ------------------------------------------------------------------
     # persistence

@@ -37,6 +37,14 @@ Usage::
                                    # stand-alone Prometheus /metrics +
                                    # /healthz endpoint with the resource
                                    # sampler running
+    repro-als serve ML1M --port 9600 --max-batch 32 --batch-window 0.002
+                                   # long-lived recommendation service:
+                                   # micro-batched /recommend with an LRU
+                                   # result cache, plus /metrics (append
+                                   # ?window=1 for per-interval latency
+                                   # percentiles), /healthz and /stats
+    repro-als serve model-ckpt/ --port 9600
+                                   # serve a saved directory checkpoint
     repro-als recommend ML1M --metrics-port 9500
                                    # any command can expose its live
                                    # registry on an HTTP endpoint
@@ -509,6 +517,86 @@ def _run_serve_metrics(ns: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(ns: argparse.Namespace) -> int:
+    """Long-lived recommendation service over a dataset or checkpoint.
+
+    Trains a synthetic sample (dataset name) or loads a saved model
+    (checkpoint path), then serves ``/recommend`` through the
+    micro-batching :class:`~repro.serving.service.RecommendService`
+    with ``/metrics`` (windowed percentiles via ``?window=1``),
+    ``/healthz`` and ``/stats`` mounted on the same port.
+    """
+    if len(ns.args) != 1:
+        print("usage: repro-als serve <dataset|checkpoint> [--port P]"
+              " [--max-batch B] [--batch-window S] [--cache-size N]"
+              " [--serve-workers W] [--duration S] [--algorithm A] [--k K]"
+              " [--iterations I] [--scale S] [--n N]", file=sys.stderr)
+        return 2
+    import time
+    from pathlib import Path
+
+    from repro.api import Recommender
+    from repro.obs.resource import ResourceSampler
+    from repro.obs.spans import enable
+    from repro.serving.service import RecommendService, ServiceEndpoint
+
+    source = ns.args[0]
+    if Path(source).is_dir() or source.endswith(".npz"):
+        try:
+            rec = Recommender.load(source)
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        label = f"checkpoint {source}"
+    else:
+        try:
+            spec = dataset_by_name(source)
+        except KeyError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        scale = ns.scale if ns.scale is not None else min(1.0, 500_000 / spec.nnz)
+        spec = spec.scaled(scale)
+        from repro.datasets.synthetic import generate_ratings
+
+        try:
+            rec = Recommender(
+                k=ns.k, iterations=ns.iterations, seed=ns.seed,
+                algorithm=ns.algorithm, alpha=ns.alpha, **_block_knobs(ns),
+            ).fit(generate_ratings(spec, seed=ns.seed))
+        except ValueError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        label = f"{spec.abbr} scale={scale:g} (m={spec.m}, n={spec.n})"
+    enable()  # service counters/sketches and /metrics need the registry live
+    service = RecommendService(
+        rec, max_batch=ns.max_batch, batch_window=ns.batch_window,
+        cache_size=ns.cache_size, workers=ns.serve_workers,
+    )
+    port = ns.port if ns.port is not None else 0
+    with service, ResourceSampler(), ServiceEndpoint(
+        service, port=port, default_n=ns.n
+    ) as endpoint:
+        print(f"serving {label} on {endpoint.url('/recommend')} "
+              f"(max_batch={ns.max_batch}, "
+              f"window={ns.batch_window * 1e3:g} ms, cache={ns.cache_size}, "
+              f"workers={ns.serve_workers}); /metrics, /healthz and /stats "
+              f"mounted (Ctrl-C to stop)", flush=True)
+        try:
+            if ns.duration is not None:
+                time.sleep(ns.duration)
+            else:
+                while True:
+                    time.sleep(3600)
+        except KeyboardInterrupt:
+            pass
+    stats = service.stats.snapshot()
+    print(f"served {stats['requests']:.0f} requests in "
+          f"{stats['batches']:.0f} batches "
+          f"(mean batch {stats['mean_batch_size']:.1f}, "
+          f"{stats['cache_hits']:.0f} cache hits)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-als",
@@ -519,7 +607,7 @@ def main(argv: list[str] | None = None) -> int:
         help="experiment id (table1, fig1, fig6..fig10, ksweep), 'all', 'list', "
         "'summary', 'tune', 'tune-assembly', 'tune-solver', 'tune-serving', "
         "'tune-sharding', 'tune-blocks', 'train', 'recommend', 'emit-cl', "
-        "'profile', 'perf-gate' or 'serve-metrics'",
+        "'profile', 'perf-gate', 'serve-metrics' or 'serve'",
     )
     parser.add_argument(
         "args", nargs="*",
@@ -646,8 +734,32 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--duration", type=float, default=None, metavar="SECONDS",
-        help="serve-metrics: stop after this many seconds (default: run "
-        "until Ctrl-C)",
+        help="serve/serve-metrics: stop after this many seconds (default: "
+        "run until Ctrl-C)",
+    )
+    parser.add_argument(
+        "--port", type=int, default=None, metavar="PORT",
+        help="serve: HTTP port for the recommendation service "
+        "(default 0 = ephemeral, printed at startup)",
+    )
+    parser.add_argument(
+        "--max-batch", type=int, default=32, metavar="B",
+        help="serve: max requests coalesced into one engine query "
+        "(default 32; 1 disables micro-batching)",
+    )
+    parser.add_argument(
+        "--batch-window", type=float, default=0.002, metavar="SECONDS",
+        help="serve: coalescing window — how long a worker waits for "
+        "more requests before querying (default 0.002)",
+    )
+    parser.add_argument(
+        "--cache-size", type=int, default=4096, metavar="N",
+        help="serve: LRU result-cache entries (default 4096; 0 disables)",
+    )
+    parser.add_argument(
+        "--serve-workers", type=int, default=1, metavar="W",
+        help="serve: service worker threads draining the request queue "
+        "(default 1)",
     )
     parser.add_argument(
         "--baseline-dir", default=".", metavar="DIR",
@@ -767,6 +879,8 @@ def _dispatch(ns: argparse.Namespace) -> int:
         return _run_profile(ns)
     if ns.command == "perf-gate":
         return _run_perf_gate(ns)
+    if ns.command == "serve":
+        return _run_serve(ns)
     return _run_experiment(ns.command, metrics_path=ns.metrics)
 
 

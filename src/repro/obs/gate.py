@@ -50,6 +50,7 @@ GATE_METRICS = {
     "implicit_half_sweep": "speedup",
     "outofcore_training": "throughput_retention",
     "subspace_convergence": "time_to_target_speedup",
+    "serving_service": "batching_speedup",
 }
 
 #: Fingerprint fields that must agree for two hosts to count as "same".

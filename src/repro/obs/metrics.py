@@ -156,6 +156,7 @@ class QuantileHistogram:
         "name", "lo", "hi", "buckets_per_decade",
         "count", "total", "min", "max",
         "_counts", "_log_lo", "_inv_log_growth", "_lock",
+        "_win_counts", "_win_count", "_win_total", "_win_min", "_win_max",
     )
 
     #: Default range: 100 ns .. ~28 h, aimed at wall-clock seconds.
@@ -194,6 +195,14 @@ class QuantileHistogram:
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        # Window state: same layout, reset on every window_summary(reset=
+        # True) — what lets a /metrics scrape report *per-interval*
+        # percentiles instead of lifetime-cumulative ones.
+        self._win_counts = [0] * len(self._counts)
+        self._win_count = 0
+        self._win_total = 0.0
+        self._win_min = float("inf")
+        self._win_max = float("-inf")
         self._lock = threading.Lock()
 
     @property
@@ -223,16 +232,28 @@ class QuantileHistogram:
     def observe(self, value: float) -> None:
         value = float(value)
         with self._lock:
-            self._counts[self._bucket_index(value)] += 1
+            i = self._bucket_index(value)
+            self._counts[i] += 1
             self.count += 1
             self.total += value
             if value < self.min:
                 self.min = value
             if value > self.max:
                 self.max = value
+            self._win_counts[i] += 1
+            self._win_count += 1
+            self._win_total += value
+            if value < self._win_min:
+                self._win_min = value
+            if value > self._win_max:
+                self._win_max = value
 
     def merge(self, other: "QuantileHistogram") -> None:
-        """Fold another sketch of identical layout into this one."""
+        """Fold another sketch of identical layout into this one.
+
+        Merged samples count toward the current window too — a shard's
+        distribution folded in between scrapes is interval activity.
+        """
         if other.layout() != self.layout():
             raise ValueError(
                 f"cannot merge layouts {other.layout()} into {self.layout()}"
@@ -241,12 +262,19 @@ class QuantileHistogram:
         with self._lock:
             for i, c in enumerate(counts):
                 self._counts[i] += c
+                self._win_counts[i] += c
             self.count += count
             self.total += total
+            self._win_count += count
+            self._win_total += total
             if mn < self.min:
                 self.min = mn
             if mx > self.max:
                 self.max = mx
+            if mn < self._win_min:
+                self._win_min = mn
+            if mx > self._win_max:
+                self._win_max = mx
 
     def _state(self) -> tuple[list[int], int, float, float, float]:
         with self._lock:
@@ -290,8 +318,9 @@ class QuantileHistogram:
             for q in qs
         }
 
-    def summary(self) -> dict[str, float]:
-        counts, count, total, mn, mx = self._state()
+    def _summary_from(
+        self, counts: list[int], count: int, total: float, mn: float, mx: float
+    ) -> dict[str, float]:
         if not count:
             return {
                 "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
@@ -309,6 +338,35 @@ class QuantileHistogram:
                 counts, count, mn, mx, q
             )
         return out
+
+    def summary(self) -> dict[str, float]:
+        counts, count, total, mn, mx = self._state()
+        return self._summary_from(counts, count, total, mn, mx)
+
+    def window_summary(self, reset: bool = True) -> dict[str, float]:
+        """Summary of the samples observed since the last window reset.
+
+        The delta-since-last-scrape view: a monitoring endpoint calling
+        this once per scrape reports *per-interval* p50/p95/p99 instead
+        of lifetime-cumulative percentiles that stop moving once the
+        sample count dwarfs the interval.  ``reset=True`` (the default)
+        starts the next window atomically with the read; ``reset=False``
+        peeks without consuming.  Cumulative state is never touched.
+        """
+        with self._lock:
+            counts = list(self._win_counts)
+            count = self._win_count
+            total = self._win_total
+            mn = self._win_min
+            mx = self._win_max
+            if reset:
+                for i in range(len(self._win_counts)):
+                    self._win_counts[i] = 0
+                self._win_count = 0
+                self._win_total = 0.0
+                self._win_min = float("inf")
+                self._win_max = float("-inf")
+        return self._summary_from(counts, count, total, mn, mx)
 
     def buckets(self) -> list[tuple[float, int]]:
         """Non-empty ``(upper_edge, count)`` pairs, ascending by edge."""
@@ -408,6 +466,23 @@ class MetricsRegistry:
                     n: q.summary() for n, q in sorted(self._quantiles.items())
                 },
             }
+
+    def window_snapshot(self, reset: bool = True) -> dict[str, dict]:
+        """Like :meth:`snapshot`, with *windowed* quantile summaries.
+
+        Counters, gauges and plain histograms stay cumulative (their
+        Prometheus types expect that — rate() handles the delta); the
+        quantile sketches report delta-since-last-window summaries and,
+        with ``reset=True``, open a new window.  The long-lived serving
+        endpoint scrapes this for per-interval latency percentiles.
+        """
+        snap = self.snapshot()
+        with self._lock:
+            sketches = sorted(self._quantiles.items())
+        snap["quantiles"] = {
+            n: q.window_summary(reset=reset) for n, q in sketches
+        }
+        return snap
 
     def quantile_histograms(self) -> dict[str, QuantileHistogram]:
         """A stable-ordered copy of the live quantile sketches."""

@@ -282,6 +282,11 @@ class TopNEngine:
 
         self.workers = resolve_workers(workers)
         self.peak_tile_bytes = 0
+        # Single-slot exclusion-key cache: steady-state serving queries
+        # the same CSR every request, so the sorted (user·n + item) key
+        # array is built once and reused until the exclusion changes
+        # (identity-keyed; the strong reference keeps ids unambiguous).
+        self._excl_cache: tuple[CSRMatrix, np.ndarray, type] | None = None
 
     @classmethod
     def from_model(cls, model, **kwargs) -> "TopNEngine":
@@ -306,6 +311,50 @@ class TopNEngine:
         block = self.user_block if block is None else max(1, int(block))
         per_row = block * self.dtype().itemsize
         return max(1, min(self.n_items, self.tile_bytes // per_row))
+
+    # ------------------------------------------------------------------
+    # exclusion-key cache
+    # ------------------------------------------------------------------
+    def attach_exclusion(self, exclude: CSRMatrix | None) -> None:
+        """Pre-build (or drop, with ``None``) the cached exclusion keys.
+
+        ``query()`` builds the cache lazily on first use, so this is an
+        optional warm-up/invalidation hook for long-lived services: call
+        it after fold-in or a model hot-swap hands the engine a new
+        exclusion matrix, and the first post-swap request pays nothing.
+        """
+        self._excl_cache = None
+        if isinstance(exclude, CSRMatrix):
+            self._exclusion_keys(exclude)
+
+    def _exclusion_keys(
+        self, exclude: CSRMatrix
+    ) -> tuple[np.ndarray, type]:
+        """Sorted global ``user·n_items + item`` keys of the exclusion CSR.
+
+        One flat array over *all* exclusion rows replaces the per-query
+        ``_seen_pairs`` repeat+gather: each user's entries occupy the
+        contiguous slice ``row_ptr[u]:row_ptr[u+1]`` and keys ascend
+        globally (columns ascend within a CSR row), so both the
+        bootstrap prefix and the per-tile candidate filter reduce to
+        ``searchsorted`` against this one array.  Cached by identity —
+        rebuilding is O(nnz), reuse is free.
+        """
+        cached = self._excl_cache
+        if cached is not None and cached[0] is exclude:
+            return cached[1], cached[2]
+        kd: type = np.int64
+        if exclude.nrows * self.n_items < 2**31:
+            kd = np.int32  # halves the binary-search traffic
+        keys = exclude.expanded_rows().astype(kd) * kd(self.n_items)
+        keys += exclude.col_idx.astype(kd)
+        if keys.size > 1 and np.any(keys[:-1] >= keys[1:]):
+            # Directly constructed CSRs may hold unsorted columns within
+            # a row; from_coo/take_rows never do.  Sort once at build.
+            keys.sort()
+        keys.setflags(write=False)
+        self._excl_cache = (exclude, keys, kd)
+        return keys, kd
 
     # ------------------------------------------------------------------
     # queries
@@ -413,19 +462,66 @@ class TopNEngine:
     ) -> tuple[np.ndarray, np.ndarray]:
         B = Xb.shape[0]
         tile = self.tile_items(B)
-        excl_rows = excl_cols = None
-        if exclude is not None:
-            excl_rows, excl_cols = _seen_pairs(exclude, block_users)
         # Bootstrap on a short leading slice: exact selection over the
         # whole slice seeds the per-user running top-N.  The slice is
         # deliberately narrow — exact selection costs several passes per
         # element, so paying it on O(n) items instead of a full tile is
         # what lets every later tile get away with a single comparison.
         w0 = min(self.n_items, tile, max(64, 4 * n))
+        # Exclusion comes in two flavors.  A CSRMatrix uses the cached
+        # global sorted keys (built once per exclusion matrix, reused
+        # across queries): bootstrap entries are the per-user key prefix
+        # below ``u·n_items + w0``, recovered with one vectorized
+        # searchsorted, and candidate keys are offsets from a per-user
+        # base.  Any other row-sliceable exclusion (e.g. the out-of-core
+        # ShardedCSR, whose nnz must not be materialized in RAM) takes
+        # the legacy per-block ``_seen_pairs`` gather.  Both paths mask
+        # and filter the identical (user, item) pairs — results are
+        # bitwise the same.
+        seen_keys = None
+        base_keys = None  # per-block-row key base (cached-global path)
+        key_dtype: type = np.int64
+        boot_rows = boot_cols = None
+        if exclude is not None:
+            if block_users.size and (
+                block_users.min() < 0 or block_users.max() >= exclude.nrows
+            ):
+                raise IndexError("exclusion row out of range")
+            if isinstance(exclude, CSRMatrix):
+                keys_all, kd = self._exclusion_keys(exclude)
+                if keys_all.size:
+                    key_dtype = kd
+                    seen_keys = keys_all
+                    base_keys = block_users.astype(kd) * kd(self.n_items)
+                    starts = exclude.row_ptr[block_users]
+                    ends = np.searchsorted(keys_all, base_keys + kd(w0))
+                    lengths = ends - starts
+                    total = int(lengths.sum())
+                    if total:
+                        boot_rows = np.repeat(
+                            np.arange(B, dtype=np.int64), lengths
+                        )
+                        offsets = np.arange(total, dtype=np.int64) - np.repeat(
+                            np.cumsum(lengths) - lengths, lengths
+                        )
+                        boot_cols = exclude.col_idx[
+                            np.repeat(starts, lengths) + offsets
+                        ]
+            else:
+                excl_rows, excl_cols = _seen_pairs(exclude, block_users)
+                if excl_rows.size:
+                    in_boot = excl_cols < w0
+                    boot_rows = excl_rows[in_boot]
+                    boot_cols = excl_cols[in_boot]
+                    if B * self.n_items < 2**31:
+                        key_dtype = np.int32  # halves binary-search traffic
+                    seen_keys = (
+                        excl_rows.astype(key_dtype) * key_dtype(self.n_items)
+                        + excl_cols.astype(key_dtype)
+                    )
         S0 = Xb @ self._Y[:w0].T
-        if excl_rows is not None:
-            in_boot = excl_cols < w0
-            S0[excl_rows[in_boot], excl_cols[in_boot]] = -np.inf
+        if boot_rows is not None:
+            S0[boot_rows, boot_cols] = -np.inf
         ids, vals = _tile_survivors(S0, 0, n)
         del S0
         if ids.shape[1] < n:  # catalog slice shorter than n: pad out
@@ -444,19 +540,9 @@ class TopNEngine:
         # Past the bootstrap, seen items are *not* masked in the score
         # tiles.  Candidates are rare (they must beat the running
         # threshold), so it is far cheaper to drop seen candidates by
-        # binary-searching their (row, item) keys against the block's
-        # sorted seen-pair keys than to scatter -inf over every seen
-        # entry of every tile.  _seen_pairs emits pairs in row-major
-        # order, so the composite keys are already sorted.
-        seen_keys = None
-        key_dtype = np.int64
-        if excl_rows is not None and excl_rows.size:
-            if B * self.n_items < 2**31:
-                key_dtype = np.int32  # halves the binary-search traffic
-            seen_keys = (
-                excl_rows.astype(key_dtype) * key_dtype(self.n_items)
-                + excl_cols.astype(key_dtype)
-            )
+        # binary-searching their (row, item) keys against the sorted
+        # seen-pair keys (cached-global or per-block, built above) than
+        # to scatter -inf over every seen entry of every tile.
         # Per-user running n-th-best score: past the bootstrap, an item
         # can only enter the top-N by *strictly* beating it — carried
         # candidates always have smaller ids (tiles ascend), so under the
@@ -488,9 +574,12 @@ class TopNEngine:
                     rows, cols = np.divmod(hits, w)
                 ids = cols + t0
                 if seen_keys is not None:
-                    keys = rows.astype(key_dtype) * key_dtype(
-                        self.n_items
-                    ) + ids.astype(key_dtype)
+                    if base_keys is not None:
+                        keys = base_keys[rows] + ids.astype(key_dtype)
+                    else:
+                        keys = rows.astype(key_dtype) * key_dtype(
+                            self.n_items
+                        ) + ids.astype(key_dtype)
                     pos = np.searchsorted(seen_keys, keys)
                     np.minimum(pos, seen_keys.size - 1, out=pos)
                     unseen = seen_keys[pos] != keys

@@ -1,0 +1,203 @@
+"""Load generators for :class:`repro.serving.service.RecommendService`.
+
+Two standard harness shapes:
+
+* **Closed loop** — ``concurrency`` client threads each issue requests
+  back-to-back (a new request the instant the previous one returns).
+  Offered load adapts to service speed; throughput is the honest
+  "how fast can it go" number and is what the batched-vs-unbatched
+  comparison in ``benchmarks/bench_serving.py`` uses.
+* **Open loop** — requests arrive on a Poisson process at a fixed
+  ``rate`` regardless of completions, which is how production traffic
+  behaves and is the shape that exposes queueing delay: latency
+  percentiles under open load include the time spent waiting behind
+  the micro-batch window.
+
+Both record **client-side** latency (submit → result) into a standalone
+:class:`repro.obs.metrics.QuantileHistogram`, so percentiles work even
+when the global obs registry is disabled, and return a
+:class:`LoadReport` with throughput and p50/p95/p99.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from time import perf_counter
+
+import numpy as np
+
+from repro.obs.metrics import QuantileHistogram
+
+__all__ = ["LoadReport", "run_closed_loop", "run_open_loop"]
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one load-generation run."""
+
+    mode: str  # "closed" or "open"
+    requests: int
+    errors: int
+    seconds: float
+    throughput: float  # successful requests per second
+    latency: dict[str, float]  # QuantileHistogram summary (p50/p95/p99...)
+    concurrency: int = 0  # closed loop: client threads
+    rate: float = 0.0  # open loop: offered arrivals per second
+    extra: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "requests": self.requests,
+            "errors": self.errors,
+            "seconds": self.seconds,
+            "throughput": self.throughput,
+            "latency": dict(self.latency),
+            "concurrency": self.concurrency,
+            "rate": self.rate,
+            **self.extra,
+        }
+
+
+def run_closed_loop(
+    service,
+    users: np.ndarray,
+    *,
+    n: int = 10,
+    concurrency: int = 4,
+    requests_per_worker: int = 100,
+    seed: int = 0,
+    timeout: float = 60.0,
+) -> LoadReport:
+    """Closed-loop sweep: each of ``concurrency`` threads runs
+    ``requests_per_worker`` back-to-back requests over ``users``.
+    """
+    if concurrency < 1:
+        raise ValueError("concurrency must be >= 1")
+    users = np.asarray(users, dtype=np.int64)
+    if users.size == 0:
+        raise ValueError("need at least one user to load-test")
+    sketch = QuantileHistogram("loadgen.latency.seconds")
+    errors = [0] * concurrency
+    done = [0] * concurrency
+    start_gate = threading.Barrier(concurrency + 1)
+
+    def client(idx: int) -> None:
+        rng = np.random.default_rng(seed + idx)
+        picks = rng.choice(users, size=requests_per_worker)
+        start_gate.wait()
+        for user in picks:
+            t0 = perf_counter()
+            try:
+                service.submit(int(user), n).result(timeout)
+            except Exception:
+                errors[idx] += 1
+                continue
+            sketch.observe(perf_counter() - t0)
+            done[idx] += 1
+
+    threads = [
+        threading.Thread(target=client, args=(i,), daemon=True)
+        for i in range(concurrency)
+    ]
+    for t in threads:
+        t.start()
+    start_gate.wait()  # all clients poised: time only the loaded region
+    t_start = perf_counter()
+    for t in threads:
+        t.join()
+    elapsed = perf_counter() - t_start
+    ok = sum(done)
+    return LoadReport(
+        mode="closed",
+        requests=ok + sum(errors),
+        errors=sum(errors),
+        seconds=elapsed,
+        throughput=ok / elapsed if elapsed > 0 else 0.0,
+        latency=sketch.summary(),
+        concurrency=concurrency,
+    )
+
+
+def run_open_loop(
+    service,
+    users: np.ndarray,
+    *,
+    n: int = 10,
+    rate: float = 200.0,
+    duration: float = 2.0,
+    seed: int = 0,
+    timeout: float = 60.0,
+) -> LoadReport:
+    """Open-loop run: Poisson arrivals at ``rate``/s for ``duration`` s.
+
+    Arrivals are driven by one dispatcher thread sleeping exponential
+    inter-arrival gaps; completions land asynchronously via future
+    callbacks, so slow service shows up as queueing delay in the
+    latency percentiles instead of silently throttling the offered load.
+    """
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    users = np.asarray(users, dtype=np.int64)
+    if users.size == 0:
+        raise ValueError("need at least one user to load-test")
+    rng = np.random.default_rng(seed)
+    sketch = QuantileHistogram("loadgen.latency.seconds")
+    lock = threading.Lock()
+    state = {"ok": 0, "errors": 0}
+    pending: list = []
+
+    def on_done(t0: float, future) -> None:
+        dt = perf_counter() - t0
+        with lock:
+            if future.exception() is None:
+                state["ok"] += 1
+                sketch.observe(dt)
+            else:
+                state["errors"] += 1
+
+    t_start = perf_counter()
+    deadline = t_start + duration
+    next_arrival = t_start
+    issued = 0
+    while True:
+        now = perf_counter()
+        if now >= deadline:
+            break
+        if now < next_arrival:
+            time.sleep(min(next_arrival - now, deadline - now))
+            continue
+        user = int(users[rng.integers(users.size)])
+        t0 = perf_counter()
+        try:
+            fut = service.submit(user, n)
+        except Exception:
+            with lock:
+                state["errors"] += 1
+        else:
+            fut.add_done_callback(lambda f, t0=t0: on_done(t0, f))
+            pending.append(fut)
+        issued += 1
+        next_arrival += rng.exponential(1.0 / rate)
+    for fut in pending:
+        try:
+            fut.result(timeout)
+        except Exception:
+            pass  # already counted by the callback
+    elapsed = perf_counter() - t_start
+    with lock:
+        ok, errors = state["ok"], state["errors"]
+    return LoadReport(
+        mode="open",
+        requests=issued,
+        errors=errors,
+        seconds=elapsed,
+        throughput=ok / elapsed if elapsed > 0 else 0.0,
+        latency=sketch.summary(),
+        rate=rate,
+        extra={"offered_rate": rate, "achieved_rate": issued / elapsed if elapsed else 0.0},
+    )

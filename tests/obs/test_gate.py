@@ -155,6 +155,7 @@ class TestRunGate:
             "implicit_half_sweep",
             "outofcore_training",
             "subspace_convergence",
+            "serving_service",
         }
 
 

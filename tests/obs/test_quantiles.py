@@ -178,3 +178,74 @@ class TestRegistryIntegration:
 
     def test_default_quantiles_constant(self):
         assert DEFAULT_QUANTILES == (0.5, 0.95, 0.99)
+
+
+class TestWindowedSnapshot:
+    def test_window_is_delta_since_last_reset(self):
+        h = QuantileHistogram("t")
+        for v in (0.1, 0.2, 0.3):
+            h.observe(v)
+        win = h.window_summary()
+        assert win["count"] == 3
+        assert win["min"] == 0.1 and win["max"] == 0.3
+        # The reset consumed the window; the cumulative view is untouched.
+        assert h.window_summary()["count"] == 0
+        assert h.summary()["count"] == 3
+        h.observe(5.0)
+        win2 = h.window_summary()
+        assert win2["count"] == 1
+        assert win2["min"] == 5.0 == win2["max"]
+        assert h.summary()["count"] == 4
+
+    def test_window_reset_false_peeks(self):
+        h = QuantileHistogram("t")
+        h.observe(1.0)
+        assert h.window_summary(reset=False)["count"] == 1
+        assert h.window_summary(reset=True)["count"] == 1
+        assert h.window_summary(reset=False)["count"] == 0
+
+    def test_empty_window_reports_zeroed_percentiles(self):
+        h = QuantileHistogram("t")
+        h.observe(1.0)
+        h.window_summary()
+        win = h.window_summary()
+        assert win == {
+            "count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0,
+            "p50": 0.0, "p95": 0.0, "p99": 0.0,
+        }
+
+    def test_window_percentiles_track_recent_samples_only(self):
+        h = QuantileHistogram("t")
+        for _ in range(100):
+            h.observe(0.001)
+        h.window_summary()
+        for _ in range(10):
+            h.observe(1.0)
+        win = h.window_summary()
+        # Cumulative p50 stays on the old mass; the window sees only new.
+        assert win["p50"] == pytest.approx(1.0, rel=h.growth - 1)
+        assert h.summary()["p50"] == pytest.approx(0.001, rel=h.growth - 1)
+
+    def test_merge_feeds_the_window_too(self):
+        a = QuantileHistogram("t")
+        b = QuantileHistogram("t")
+        b.observe(0.5)
+        b.observe(2.0)
+        a.window_summary()  # reset a's window first
+        a.merge(b)
+        win = a.window_summary()
+        assert win["count"] == 2
+        assert win["min"] == 0.5 and win["max"] == 2.0
+
+    def test_registry_window_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("jobs").inc()
+        reg.quantile("lat").observe(0.25)
+        snap = reg.window_snapshot()
+        assert snap["counters"]["jobs"] == 1
+        assert snap["quantiles"]["lat"]["count"] == 1
+        # Counters stay cumulative; quantile windows reset per scrape.
+        snap2 = reg.window_snapshot()
+        assert snap2["counters"]["jobs"] == 1
+        assert snap2["quantiles"]["lat"]["count"] == 0
+        assert reg.snapshot()["quantiles"]["lat"]["count"] == 1

@@ -306,3 +306,80 @@ class TestResultContract:
         assert result.lengths.tolist() == [2, 3]
         assert result.row(0) == [(3, 2.0), (1, 1.0)]
         assert result.row(1) == [(2, 9.0), (0, 8.0), (5, 7.0)]
+
+
+class TestExclusionKeyCache:
+    def test_attach_prewarms_and_reuses_by_identity(self, problem):
+        X, Y, R = problem
+        engine = TopNEngine(X, Y)
+        engine.attach_exclusion(R)
+        keys_a, kd_a = engine._exclusion_keys(R)
+        keys_b, kd_b = engine._exclusion_keys(R)
+        assert keys_a is keys_b and kd_a is kd_b  # no rebuild per query
+        assert not keys_a.flags.writeable
+
+    def test_cache_invalidates_on_new_matrix(self, problem):
+        X, Y, R = problem
+        engine = TopNEngine(X, Y)
+        keys_a, _ = engine._exclusion_keys(R)
+        other = R.take_rows(np.arange(R.nrows))  # equal content, new object
+        keys_b, _ = engine._exclusion_keys(other)
+        assert keys_b is not keys_a
+        assert np.array_equal(keys_a, keys_b)
+        engine.attach_exclusion(None)
+        assert engine._excl_cache is None
+
+    def test_cached_path_matches_oracle_across_queries(self, problem):
+        """Steady-state serving: repeated queries reuse the sorted keys
+        and stay bitwise-identical to the dense lexsort oracle."""
+        X, Y, R = problem
+        engine = TopNEngine(X, Y, tile_bytes=tile_bytes_for(29, 64),
+                            user_block=64)
+        engine.attach_exclusion(R)
+        for users in (np.arange(X.shape[0]), np.arange(0, X.shape[0], 7)):
+            ref_ids, ref_scores = full_sort_reference(X, Y, users, 10, R)
+            got = engine.query(users, n=10, exclude=R)
+            assert np.array_equal(got.items, ref_ids)
+            finite = np.isfinite(ref_scores)
+            assert np.array_equal(got.scores[finite], ref_scores[finite])
+
+    def test_unsorted_column_csr_is_sorted_defensively(self):
+        rng = np.random.default_rng(3)
+        m, n_items, k = 12, 30, 4
+        X = rng.integers(-3, 4, size=(m, k)).astype(np.float64)
+        Y = rng.integers(-3, 4, size=(n_items, k)).astype(np.float64)
+        # Directly-constructed CSR with descending columns inside a row:
+        # legal for CSRMatrix, but the key cache must sort before searching.
+        R = CSRMatrix(
+            (m, n_items),
+            np.ones(3, dtype=np.float32),
+            np.array([7, 3, 1]),
+            np.concatenate([[0], np.full(m, 3)]),
+        )
+        engine = TopNEngine(X, Y)
+        users = np.arange(m)
+        ref_ids, ref_scores = full_sort_reference(X, Y, users, 5, R)
+        got = engine.query(users, n=5, exclude=R)
+        assert np.array_equal(got.items, ref_ids)
+        finite = np.isfinite(ref_scores)
+        assert np.array_equal(got.scores[finite], ref_scores[finite])
+
+    def test_int64_keys_when_product_overflows_int32(self):
+        rng = np.random.default_rng(4)
+        n_items, k = 50_000, 3
+        m = 50_000  # nrows * n_items = 2.5e9 > 2**31: int64 path
+        users = np.array([0, 1, 49_999])
+        X = rng.integers(-2, 3, size=(m, k)).astype(np.float64)
+        Y = rng.integers(-2, 3, size=(n_items, k)).astype(np.float64)
+        rows = np.repeat(users, 2)
+        cols = np.array([5, 11, 0, 49_999, 123, 321])
+        R = CSRMatrix.from_coo(COOMatrix(
+            (m, n_items), rows, cols, np.ones(rows.size, dtype=np.float32)
+        ))
+        engine = TopNEngine(X, Y)
+        keys, kd = engine._exclusion_keys(R)
+        assert kd is np.int64 and keys.dtype == np.int64
+        got = engine.query(users, n=4, exclude=R)
+        ref_ids, _ = full_sort_reference(X[users], Y, np.arange(3), 4,
+                                         R.take_rows(users))
+        assert np.array_equal(got.items, ref_ids)
