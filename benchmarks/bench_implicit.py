@@ -1,11 +1,10 @@
 #!/usr/bin/env python
-"""Before/after benchmark of the implicit-feedback half-sweep.
+"""Before/after benchmark of the implicit-feedback (iALS) half-sweep.
 
-Times the legacy scatter-assembled implicit update (the path that
-materialized an ``(nnz, k, k)`` outer-product tensor — ~32 GB at
-MovieLens-1M with k = 64) against the rebuilt sweep on the degree-binned,
-nnz-tile-budgeted weighted assembly, and writes a JSON report —
-``BENCH_5.json`` at the repo root records the committed numbers.
+Times the scatter reference against the degree-binned, tiled implicit
+assembly (the C_u - I confidence correction fused into the tile loop)
+on a synthetic MovieLens-1M-shaped matrix.  ``BENCH_5.json`` at the
+repo root records the committed numbers.
 
 Run directly (not under pytest)::
 
@@ -13,12 +12,9 @@ Run directly (not under pytest)::
     PYTHONPATH=src python benchmarks/bench_implicit.py --quick    # CI perf smoke
     PYTHONPATH=src python benchmarks/bench_implicit.py --check    # exit 1 on regression
 
-``--check`` verifies three things: the binned sweep beats the scatter
-reference (>= 3x for the full configuration, per ISSUE 5's acceptance
-criteria), the two variants agree to 1e-10, and the binned sweep's peak
-assembly scratch stays under ``tile_bytes_bound(tile_nnz, k,
-weighted=True)`` — the bounded-memory guarantee that makes paper-scale
-implicit training possible at all.
+The benchmark body lives in :mod:`repro.bench.workloads.implicit` (the
+grid workload registered as ``implicit``); this entry point is a thin
+single-cell wrapper over :func:`repro.bench.grid.run_single_cell`.
 """
 
 from __future__ import annotations
@@ -26,117 +22,16 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from time import perf_counter
 
-import numpy as np
-
+from repro.bench.grid import run_single_cell
 from repro.bench.record import (
     add_telemetry_args,
     enable_telemetry_if_requested,
     write_record,
     write_telemetry,
 )
-from repro.core.implicit import implicit_half_sweep
-from repro.datasets.catalog import MOVIELENS1M
-from repro.datasets.synthetic import generate_ratings
-from repro.linalg.normal_equations import DEFAULT_TILE_NNZ, tile_bytes_bound
-from repro.obs import metrics as obs_metrics
-from repro.obs.spans import capture
-from repro.sparse.csr import CSRMatrix
-
-ALPHA = 40.0
-LAM = 0.1
-
-
-def _time_variant(R, Y, assembly, tile_nnz, repeats):
-    """Min-of-N wall time, the S1/S2/S3 span split, gauges and the result."""
-    best = float("inf")
-    split = {}
-    result = None
-    for _ in range(repeats):
-        obs_metrics.reset()
-        with capture() as tracer:
-            t0 = perf_counter()
-            X = implicit_half_sweep(
-                R, Y, LAM, ALPHA,
-                assembly=assembly, tile_nnz=tile_nnz, solver="lapack",
-            )
-            elapsed = perf_counter() - t0
-        result = X
-        if elapsed < best:
-            best = elapsed
-            stage_seconds = {"S1": 0.0, "S2": 0.0, "S3": 0.0}
-            for rec in tracer.records:
-                stage = rec.attrs.get("stage")
-                if stage in stage_seconds:
-                    stage_seconds[stage] += rec.duration
-            split = {
-                "total_seconds": elapsed,
-                "s1_seconds": stage_seconds["S1"],
-                "s2_seconds": stage_seconds["S2"],
-                "s3_seconds": stage_seconds["S3"],
-                "gauges": obs_metrics.snapshot()["gauges"],
-            }
-    return split, result
-
-
-def run_benchmark(
-    scale: float, k: int, repeats: int, scatter_repeats: int,
-    tile_nnz: int, seed: int,
-) -> dict:
-    spec = MOVIELENS1M.scaled(scale)
-    coo = generate_ratings(spec, seed=seed)
-    R = CSRMatrix.from_coo(coo)
-    rng = np.random.default_rng(seed)
-    Y = rng.standard_normal((R.ncols, k))
-    # Warm the derived-structure caches (a training run reuses one matrix
-    # across every sweep) so steady-state cost is what gets compared.
-    R.expanded_rows()
-    R.degree_bins()
-
-    print(
-        f"implicit half-sweep benchmark: {spec.abbr} scale={scale:g} "
-        f"(m={R.nrows}, n={R.ncols}, nnz={R.nnz}), k={k}, alpha={ALPHA:g}, "
-        f"tile_nnz={tile_nnz}, repeats={repeats}",
-        flush=True,
-    )
-    binned, X_binned = _time_variant(R, Y, "binned", tile_nnz, repeats)
-    print(f"  binned  : {binned['total_seconds']:8.3f} s "
-          f"(S1 {binned['s1_seconds']:.3f}, S2 {binned['s2_seconds']:.3f}, "
-          f"S3 {binned['s3_seconds']:.3f})", flush=True)
-    scatter, X_scatter = _time_variant(R, Y, "scatter", tile_nnz, scatter_repeats)
-    print(f"  scatter : {scatter['total_seconds']:8.3f} s "
-          f"(S1 {scatter['s1_seconds']:.3f}, S2 {scatter['s2_seconds']:.3f}, "
-          f"S3 {scatter['s3_seconds']:.3f})", flush=True)
-
-    max_abs_diff = float(np.abs(X_binned - X_scatter).max())
-    speedup = scatter["total_seconds"] / binned["total_seconds"]
-    peak = binned["gauges"].get("assembly.implicit.peak_tile_bytes", 0.0)
-    bound = tile_bytes_bound(tile_nnz, k, weighted=True)
-    print(f"  speedup : {speedup:8.2f}x", flush=True)
-    print(f"  max |binned - scatter| = {max_abs_diff:.3e}", flush=True)
-    print(f"  peak tile bytes: {peak:,.0f} (bound {bound:,})", flush=True)
-    return {
-        "benchmark": "implicit_half_sweep",
-        "dataset": spec.abbr,
-        "scale": scale,
-        "m": R.nrows,
-        "n": R.ncols,
-        "nnz": R.nnz,
-        "k": k,
-        "alpha": ALPHA,
-        "lam": LAM,
-        "tile_nnz": tile_nnz,
-        "repeats": repeats,
-        "scatter_repeats": scatter_repeats,
-        "seed": seed,
-        "scatter": scatter,
-        "binned": binned,
-        "speedup": speedup,
-        "max_abs_diff": max_abs_diff,
-        "peak_tile_bytes": peak,
-        "peak_tile_bytes_bound": bound,
-    }
+from repro.bench.workloads.implicit import check_record
+from repro.linalg.normal_equations import DEFAULT_TILE_NNZ
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -165,20 +60,19 @@ def main(argv: list[str] | None = None) -> int:
     ns = parser.parse_args(argv)
     enable_telemetry_if_requested(ns)
 
-    if ns.quick:
-        scale = ns.scale if ns.scale is not None else 1 / 16
-        k = ns.k if ns.k is not None else 32
-        repeats = ns.repeats if ns.repeats is not None else 1
-        scatter_repeats = repeats
-    else:
-        scale = ns.scale if ns.scale is not None else 1.0
-        k = ns.k if ns.k is not None else 64
-        repeats = ns.repeats if ns.repeats is not None else 2
-        # The scatter reference takes minutes per pass at full scale (it
-        # exists to be beaten); one pass is plenty at a >100x margin.
-        scatter_repeats = ns.repeats if ns.repeats is not None else 1
-
-    result = run_benchmark(scale, k, repeats, scatter_repeats, ns.tile_nnz, ns.seed)
+    # check=False: the record must land (and be written below) even when
+    # the bar is missed; the bar is applied explicitly for --check.
+    params = {
+        "quick": ns.quick, "check": False,
+        "tile_nnz": ns.tile_nnz, "seed": ns.seed,
+    }
+    for name in ("scale", "k", "repeats"):
+        if getattr(ns, name) is not None:
+            params[name] = getattr(ns, name)
+    if ns.repeats is not None:
+        # An explicit --repeats historically applied to both variants.
+        params["scatter_repeats"] = ns.repeats
+    result = run_single_cell("implicit", params)
 
     out = ns.out
     if out is None and not ns.quick:
@@ -190,25 +84,10 @@ def main(argv: list[str] | None = None) -> int:
 
     if ns.check:
         required = 1.0 if ns.quick else 3.0
-        failures = []
-        if result["speedup"] < required:
-            failures.append(
-                f"binned speedup {result['speedup']:.2f}x is below the "
-                f"required {required:.1f}x"
-            )
-        if result["max_abs_diff"] > 1e-10:
-            failures.append(
-                f"binned and scatter sweeps disagree: max |diff| = "
-                f"{result['max_abs_diff']:.3e} > 1e-10"
-            )
-        if not 0 < result["peak_tile_bytes"] <= result["peak_tile_bytes_bound"]:
-            failures.append(
-                f"peak tile bytes {result['peak_tile_bytes']:,.0f} outside "
-                f"(0, {result['peak_tile_bytes_bound']:,}]"
-            )
+        failures = check_record(result, params)
         if failures:
-            for f in failures:
-                print(f"FAIL: {f}", file=sys.stderr)
+            for message in failures:
+                print(f"FAIL: {message}", file=sys.stderr)
             return 1
         print(
             f"OK: speedup {result['speedup']:.2f}x >= {required:.1f}x, "

@@ -1,0 +1,408 @@
+"""Declarative experiment-grid harness over the sqlite results store.
+
+The PyExperimenter-shaped workflow the ROADMAP asks for: a config
+declares the grid (benchmark × parameter axes), :func:`expand_config`
+turns it into cells, :meth:`~repro.bench.store.ResultsStore.ensure_cells`
+lands them in the sqlite table, and :func:`run_grid` pulls open cells —
+claimed atomically, so interrupted or parallel runs resume for free —
+executes the registered benchmark function for each, and writes the
+stamped record (host fingerprint + resource snapshot via
+:mod:`repro.bench.record`) back onto the row.
+
+Benchmark functions register through :func:`register`; the bundled
+workloads (:mod:`repro.bench.workloads`) cover the ``benchmarks/``
+scripts, whose ``--quick``/``--check`` entry points are thin wrappers
+over :func:`run_single_cell`.  Exporters render the store to
+``BENCH_*.json`` trajectory records (gate-compatible, ``gate_metric``
+stamped from :data:`repro.obs.gate.GATE_METRICS`) and to the
+``EXPERIMENTS.md``-style markdown tables.
+
+Config format (JSON file, or a builtin name from :data:`BUILTIN_GRIDS`)::
+
+    {
+      "name": "ci-quick",
+      "experiments": [
+        {"benchmark": "assembly",
+         "params": {"k": [32, 64]},          # axes: cartesian product
+         "fixed": {"quick": true}}           # constants merged into every cell
+      ]
+    }
+
+CLI: ``repro-als grid run|status|export|reset-errors`` — see
+``docs/experiments.md``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import time
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.bench.store import Cell, ResultsStore, canonical_params
+
+__all__ = [
+    "BUILTIN_GRIDS",
+    "GridError",
+    "Workload",
+    "register",
+    "get_workload",
+    "workload_names",
+    "load_config",
+    "expand_config",
+    "ensure_grid",
+    "run_grid",
+    "run_single_cell",
+    "export_records",
+    "export_markdown",
+    "render_status",
+]
+
+
+class GridError(RuntimeError):
+    """A grid-level failure (bad config, unknown benchmark, ...)."""
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One registered grid benchmark function.
+
+    ``run(**params)`` returns the benchmark record (or a list of
+    records); ``check(record, params)``, when present, returns a list of
+    failure strings — a non-empty list marks the cell ``error`` while
+    still landing the record, so a regression is visible *and* kept.
+    """
+
+    name: str
+    run: Callable[..., dict | list]
+    check: Callable[[dict | list, dict], list[str]] | None = None
+
+
+_REGISTRY: dict[str, Workload] = {}
+_WORKLOADS_LOADED = False
+
+
+def register(
+    name: str,
+    run: Callable[..., dict | list] | None = None,
+    *,
+    check: Callable[[dict | list, dict], list[str]] | None = None,
+):
+    """Register a grid benchmark function (usable as a decorator)."""
+    def _register(fn):
+        _REGISTRY[name] = Workload(name=name, run=fn, check=check)
+        return fn
+
+    return _register(run) if run is not None else _register
+
+
+def _ensure_workloads() -> None:
+    """Import the bundled workloads exactly once (self-registering)."""
+    global _WORKLOADS_LOADED
+    if not _WORKLOADS_LOADED:
+        _WORKLOADS_LOADED = True
+        import repro.bench.workloads  # noqa: F401  (registers on import)
+
+
+def get_workload(name: str) -> Workload:
+    _ensure_workloads()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise GridError(
+            f"unknown grid benchmark {name!r}; registered: "
+            f"{', '.join(sorted(_REGISTRY)) or '(none)'}"
+        ) from None
+
+
+def workload_names() -> list[str]:
+    _ensure_workloads()
+    return sorted(_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# configs
+# ----------------------------------------------------------------------
+
+#: Builtin grid configs, runnable by name.  ``ci-quick`` is the single
+#: config CI's perf-smoke runs instead of seven bespoke steps.
+BUILTIN_GRIDS: dict[str, dict] = {
+    "ci-quick": {
+        "name": "ci-quick",
+        "experiments": [
+            {"benchmark": name, "fixed": {"quick": True}}
+            for name in (
+                "assembly", "solve", "topn", "implicit",
+                "outofcore", "convergence", "serving",
+            )
+        ],
+    },
+    "quick-core": {
+        "name": "quick-core",
+        "experiments": [
+            {"benchmark": name, "fixed": {"quick": True}}
+            for name in ("assembly", "solve", "topn", "implicit", "serving")
+        ],
+    },
+}
+
+
+def load_config(source: str | os.PathLike | dict) -> dict:
+    """A grid config from a dict, a builtin name, or a JSON file path."""
+    if isinstance(source, dict):
+        config = source
+    elif str(source) in BUILTIN_GRIDS:
+        config = BUILTIN_GRIDS[str(source)]
+    else:
+        path = Path(source)
+        if not path.exists():
+            raise GridError(
+                f"no grid config at {path} and no builtin named "
+                f"{path.name!r} (builtins: {', '.join(BUILTIN_GRIDS)})"
+            )
+        try:
+            config = json.loads(path.read_text())
+        except ValueError as exc:
+            raise GridError(f"unparseable grid config {path}: {exc}") from exc
+    if not isinstance(config, dict) or not config.get("name"):
+        raise GridError("grid config needs a top-level 'name'")
+    if not isinstance(config.get("experiments"), list):
+        raise GridError("grid config needs an 'experiments' list")
+    return config
+
+
+def expand_config(config: dict) -> list[tuple[str, dict]]:
+    """Expand a config into ``(benchmark, params)`` cells.
+
+    Each experiment entry contributes the cartesian product of its
+    ``params`` axes (name → list of values), merged over its ``fixed``
+    constants.  Cell identity is the canonical JSON of the merged
+    params, so re-expanding the same config maps onto the same rows.
+    """
+    cells: list[tuple[str, dict]] = []
+    seen: set[str] = set()
+    for entry in config["experiments"]:
+        if not isinstance(entry, dict) or "benchmark" not in entry:
+            raise GridError(f"experiment entry needs a 'benchmark': {entry!r}")
+        benchmark = str(entry["benchmark"])
+        axes = entry.get("params", {})
+        fixed = entry.get("fixed", {})
+        if not isinstance(axes, dict) or not isinstance(fixed, dict):
+            raise GridError(
+                f"'params' must map name -> list and 'fixed' name -> value "
+                f"in {entry!r}"
+            )
+        for name, values in axes.items():
+            if not isinstance(values, list):
+                raise GridError(
+                    f"axis {name!r} of {benchmark!r} must be a list "
+                    f"(got {values!r}); use 'fixed' for constants"
+                )
+        names = list(axes)
+        for combo in itertools.product(*(axes[n] for n in names)) if names else [()]:
+            params = {**fixed, **dict(zip(names, combo))}
+            key = f"{benchmark}|{canonical_params(params)}"
+            if key not in seen:  # duplicate axes entries collapse
+                seen.add(key)
+                cells.append((benchmark, params))
+    if not cells:
+        raise GridError(f"grid {config['name']!r} expands to zero cells")
+    return cells
+
+
+def ensure_grid(store: ResultsStore, config: dict) -> int:
+    """Expand the config into the store; returns newly created cells."""
+    cells = expand_config(config)
+    for benchmark, _ in cells:
+        get_workload(benchmark)  # fail fast on unknown benchmarks
+    return store.ensure_cells(config["name"], cells)
+
+
+# ----------------------------------------------------------------------
+# running
+# ----------------------------------------------------------------------
+
+def _execute_cell(store: ResultsStore, cell: Cell, log: Callable) -> bool:
+    """Run one claimed cell to ``done``/``error``; True when done."""
+    from repro.bench.record import stamp
+
+    workload = get_workload(cell.benchmark)
+    log(f"[{cell.grid}] cell {cell.id} {cell.benchmark} "
+        f"{canonical_params(cell.params)}")
+    t0 = time.perf_counter()
+    try:
+        payload = workload.run(**cell.params)
+    except Exception as exc:  # noqa: BLE001 — any cell failure lands in the row
+        store.fail(
+            cell.id,
+            f"{type(exc).__name__}: {exc}\n{traceback.format_exc(limit=8)}",
+        )
+        log(f"  -> ERROR {type(exc).__name__}: {exc}")
+        return False
+    if isinstance(payload, list):
+        stamped: dict | list = [stamp(rec) for rec in payload]
+    else:
+        stamped = stamp(payload)
+    failures: list[str] = []
+    if workload.check is not None and cell.params.get("check", True):
+        failures = list(workload.check(payload, cell.params))
+    if failures:
+        store.fail(cell.id, "; ".join(failures), record=stamped)
+        log(f"  -> CHECK FAILED ({time.perf_counter() - t0:.1f} s): "
+            + "; ".join(failures))
+        return False
+    store.finish(cell.id, stamped)
+    log(f"  -> done ({time.perf_counter() - t0:.1f} s)")
+    return True
+
+
+def run_grid(
+    store: ResultsStore,
+    config: dict,
+    max_cells: int | None = None,
+    log: Callable[[str], None] = lambda msg: print(msg, flush=True),
+) -> dict[str, int]:
+    """Pull-and-run open cells until the grid drains (or ``max_cells``).
+
+    Re-invoking after a crash or SIGKILL resumes: ``ensure_cells`` is
+    idempotent, stale ``running`` claims from dead same-host processes
+    are reopened, and only cells still ``open`` execute.  Returns the
+    final status counts for this grid.
+    """
+    ensure_grid(store, config)
+    reclaimed = store.reclaim_stale()
+    if reclaimed:
+        log(f"[{config['name']}] reclaimed {reclaimed} stale running cell(s)")
+    ran = 0
+    while max_cells is None or ran < max_cells:
+        cell = store.claim_next(config["name"])
+        if cell is None:
+            break
+        _execute_cell(store, cell, log)
+        ran += 1
+    counts = store.status_counts(config["name"])
+    log(f"[{config['name']}] ran {ran} cell(s); " + render_status(counts))
+    return counts
+
+
+def run_single_cell(benchmark: str, params: dict) -> dict | list:
+    """One cell through the full grid machinery, on a throwaway store.
+
+    This is what the standalone ``benchmarks/bench_*.py`` entry points
+    call: the same claim → run → stamp → land path as a real grid, with
+    an in-memory store.  Returns the stamped record; raises
+    :class:`GridError` when the cell errored.
+    """
+    with ResultsStore(":memory:") as store:
+        config = {
+            "name": "single",
+            "experiments": [{"benchmark": benchmark, "fixed": params}],
+        }
+        run_grid(store, config, log=lambda msg: None)
+        (cell,) = store.cells("single")
+        if cell.status != "done":
+            raise GridError(
+                f"cell {benchmark} {canonical_params(params)} failed: "
+                f"{cell.error}"
+            )
+        assert cell.record is not None
+        return cell.record
+
+
+# ----------------------------------------------------------------------
+# export
+# ----------------------------------------------------------------------
+
+def _with_gate_metric(record: dict) -> dict:
+    """The record with ``gate_metric`` stamped (gate-compatible export)."""
+    from repro.obs.gate import GATE_METRICS
+
+    out = {k: v for k, v in record.items() if k != "_file"}
+    if "gate_metric" not in out:
+        metric = GATE_METRICS.get(str(out.get("benchmark", "")))
+        if metric:
+            out["gate_metric"] = metric
+    return out
+
+
+def export_records(
+    store: ResultsStore,
+    out_dir: str | os.PathLike,
+    grid: str | None = None,
+) -> list[Path]:
+    """Render done cells to ``BENCH_grid_<benchmark>.json`` trajectory files.
+
+    One file per benchmark name, each holding the list-of-records format
+    :func:`repro.obs.gate.load_trajectory` understands, every record
+    stamped with its ``gate_metric`` so ``repro-als perf-gate`` can
+    judge the export directly against the committed BENCH trajectory.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    by_name: dict[str, list[dict]] = {}
+    for record in store.records(grid):
+        name = str(record.get("benchmark", "unnamed"))
+        by_name.setdefault(name, []).append(_with_gate_metric(record))
+    written: list[Path] = []
+    for name in sorted(by_name):
+        safe = "".join(c if c.isalnum() else "_" for c in name)
+        path = out_dir / f"BENCH_grid_{safe}.json"
+        path.write_text(json.dumps(by_name[name], indent=2) + "\n")
+        written.append(path)
+    return written
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def export_markdown(store: ResultsStore, grid: str | None = None) -> str:
+    """EXPERIMENTS.md-style tables: one per benchmark, one row per cell."""
+    from repro.obs.gate import extract_metric, gate_metric_for
+
+    cells = [c for c in store.cells(grid) if c.status in ("done", "error")]
+    by_name: dict[str, list[Cell]] = {}
+    for cell in cells:
+        by_name.setdefault(cell.benchmark, []).append(cell)
+    lines: list[str] = ["# Experiment grid results", ""]
+    if grid:
+        lines[0] += f" — `{grid}`"
+    if not by_name:
+        lines.append("_no completed cells_")
+        return "\n".join(lines) + "\n"
+    for name in sorted(by_name):
+        group = by_name[name]
+        param_keys = sorted({k for c in group for k in c.params})
+        lines.append(f"## {name}")
+        lines.append("")
+        header = param_keys + ["status", "gate metric", "value"]
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "---|" * len(header))
+        for cell in group:
+            first = cell.record[0] if isinstance(cell.record, list) else cell.record
+            metric = gate_metric_for(first) if first else None
+            value = extract_metric(first, metric) if first and metric else None
+            row = [_fmt(cell.params.get(k, "")) for k in param_keys]
+            row += [
+                cell.status,
+                metric or "-",
+                _fmt(value) if value is not None else "-",
+            ]
+            lines.append("| " + " | ".join(row) + " |")
+        lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def render_status(counts: dict[str, int]) -> str:
+    total = sum(counts.values())
+    return (
+        f"{total} cell(s): {counts.get('done', 0)} done, "
+        f"{counts.get('open', 0)} open, {counts.get('running', 0)} running, "
+        f"{counts.get('error', 0)} error"
+    )

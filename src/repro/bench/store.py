@@ -1,0 +1,300 @@
+"""SQLite-backed results store for the experiment grid.
+
+One row per **cell** — a (grid, benchmark, params) triple.  The store is
+the PyExperimenter-style substrate the grid harness
+(:mod:`repro.bench.grid`) runs on:
+
+* ``ensure_cells`` inserts the expanded grid idempotently (re-running a
+  config never duplicates or resets work);
+* ``claim_next`` flips one ``open`` cell to ``running`` inside a single
+  ``BEGIN IMMEDIATE`` transaction, so concurrent runners (processes or
+  threads, even on different machines sharing the file) never execute
+  the same cell twice;
+* ``finish``/``fail`` land the stamped benchmark record (or the error)
+  back on the row;
+* ``reclaim_stale`` reopens ``running`` cells whose claiming process is
+  dead — that is all crash-resume takes: kill a run mid-grid, run
+  again, and only the remaining cells execute.
+
+Everything is stdlib ``sqlite3``; the schema is documented in
+``docs/experiments.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["Cell", "ResultsStore", "canonical_params"]
+
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS grid_meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS cells (
+    id INTEGER PRIMARY KEY AUTOINCREMENT,
+    grid TEXT NOT NULL,
+    benchmark TEXT NOT NULL,
+    params TEXT NOT NULL,
+    cell_key TEXT NOT NULL UNIQUE,
+    status TEXT NOT NULL DEFAULT 'open'
+        CHECK (status IN ('open', 'running', 'done', 'error')),
+    claimed_host TEXT,
+    claimed_pid INTEGER,
+    claimed_at REAL,
+    finished_at REAL,
+    attempts INTEGER NOT NULL DEFAULT 0,
+    error TEXT,
+    record TEXT
+);
+CREATE INDEX IF NOT EXISTS cells_status ON cells (grid, status, id);
+"""
+
+
+def canonical_params(params: dict) -> str:
+    """Deterministic JSON for a params dict (the cell identity)."""
+    return json.dumps(params, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One grid cell as read from the store."""
+
+    id: int
+    grid: str
+    benchmark: str
+    params: dict
+    status: str
+    attempts: int
+    error: str | None = None
+    record: dict | list | None = None
+
+    @property
+    def key(self) -> str:
+        return f"{self.grid}|{self.benchmark}|{canonical_params(self.params)}"
+
+
+def _cell_of(row: sqlite3.Row) -> Cell:
+    return Cell(
+        id=row["id"],
+        grid=row["grid"],
+        benchmark=row["benchmark"],
+        params=json.loads(row["params"]),
+        status=row["status"],
+        attempts=row["attempts"],
+        error=row["error"],
+        record=json.loads(row["record"]) if row["record"] else None,
+    )
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return False
+    return True
+
+
+class ResultsStore:
+    """The sqlite results table behind the experiment grid.
+
+    ``path`` may be ``":memory:"`` for throwaway single-cell runs (the
+    standalone ``benchmarks/bench_*.py`` wrappers use that); anything
+    else is created on first open.  The connection runs in autocommit
+    (``isolation_level=None``) with explicit ``BEGIN IMMEDIATE`` around
+    the claim, which is the only multi-statement critical section.
+    """
+
+    def __init__(self, path: str | os.PathLike = "grid.sqlite"):
+        self.path = str(path)
+        if self.path != ":memory:":
+            Path(self.path).parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(
+            self.path, timeout=30.0, isolation_level=None,
+            check_same_thread=False,
+        )
+        self._conn.row_factory = sqlite3.Row
+        self._conn.executescript(_SCHEMA)
+        self._conn.execute(
+            "INSERT OR IGNORE INTO grid_meta (key, value) VALUES (?, ?)",
+            ("schema_version", str(SCHEMA_VERSION)),
+        )
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ResultsStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- populating ----------------------------------------------------
+    def ensure_cells(
+        self, grid: str, cells: list[tuple[str, dict]]
+    ) -> int:
+        """Insert any (benchmark, params) cells not already present.
+
+        Returns how many were newly created; existing cells keep their
+        status and results untouched, which is what makes re-running a
+        config a resume instead of a restart.
+        """
+        created = 0
+        for benchmark, params in cells:
+            key = f"{grid}|{benchmark}|{canonical_params(params)}"
+            cur = self._conn.execute(
+                "INSERT OR IGNORE INTO cells (grid, benchmark, params, cell_key)"
+                " VALUES (?, ?, ?, ?)",
+                (grid, benchmark, canonical_params(params), key),
+            )
+            created += cur.rowcount
+        return created
+
+    # -- claiming ------------------------------------------------------
+    def claim_next(self, grid: str | None = None) -> Cell | None:
+        """Atomically flip the oldest ``open`` cell to ``running``.
+
+        The claim is stamped with this process's host and pid so a later
+        run can tell a live concurrent claim from a crashed one.  Returns
+        ``None`` when no open cells remain.
+        """
+        where = "status = 'open'" + ("" if grid is None else " AND grid = ?")
+        args = () if grid is None else (grid,)
+        while True:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                row = self._conn.execute(
+                    f"SELECT * FROM cells WHERE {where} ORDER BY id LIMIT 1",
+                    args,
+                ).fetchone()
+                if row is None:
+                    return None
+                self._conn.execute(
+                    "UPDATE cells SET status = 'running', claimed_host = ?,"
+                    " claimed_pid = ?, claimed_at = ?,"
+                    " attempts = attempts + 1 WHERE id = ? AND status = 'open'",
+                    (socket.gethostname(), os.getpid(), time.time(), row["id"]),
+                )
+            finally:
+                self._conn.execute("COMMIT")
+            claimed = self._conn.execute(
+                "SELECT * FROM cells WHERE id = ?", (row["id"],)
+            ).fetchone()
+            if (
+                claimed["status"] == "running"
+                and claimed["claimed_pid"] == os.getpid()
+            ):
+                return _cell_of(claimed)
+            # lost a race (shouldn't happen under BEGIN IMMEDIATE) — retry
+
+    def finish(self, cell_id: int, record: dict | list) -> None:
+        """Mark a claimed cell ``done`` and land its stamped record."""
+        self._conn.execute(
+            "UPDATE cells SET status = 'done', finished_at = ?, error = NULL,"
+            " record = ? WHERE id = ?",
+            (time.time(), json.dumps(record), cell_id),
+        )
+
+    def fail(
+        self, cell_id: int, error: str, record: dict | list | None = None
+    ) -> None:
+        """Mark a claimed cell ``error``; a partial record may ride along."""
+        self._conn.execute(
+            "UPDATE cells SET status = 'error', finished_at = ?, error = ?,"
+            " record = ? WHERE id = ?",
+            (
+                time.time(), error,
+                json.dumps(record) if record is not None else None, cell_id,
+            ),
+        )
+
+    # -- resume / repair ----------------------------------------------
+    def reclaim_stale(self) -> int:
+        """Reopen ``running`` cells whose claiming process is gone.
+
+        Only same-host claims can be probed (``kill -0``); a claim from
+        another host is left alone — it may still be live.  Returns how
+        many cells were reopened.
+        """
+        host = socket.gethostname()
+        rows = self._conn.execute(
+            "SELECT id, claimed_host, claimed_pid FROM cells"
+            " WHERE status = 'running'"
+        ).fetchall()
+        reopened = 0
+        for row in rows:
+            if row["claimed_host"] != host:
+                continue
+            pid = row["claimed_pid"]
+            if pid is not None and pid != os.getpid() and not _pid_alive(pid):
+                self._conn.execute(
+                    "UPDATE cells SET status = 'open', claimed_host = NULL,"
+                    " claimed_pid = NULL, claimed_at = NULL"
+                    " WHERE id = ? AND status = 'running'",
+                    (row["id"],),
+                )
+                reopened += 1
+        return reopened
+
+    def reset_errors(self, grid: str | None = None) -> int:
+        """Flip ``error`` cells back to ``open`` for a retry pass."""
+        where = "status = 'error'" + ("" if grid is None else " AND grid = ?")
+        args = () if grid is None else (grid,)
+        cur = self._conn.execute(
+            f"UPDATE cells SET status = 'open', claimed_host = NULL,"
+            f" claimed_pid = NULL, claimed_at = NULL, error = NULL"
+            f" WHERE {where}",
+            args,
+        )
+        return cur.rowcount
+
+    # -- reading -------------------------------------------------------
+    def cells(self, grid: str | None = None) -> list[Cell]:
+        where = "1=1" if grid is None else "grid = ?"
+        args = () if grid is None else (grid,)
+        rows = self._conn.execute(
+            f"SELECT * FROM cells WHERE {where} ORDER BY id", args
+        ).fetchall()
+        return [_cell_of(row) for row in rows]
+
+    def status_counts(self, grid: str | None = None) -> dict[str, int]:
+        where = "1=1" if grid is None else "grid = ?"
+        args = () if grid is None else (grid,)
+        counts = {"open": 0, "running": 0, "done": 0, "error": 0}
+        for row in self._conn.execute(
+            f"SELECT status, COUNT(*) AS n FROM cells WHERE {where}"
+            " GROUP BY status",
+            args,
+        ):
+            counts[row["status"]] = row["n"]
+        return counts
+
+    def records(self, grid: str | None = None) -> list[dict]:
+        """All landed benchmark records, flattened, oldest cell first.
+
+        Cells whose workload returned a list (e.g. the serving workload
+        emits a main record plus a throughput-gate record) contribute
+        every element.
+        """
+        out: list[dict] = []
+        for cell in self.cells(grid):
+            if cell.record is None:
+                continue
+            payload = cell.record
+            for rec in payload if isinstance(payload, list) else [payload]:
+                if isinstance(rec, dict):
+                    out.append(rec)
+        return out

@@ -1,0 +1,32 @@
+"""Grid-registered benchmark workloads.
+
+Importing this package registers every bundled workload with
+:mod:`repro.bench.grid`:
+
+* ``assembly`` — S1+S2 normal-equations assembly, binned vs scatter
+  (:mod:`repro.bench.workloads.assembly`);
+* ``solve`` — S3 batched solvers and the parallel half-sweep
+  (:mod:`repro.bench.workloads.solve`);
+* ``topn`` — tiled top-N serving vs the dense batch path
+  (:mod:`repro.bench.workloads.topn`);
+* ``implicit`` — implicit-feedback half-sweep, binned vs scatter
+  (:mod:`repro.bench.workloads.implicit`);
+* ``serving`` — the long-lived RecommendService load test
+  (:mod:`repro.bench.workloads.serving`);
+* ``outofcore`` / ``convergence`` — adapters over the remaining
+  ``benchmarks/bench_*.py`` scripts
+  (:mod:`repro.bench.workloads.scripts`).
+
+Every workload takes ``quick``/``check`` plus per-benchmark overrides
+and returns the same record dict its ``benchmarks/bench_*.py`` wrapper
+writes, so grid cells and standalone runs land identical evidence.
+"""
+
+from repro.bench.workloads import (  # noqa: F401  (self-registering)
+    assembly,
+    implicit,
+    scripts,
+    serving,
+    solve,
+    topn,
+)

@@ -1,0 +1,182 @@
+"""Grid workloads backed by standalone benchmark scripts.
+
+``benchmarks/bench_outofcore.py`` and ``benchmarks/bench_convergence.py``
+spawn their own subprocess children (per-phase RSS attribution, RLIMIT
+caps) and so cannot be lifted into plain library functions the way the
+single-process benchmarks were.  Instead each gets a thin adapter: the
+script module is loaded once by file path, its ``main(argv)`` runs
+in-process with ``--out`` pointed at a temp file, and the written record
+becomes the cell payload.  The children stay correct because the
+scripts re-launch themselves via ``Path(__file__).resolve()``, which
+importlib preserves.
+
+The ``--check`` bars are mirrored here as pure functions of the record
+(running ``main --check`` instead would collapse "which bar failed"
+into a single exit code and lose the record on failure).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.bench import grid
+
+__all__ = [
+    "benchmarks_dir",
+    "load_script",
+    "run_outofcore",
+    "check_outofcore",
+    "run_convergence",
+    "check_convergence",
+]
+
+_MODULES: dict[str, object] = {}
+
+
+def benchmarks_dir() -> Path:
+    """The repo's ``benchmarks/`` directory (this file lives under
+    ``src/repro/bench/workloads/``)."""
+    candidates = (
+        Path(__file__).resolve().parents[4] / "benchmarks",
+        Path.cwd() / "benchmarks",
+    )
+    for cand in candidates:
+        if cand.is_dir():
+            return cand
+    raise FileNotFoundError(
+        "benchmarks/ directory not found near "
+        + " or ".join(str(c) for c in candidates)
+    )
+
+
+def load_script(stem: str):
+    """Import ``benchmarks/<stem>.py`` by path, once per process."""
+    if stem not in _MODULES:
+        path = benchmarks_dir() / f"{stem}.py"
+        spec = importlib.util.spec_from_file_location(
+            f"repro_bench_script_{stem}", path
+        )
+        module = importlib.util.module_from_spec(spec)
+        # Register before exec so the script's own dataclasses/pickling
+        # (and any self-re-import) resolve.
+        sys.modules[spec.name] = module
+        spec.loader.exec_module(module)
+        _MODULES[stem] = module
+    return _MODULES[stem]
+
+
+def _run_script(stem: str, quick: bool, flags: dict) -> dict:
+    """Run a script's ``main`` in-process and return the record it wrote."""
+    module = load_script(stem)
+    with tempfile.TemporaryDirectory(prefix=f"{stem}-") as tmp:
+        out = Path(tmp) / "record.json"
+        argv = ["--out", str(out)]
+        if quick:
+            argv.append("--quick")
+        for key, val in flags.items():
+            if val is not None:
+                argv += [f"--{key.replace('_', '-')}", str(val)]
+        rc = module.main(argv)
+        if rc != 0:
+            raise grid.GridError(f"{stem} exited with status {rc}")
+        payload = json.loads(out.read_text())
+    return payload
+
+
+def run_outofcore(
+    quick: bool = True,
+    check: bool = True,
+    k: int | None = None,
+    scale: float | None = None,
+    iterations: int | None = None,
+    shard_bytes: int | None = None,
+    seed: int | None = None,
+) -> dict:
+    return _run_script(
+        "bench_outofcore", quick,
+        dict(k=k, scale=scale, iterations=iterations,
+             shard_bytes=shard_bytes, seed=seed),
+    )
+
+
+def check_outofcore(record: dict, params: dict) -> list[str]:
+    """Mirror of ``bench_outofcore.py --check``: loss parity to 1e-10,
+    >= 70% throughput retention, sharded RSS delta < half of in-RAM,
+    and survival under the RLIMIT_DATA cap where enforced."""
+    failures = []
+    if record["loss_rel_err"] > 1e-10:
+        failures.append(
+            f"loss trajectories disagree: rel err "
+            f"{record['loss_rel_err']:.3e} > 1e-10"
+        )
+    if record["throughput_retention"] < 0.7:
+        failures.append(
+            f"throughput retention {record['throughput_retention']:.2f} "
+            f"is below the required 0.70"
+        )
+    if not record["rss_delta_ratio"] < 0.5:
+        failures.append(
+            f"sharded RSS delta is {record['rss_delta_ratio']:.2f}x the "
+            f"in-RAM delta (need < 0.5)"
+        )
+    capped = record["capped"]
+    if capped["rlimit_data_enforced"] and not capped.get("sharded_ok"):
+        failures.append(
+            f"sharded training died under the "
+            f"{capped['cap_bytes'] / 2**20:,.1f} MB RLIMIT_DATA cap"
+        )
+    return failures
+
+
+def run_convergence(
+    quick: bool = True,
+    check: bool = True,
+    k: int | None = None,
+    scale: float | None = None,
+    iterations: int | None = None,
+    block_size: int | None = None,
+    block_schedule: str | None = None,
+    seed: int | None = None,
+) -> dict:
+    return _run_script(
+        "bench_convergence", quick,
+        dict(k=k, scale=scale, iterations=iterations, block_size=block_size,
+             block_schedule=block_schedule, seed=seed),
+    )
+
+
+def check_convergence(record: dict, params: dict) -> list[str]:
+    """Mirror of ``bench_convergence.py --check``: time-to-target speedup
+    (1.5 full / 0.7 quick), 1e-6 final-loss parity, bitwise d==k and
+    sharded agreement."""
+    bar = 0.7 if params.get("quick", True) else 1.5
+    failures = []
+    if record["time_to_target_speedup"] < bar:
+        failures.append(
+            f"time-to-target speedup {record['time_to_target_speedup']:.2f} "
+            f"is below the required {bar:.2f}"
+        )
+    if record["final_loss_rel_gap"] > 1e-6:
+        failures.append(
+            f"subspace final loss misses full-k by "
+            f"{record['final_loss_rel_gap']:.3e} relative (need <= 1e-6)"
+        )
+    for alg, ok in record["dk_bitwise"].items():
+        if not ok:
+            failures.append(
+                f"{alg}: block_size==k is not bitwise-equal to the full sweep"
+            )
+    for alg, ok in record["sharded_bitwise"].items():
+        if not ok:
+            failures.append(
+                f"{alg}: sharded subspace training diverges from in-RAM bitwise"
+            )
+    return failures
+
+
+grid.register("outofcore", run_outofcore, check=check_outofcore)
+grid.register("convergence", run_convergence, check=check_convergence)

@@ -33,6 +33,16 @@ Usage::
     repro-als perf-gate bench.json # compare fresh benchmark records
                                    # against the committed BENCH trajectory
                                    # (exit 1 on regression)
+    repro-als grid run ci-quick --store grid.sqlite
+                                   # run an experiment grid into a
+                                   # resumable sqlite results store
+                                   # (re-invoke after a crash: only the
+                                   # cells still open execute)
+    repro-als grid status          # per-grid cell counts + error detail
+    repro-als grid export --out-dir exported
+                                   # render done cells to gate-compatible
+                                   # BENCH_grid_*.json + RESULTS.md
+    repro-als grid reset-errors    # reopen errored cells for a re-run
     repro-als serve-metrics --metrics-port 9500
                                    # stand-alone Prometheus /metrics +
                                    # /healthz endpoint with the resource
@@ -489,6 +499,90 @@ def _run_perf_gate(ns: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _run_grid(ns: argparse.Namespace) -> int:
+    """The experiment-grid harness: run/status/export/reset-errors."""
+    from repro.bench.grid import (
+        GridError,
+        export_markdown,
+        export_records,
+        load_config,
+        render_status,
+        run_grid,
+    )
+    from repro.bench.store import ResultsStore
+
+    usage = (
+        "usage: repro-als grid run [CONFIG] | status [GRID] | "
+        "export [GRID] | reset-errors [GRID]  "
+        "[--store grid.sqlite] [--max-cells N] [--out-dir DIR] [--markdown]"
+    )
+    if not ns.args:
+        print(usage, file=sys.stderr)
+        return 2
+    action, rest = ns.args[0], ns.args[1:]
+    store_path = ns.store or "grid.sqlite"
+
+    if action == "run":
+        try:
+            config = load_config(rest[0] if rest else "ci-quick")
+            with ResultsStore(store_path) as store:
+                counts = run_grid(store, config, max_cells=ns.max_cells)
+        except GridError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        # Open cells are fine under --max-cells (resume later); errored
+        # cells fail the run so CI sees missed bars.
+        return 1 if counts.get("error", 0) else 0
+
+    if action == "status":
+        which = rest[0] if rest else None
+        with ResultsStore(store_path) as store:
+            cells = store.cells(which)
+            by_grid: dict[str, dict[str, int]] = {}
+            for cell in cells:
+                counts = by_grid.setdefault(cell.grid, {})
+                counts[cell.status] = counts.get(cell.status, 0) + 1
+            if not by_grid:
+                print(f"no cells in {store_path}"
+                      + (f" for grid {which!r}" if which else ""))
+                return 0
+            for name in sorted(by_grid):
+                print(f"{name}: {render_status(by_grid[name])}")
+            for cell in cells:
+                if cell.status == "error" and cell.error:
+                    first = cell.error.strip().splitlines()[0]
+                    print(f"  [{cell.grid}] cell {cell.id} {cell.benchmark}: "
+                          f"{first}")
+        return 0
+
+    if action == "export":
+        which = rest[0] if rest else None
+        out_dir = ns.out_dir or "grid-export"
+        from pathlib import Path
+
+        with ResultsStore(store_path) as store:
+            written = export_records(store, out_dir, which)
+            markdown = export_markdown(store, which)
+        md_path = Path(out_dir) / "RESULTS.md"
+        md_path.write_text(markdown)
+        for path in written + [md_path]:
+            print(f"wrote {path}")
+        if ns.markdown:
+            print()
+            print(markdown, end="")
+        return 0
+
+    if action == "reset-errors":
+        which = rest[0] if rest else None
+        with ResultsStore(store_path) as store:
+            reopened = store.reset_errors(which)
+        print(f"reopened {reopened} errored cell(s)")
+        return 0
+
+    print(usage, file=sys.stderr)
+    return 2
+
+
 def _run_serve_metrics(ns: argparse.Namespace) -> int:
     """Stand-alone metrics endpoint: scrape target + resource gauges.
 
@@ -607,14 +701,16 @@ def main(argv: list[str] | None = None) -> int:
         help="experiment id (table1, fig1, fig6..fig10, ksweep), 'all', 'list', "
         "'summary', 'tune', 'tune-assembly', 'tune-solver', 'tune-serving', "
         "'tune-sharding', 'tune-blocks', 'train', 'recommend', 'emit-cl', "
-        "'profile', 'perf-gate', 'serve-metrics' or 'serve'",
+        "'profile', 'perf-gate', 'grid', 'serve-metrics' or 'serve'",
     )
     parser.add_argument(
         "args", nargs="*",
         help="for tune: <device> <dataset>; for profile/tune-assembly/"
         "tune-solver/tune-serving/recommend: <dataset>; for train/"
         "tune-sharding: <dataset> or a shard-store directory; for "
-        "perf-gate: benchmark record JSON files",
+        "perf-gate: benchmark record JSON files; for grid: "
+        "run|status|export|reset-errors plus an optional config "
+        "(builtin name or JSON path) or grid name",
     )
     parser.add_argument("--k", type=int, default=10, help="latent factor (default 10)")
     parser.add_argument(
@@ -720,7 +816,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--store", default=None, metavar="DIR",
         help="train/tune-sharding: shard-store directory to build "
-        "(default: a fresh temp dir)",
+        "(default: a fresh temp dir); grid: sqlite results-store path "
+        "(default: grid.sqlite)",
+    )
+    parser.add_argument(
+        "--max-cells", type=int, default=None, metavar="N",
+        help="grid run: stop after N cells (the rest stay open; re-invoke "
+        "to continue)",
+    )
+    parser.add_argument(
+        "--out-dir", default=None, metavar="DIR",
+        help="grid export: directory for BENCH_grid_*.json + RESULTS.md "
+        "(default: grid-export)",
+    )
+    parser.add_argument(
+        "--markdown", action="store_true",
+        help="grid export: also print the markdown results tables",
     )
     parser.add_argument(
         "--save", default=None, metavar="PATH",
@@ -879,6 +990,8 @@ def _dispatch(ns: argparse.Namespace) -> int:
         return _run_profile(ns)
     if ns.command == "perf-gate":
         return _run_perf_gate(ns)
+    if ns.command == "grid":
+        return _run_grid(ns)
     if ns.command == "serve":
         return _run_serve(ns)
     return _run_experiment(ns.command, metrics_path=ns.metrics)

@@ -119,9 +119,20 @@ def fingerprints_match(a: dict | None, b: dict | None) -> bool:
 
 
 def _bench_sort_key(path: Path) -> tuple:
-    """``BENCH_2 < BENCH_10``: numeric components compare numerically."""
-    parts = re.split(r"(\d+)", path.name)
-    return tuple(int(p) if p.isdigit() else p for p in parts)
+    """``BENCH_2 < BENCH_10``: numeric components compare numerically.
+
+    Every element is a type-stable ``(is_number, value)`` pair — ``(0,
+    str)`` for text runs, ``(1, int)`` for digit runs — so filenames
+    that mix digit and non-digit components in the same position
+    (``BENCH_quick.json`` next to ``BENCH_10.json``) always compare
+    cleanly, and numbers sort after text at the same position.  Digit
+    runs come from the regex split itself rather than ``str.isdigit``,
+    which accepts characters ``int()`` rejects (e.g. ``'²'``).
+    """
+    parts = re.split(r"([0-9]+)", path.name)
+    return tuple(
+        (1, int(p)) if i % 2 else (0, p) for i, p in enumerate(parts)
+    )
 
 
 def _records_of(payload: object, source: str) -> list[dict]:
@@ -150,6 +161,25 @@ def load_trajectory(root: str | os.PathLike = ".") -> list[dict]:
             continue
         trajectory.extend(_records_of(payload, path.name))
     return trajectory
+
+
+def _is_current_record(current: dict, candidate: dict) -> bool:
+    """Whether a trajectory record *is* the record being gated.
+
+    A fresh record can leak into its own baseline pool two ways: the
+    file under test sits in the gate root as ``BENCH_*.json``, or the
+    same payload was appended to a trajectory file before gating.
+    Comparing a record against itself passes vacuously, so exclude on
+    identity, on matching source filename, or on the whole payload
+    (everything but the ``_file`` bookkeeping key) being equal.
+    """
+    if candidate is current:
+        return True
+    cur_file, cand_file = current.get("_file"), candidate.get("_file")
+    if cur_file and cand_file and Path(str(cur_file)).name == Path(str(cand_file)).name:
+        return True
+    strip = lambda rec: {k: v for k, v in rec.items() if k != "_file"}  # noqa: E731
+    return strip(current) == strip(candidate)
 
 
 def check_record(
@@ -186,6 +216,7 @@ def check_record(
         if rec.get("benchmark") == benchmark
         and shape_key(rec) == shape_key(current)
         and extract_metric(rec, metric) is not None
+        and not _is_current_record(current, rec)
     ]
     if not candidates:
         ok = not strict
@@ -194,7 +225,7 @@ def check_record(
             "no comparable baseline (benchmark/shape mismatch)"
             + ("" if ok else " [strict]"),
         )
-    baseline = candidates[-1]  # most recent committed record wins
+    baseline = candidates[-1]  # most recent *prior* committed record wins
     baseline_value = extract_metric(baseline, metric)
     same_host = fingerprints_match(current.get("host"), baseline.get("host"))
     eff_tolerance = (

@@ -40,8 +40,8 @@ class LoadReport:
     mode: str  # "closed" or "open"
     requests: int
     errors: int
-    seconds: float
-    throughput: float  # successful requests per second
+    seconds: float  # loaded region (open loop: the dispatch window)
+    throughput: float  # successful requests per second over `seconds`
     latency: dict[str, float]  # QuantileHistogram summary (p50/p95/p99...)
     concurrency: int = 0  # closed loop: client threads
     rate: float = 0.0  # open loop: offered arrivals per second
@@ -137,6 +137,13 @@ def run_open_loop(
     inter-arrival gaps; completions land asynchronously via future
     callbacks, so slow service shows up as queueing delay in the
     latency percentiles instead of silently throttling the offered load.
+
+    Rates are reported over the **dispatch window** (first arrival to
+    the issuance deadline), not over dispatch plus the drain of
+    still-pending futures: a single slow final response would otherwise
+    deflate ``throughput`` and ``achieved_rate`` arbitrarily even
+    though issuance held the offered rate the whole time.  The drain
+    tail is reported separately as ``extra["drain_seconds"]``.
     """
     if rate <= 0:
         raise ValueError("rate must be positive")
@@ -183,21 +190,28 @@ def run_open_loop(
             pending.append(fut)
         issued += 1
         next_arrival += rng.exponential(1.0 / rate)
+    dispatch_seconds = perf_counter() - t_start
     for fut in pending:
         try:
             fut.result(timeout)
         except Exception:
             pass  # already counted by the callback
-    elapsed = perf_counter() - t_start
+    drain_seconds = perf_counter() - t_start - dispatch_seconds
     with lock:
         ok, errors = state["ok"], state["errors"]
     return LoadReport(
         mode="open",
         requests=issued,
         errors=errors,
-        seconds=elapsed,
-        throughput=ok / elapsed if elapsed > 0 else 0.0,
+        seconds=dispatch_seconds,
+        throughput=ok / dispatch_seconds if dispatch_seconds > 0 else 0.0,
         latency=sketch.summary(),
         rate=rate,
-        extra={"offered_rate": rate, "achieved_rate": issued / elapsed if elapsed else 0.0},
+        extra={
+            "offered_rate": rate,
+            "achieved_rate": (
+                issued / dispatch_seconds if dispatch_seconds > 0 else 0.0
+            ),
+            "drain_seconds": drain_seconds,
+        },
     )

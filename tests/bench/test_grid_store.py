@@ -1,0 +1,162 @@
+"""Tests for the sqlite results store behind the experiment grid."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.bench.store import Cell, ResultsStore, canonical_params
+
+
+def _cells(n: int, benchmark: str = "bench") -> list[tuple[str, dict]]:
+    return [(benchmark, {"i": i}) for i in range(n)]
+
+
+def test_canonical_params_is_order_independent():
+    assert canonical_params({"b": 2, "a": 1}) == canonical_params({"a": 1, "b": 2})
+    assert canonical_params({"a": 1}) != canonical_params({"a": 2})
+
+
+def test_ensure_cells_is_idempotent(tmp_path):
+    with ResultsStore(tmp_path / "g.sqlite") as store:
+        assert store.ensure_cells("g", _cells(3)) == 3
+        assert store.ensure_cells("g", _cells(3)) == 0  # resume, not restart
+        assert store.ensure_cells("g", _cells(5)) == 2  # only the new ones
+        assert store.status_counts("g") == {
+            "open": 5, "running": 0, "done": 0, "error": 0,
+        }
+
+
+def test_same_params_in_different_grids_are_distinct_cells(tmp_path):
+    with ResultsStore(tmp_path / "g.sqlite") as store:
+        store.ensure_cells("g1", _cells(2))
+        store.ensure_cells("g2", _cells(2))
+        assert len(store.cells()) == 4
+        assert len(store.cells("g1")) == 2
+
+
+def test_claim_finish_fail_roundtrip(tmp_path):
+    with ResultsStore(tmp_path / "g.sqlite") as store:
+        store.ensure_cells("g", _cells(2))
+        first = store.claim_next("g")
+        assert isinstance(first, Cell)
+        assert first.status == "running" and first.attempts == 1
+        store.finish(first.id, {"benchmark": "bench", "value": 1.5})
+        second = store.claim_next("g")
+        assert second.id != first.id
+        store.fail(second.id, "boom", record={"benchmark": "bench", "partial": True})
+        assert store.claim_next("g") is None
+        done, errored = store.cells("g")
+        assert done.status == "done" and done.record["value"] == 1.5
+        assert errored.status == "error" and errored.error == "boom"
+        assert errored.record["partial"] is True  # record lands even on error
+
+
+def test_claim_next_is_atomic_under_concurrent_claimers(tmp_path):
+    path = tmp_path / "g.sqlite"
+    n_cells, n_threads = 24, 8
+    with ResultsStore(path) as store:
+        store.ensure_cells("g", _cells(n_cells))
+    claimed: list[int] = []
+    lock = threading.Lock()
+
+    def worker():
+        # Each claimer has its own connection, like separate processes
+        # sharing the file would.
+        with ResultsStore(path) as conn:
+            while True:
+                cell = conn.claim_next("g")
+                if cell is None:
+                    return
+                with lock:
+                    claimed.append(cell.id)
+                conn.finish(cell.id, {"benchmark": "bench"})
+
+    threads = [threading.Thread(target=worker) for _ in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert sorted(claimed) == sorted(set(claimed))  # nobody ran a cell twice
+    assert len(claimed) == n_cells
+    with ResultsStore(path) as store:
+        assert store.status_counts("g")["done"] == n_cells
+
+
+def _dead_pid() -> int:
+    """PID of a process guaranteed dead (it already exited)."""
+    proc = subprocess.Popen([sys.executable, "-c", "pass"])
+    proc.wait()
+    return proc.pid
+
+
+def test_reclaim_stale_reopens_dead_same_host_claims(tmp_path):
+    with ResultsStore(tmp_path / "g.sqlite") as store:
+        store.ensure_cells("g", _cells(3))
+        mine = store.claim_next("g")
+        crashed = store.claim_next("g")
+        foreign = store.claim_next("g")
+        store._conn.execute(
+            "UPDATE cells SET claimed_pid = ? WHERE id = ?",
+            (_dead_pid(), crashed.id),
+        )
+        store._conn.execute(
+            "UPDATE cells SET claimed_host = 'somewhere-else' WHERE id = ?",
+            (foreign.id,),
+        )
+        assert store.reclaim_stale() == 1  # only the dead same-host claim
+        by_id = {c.id: c for c in store.cells("g")}
+        assert by_id[crashed.id].status == "open"
+        assert by_id[mine.id].status == "running"  # live pid: untouched
+        assert by_id[foreign.id].status == "running"  # unprobeable: untouched
+        # The reopened cell is claimable again and counts its attempts.
+        again = store.claim_next("g")
+        assert again.id == crashed.id and again.attempts == 2
+
+
+def test_reset_errors_reopens_only_errored_cells(tmp_path):
+    with ResultsStore(tmp_path / "g.sqlite") as store:
+        store.ensure_cells("g", _cells(3))
+        done = store.claim_next("g")
+        store.finish(done.id, {"benchmark": "bench"})
+        bad = store.claim_next("g")
+        store.fail(bad.id, "missed the bar")
+        assert store.reset_errors("g") == 1
+        by_id = {c.id: c for c in store.cells("g")}
+        assert by_id[bad.id].status == "open" and by_id[bad.id].error is None
+        assert by_id[done.id].status == "done"
+        assert store.reset_errors("g") == 0
+
+
+def test_records_flattens_list_valued_cells(tmp_path):
+    with ResultsStore(":memory:") as store:
+        store.ensure_cells("g", _cells(2))
+        first = store.claim_next("g")
+        store.finish(first.id, [{"benchmark": "a"}, {"benchmark": "b"}])
+        second = store.claim_next("g")
+        store.finish(second.id, {"benchmark": "c"})
+        names = [rec["benchmark"] for rec in store.records("g")]
+        assert names == ["a", "b", "c"]
+
+
+def test_store_survives_reopen(tmp_path):
+    path = tmp_path / "g.sqlite"
+    with ResultsStore(path) as store:
+        store.ensure_cells("g", _cells(1))
+        cell = store.claim_next("g")
+        store.finish(cell.id, {"benchmark": "bench", "value": 2.0})
+    with ResultsStore(path) as store:
+        (cell,) = store.cells("g")
+        assert cell.status == "done" and cell.record["value"] == 2.0
+
+
+def test_invalid_status_rejected(tmp_path):
+    with ResultsStore(":memory:") as store:
+        store.ensure_cells("g", _cells(1))
+        import sqlite3
+
+        with pytest.raises(sqlite3.IntegrityError):
+            store._conn.execute("UPDATE cells SET status = 'bogus'")

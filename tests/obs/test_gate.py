@@ -64,14 +64,71 @@ class TestHelpers:
         trajectory = load_trajectory(trajectory_dir)
         assert [r["_file"] for r in trajectory] == ["BENCH_2.json", "BENCH_10.json"]
 
+    def test_load_trajectory_with_mixed_name_styles(self, trajectory_dir):
+        """Non-numeric suffixes (grid exports like ``BENCH_grid_x.json``)
+        must sort alongside numbered files without a type error."""
+        (trajectory_dir / "BENCH_grid_assembly.json").write_text(
+            json.dumps(make_record(speedup=9.0))
+        )
+        files = [r["_file"] for r in load_trajectory(trajectory_dir)]
+        # "BENCH_" is a strict prefix of "BENCH_grid_...", so the
+        # numbered files sort first; the point is no TypeError/ValueError.
+        assert files == [
+            "BENCH_2.json", "BENCH_10.json", "BENCH_grid_assembly.json",
+        ]
+
+    def test_load_trajectory_survives_unicode_digit_names(self, trajectory_dir):
+        """``'²'.isdigit()`` is True but ``int('²')`` raises — a filename
+        like that must not crash the sort."""
+        (trajectory_dir / "BENCH_x².json").write_text(
+            json.dumps(make_record(speedup=9.0))
+        )
+        files = [r["_file"] for r in load_trajectory(trajectory_dir)]
+        assert "BENCH_x².json" in files and len(files) == 3
+
 
 class TestCheckRecord:
     def test_equal_numbers_pass(self, trajectory_dir):
         trajectory = load_trajectory(trajectory_dir)
         check = check_record(make_record(speedup=10.0), trajectory)
         assert check.ok
-        assert check.baseline == 10.0  # newest file wins as baseline
+        # The current payload is identical to BENCH_10's record — that
+        # is the record itself, not a baseline.  The gate must fall back
+        # to the previous comparable record instead of self-comparing.
+        assert check.baseline == 8.0
+        assert check.baseline_file == "BENCH_2.json"
+
+    def test_self_baseline_excluded_catches_regressed_rerun(self, tmp_path):
+        """A regressed record appended to the trajectory before gating
+        must not self-pass by being judged against itself."""
+        (tmp_path / "BENCH_1.json").write_text(json.dumps(make_record(speedup=10.0)))
+        regressed = make_record(speedup=2.0)
+        (tmp_path / "BENCH_2.json").write_text(json.dumps(regressed))
+        trajectory = load_trajectory(tmp_path)
+        # The appended copy is in the pool; payload equality excludes it.
+        check = check_record(regressed, trajectory)
+        assert check.baseline == 10.0
+        assert check.baseline_file == "BENCH_1.json"
+        assert not check.ok  # 2.0 vs 10.0: the regression is visible
+
+    def test_record_in_gate_root_excluded_by_filename(self, trajectory_dir):
+        """Gating a file that sits inside the gate root: its own records
+        (matched by filename) never serve as their baseline."""
+        fresh = trajectory_dir / "BENCH_99.json"
+        fresh.write_text(json.dumps(make_record(speedup=3.0)))
+        checks, ok = run_gate([fresh], root=trajectory_dir)
+        assert not ok  # judged against BENCH_10's 10.0, not itself
+        (check,) = checks
+        assert check.baseline == 10.0
         assert check.baseline_file == "BENCH_10.json"
+
+    def test_only_self_in_trajectory_means_no_baseline(self, tmp_path):
+        record = make_record(speedup=5.0)
+        (tmp_path / "BENCH_1.json").write_text(json.dumps(record))
+        trajectory = load_trajectory(tmp_path)
+        check = check_record(record, trajectory)
+        assert check.ok and check.baseline is None  # skipped, not self-passed
+        assert not check_record(record, trajectory, strict=True).ok
 
     def test_two_x_regression_fails(self, trajectory_dir):
         trajectory = load_trajectory(trajectory_dir)

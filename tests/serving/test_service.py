@@ -279,6 +279,73 @@ class TestLoadGenerators:
             with pytest.raises(ValueError):
                 run_open_loop(svc, np.arange(3), rate=0.0)
 
+    def test_open_loop_rates_exclude_drain_tail(self):
+        """A slow final response must not deflate the reported rates.
+
+        The stub resolves every future the moment the next one is
+        submitted, so issuance never blocks — but the *last* future only
+        resolves ``stall`` seconds after its submit.  The dispatch
+        window therefore holds the offered rate while the run as a whole
+        drags on ``stall`` longer; the report must keep the two apart.
+        """
+        # seed 5's Poisson draw lands within ~1% of the offered rate, so
+        # the 10% assertion budget is left for dispatch jitter, not for
+        # sampling noise in the arrival process itself.
+        stall, duration, rate = 0.4, 0.5, 400.0
+        svc = _StallLastService(stall)
+        report = run_open_loop(
+            svc, np.arange(4), n=5, rate=rate, duration=duration, seed=5,
+        )
+        assert report.errors == 0
+        assert report.seconds == pytest.approx(duration, rel=0.2)
+        achieved = report.extra["achieved_rate"]
+        assert abs(achieved - rate) / rate < 0.10
+        assert report.throughput == pytest.approx(achieved, rel=0.05)
+        assert report.extra["drain_seconds"] >= 0.5 * stall
+        assert report.latency["count"] == report.requests
+
+
+class _StallLastService:
+    """Load-test stub: each future resolves when its successor is
+    submitted; the final future (no successor) resolves only after a
+    fixed stall, emulating one slow straggler response.  Submission is
+    deliberately cheap (no per-request threads) so the stub itself
+    never throttles the dispatcher."""
+
+    def __init__(self, stall: float):
+        self.stall = stall
+        self._lock = threading.Lock()
+        self._prev = None
+        self._prev_at = 0.0
+        sweeper = threading.Thread(target=self._sweep, daemon=True)
+        sweeper.start()
+
+    def _resolve(self, fut) -> None:
+        with self._lock:
+            if not fut.done():
+                fut.set_result("ok")
+
+    def _sweep(self) -> None:
+        # Resolve whichever future has lingered past the stall — only
+        # the final one ever lives that long.
+        while True:
+            with self._lock:
+                fut, t0 = self._prev, self._prev_at
+            if fut is not None and time.perf_counter() - t0 >= self.stall:
+                self._resolve(fut)
+            time.sleep(self.stall / 20)
+
+    def submit(self, user: int, n: int):
+        from concurrent.futures import Future
+
+        fut = Future()
+        with self._lock:
+            prev, self._prev = self._prev, fut
+            self._prev_at = time.perf_counter()
+        if prev is not None:
+            self._resolve(prev)
+        return fut
+
 
 class TestServiceEndpoint:
     def _get(self, url: str):
